@@ -1,0 +1,129 @@
+//! Common-gate low-noise amplifier (CGLNA) model.
+//!
+//! Saiyan places a common-gate LNA between the SAW filter and the envelope
+//! detector to lift the transformed signal above the detector's noise
+//! (paper §4.1, the 0.6 V 429 MHz FSK front-end of reference [17]). We model
+//! gain, input-referred noise via a noise figure, and a soft output
+//! compression point so strong inputs do not produce unphysical voltages.
+
+use lora_phy::iq::SampleBuffer;
+use rfsim::noise::AwgnSource;
+use rfsim::channel::dbm_to_buffer_power;
+use rfsim::units::{Db, Dbm, Hertz};
+
+/// A low-noise amplifier.
+#[derive(Debug, Clone)]
+pub struct Lna {
+    /// Power gain.
+    pub gain: Db,
+    /// Noise figure.
+    pub noise_figure: Db,
+    /// Output 1 dB compression point; outputs are softly clipped above this.
+    pub output_compression: Dbm,
+    /// Equivalent noise bandwidth used to compute the input-referred noise power.
+    pub bandwidth: Hertz,
+    /// Seed for the noise the LNA adds.
+    pub seed: u64,
+}
+
+impl Lna {
+    /// The common-gate LNA used by the prototype: ~20 dB gain, 5 dB NF.
+    pub fn paper_cglna(bandwidth: Hertz) -> Self {
+        Lna {
+            gain: Db(20.0),
+            noise_figure: Db(5.0),
+            output_compression: Dbm(-5.0),
+            bandwidth,
+            seed: 0xC61A,
+        }
+    }
+
+    /// Input-referred noise power added by the amplifier.
+    pub fn added_noise_power(&self) -> Dbm {
+        // kTB floor degraded by (F - 1): the noise the amplifier itself adds.
+        let ktb = rfsim::noise::thermal_noise_floor(self.bandwidth);
+        let f_lin = self.noise_figure.linear();
+        let added = (f_lin - 1.0).max(1e-9);
+        Dbm(ktb.value() + 10.0 * added.log10())
+    }
+
+    /// Amplifies the buffer: applies gain, adds the amplifier's own noise, and
+    /// soft-limits around the compression point.
+    pub fn amplify(&self, input: &SampleBuffer) -> SampleBuffer {
+        let gain_amp = 10f64.powf(self.gain.value() / 20.0);
+        let mut out = input.clone().scaled(gain_amp);
+
+        // Add the LNA's own noise, referred to the output (input noise * gain).
+        let noise_power_out =
+            dbm_to_buffer_power(self.added_noise_power() + self.gain);
+        let mut awgn = AwgnSource::new(self.seed);
+        awgn.add_to(&mut out, noise_power_out);
+
+        // Soft compression: scale down samples whose instantaneous amplitude
+        // exceeds the compression amplitude using a tanh-style limiter.
+        let comp_amp = dbm_to_buffer_power(self.output_compression).sqrt();
+        for s in &mut out.samples {
+            let a = s.abs();
+            if a > comp_amp {
+                let limited = comp_amp * (1.0 + (a / comp_amp - 1.0).tanh());
+                *s = s.scale(limited / a);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::iq::Iq;
+    use rfsim::channel::buffer_power_dbm;
+
+    fn tone(power_dbm: f64, len: usize) -> SampleBuffer {
+        let amp = dbm_to_buffer_power(Dbm(power_dbm)).sqrt();
+        SampleBuffer::new(vec![Iq::new(amp, 0.0); len], 2e6)
+    }
+
+    #[test]
+    fn small_signal_gain_is_applied() {
+        let lna = Lna::paper_cglna(Hertz::from_khz(500.0));
+        let input = tone(-60.0, 5000);
+        let out = lna.amplify(&input);
+        let p = buffer_power_dbm(&out);
+        assert!((p.value() - (-40.0)).abs() < 1.0, "output {p}");
+    }
+
+    #[test]
+    fn noise_floor_is_raised_by_nf() {
+        let lna = Lna::paper_cglna(Hertz::from_khz(500.0));
+        // A silent input should come out at roughly (kTB + NF - 1) + gain.
+        let input = SampleBuffer::zeros(20_000, 2e6);
+        let out = lna.amplify(&input);
+        let p = buffer_power_dbm(&out);
+        let expected = lna.added_noise_power() + lna.gain;
+        assert!(
+            (p.value() - expected.value()).abs() < 1.5,
+            "noise floor {p} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn strong_signal_is_compressed() {
+        let lna = Lna::paper_cglna(Hertz::from_khz(500.0));
+        let input = tone(-10.0, 2000);
+        let out = lna.amplify(&input);
+        let p = buffer_power_dbm(&out);
+        // Linear gain would put this at +10 dBm; the soft limiter caps the
+        // output within ~6 dB of the -5 dBm compression point.
+        assert!(p.value() < 2.0, "output {p}");
+    }
+
+    #[test]
+    fn gain_monotonicity_preserved_below_compression() {
+        let lna = Lna::paper_cglna(Hertz::from_khz(500.0));
+        let p1 = buffer_power_dbm(&lna.amplify(&tone(-70.0, 4000)));
+        let p2 = buffer_power_dbm(&lna.amplify(&tone(-60.0, 4000)));
+        let p3 = buffer_power_dbm(&lna.amplify(&tone(-50.0, 4000)));
+        assert!(p1.value() < p2.value() && p2.value() < p3.value());
+    }
+}

@@ -1,0 +1,159 @@
+//! Antenna impedance matching (the "Impedance Matching" block of Fig. 12).
+//!
+//! The SAW filter presents a complex input impedance that must be matched to
+//! the 50 Ω antenna; any residual mismatch reflects part of the incident power
+//! before it ever reaches the frequency→amplitude transformation. The model is
+//! a standard reflection-coefficient calculation that converts a load
+//! impedance into a mismatch loss, plus a helper for the L-network the
+//! prototype would use to tune it out.
+
+use lora_phy::iq::SampleBuffer;
+use rfsim::units::Db;
+
+/// A complex impedance in ohms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Impedance {
+    /// Resistance (real part), ohms.
+    pub resistance: f64,
+    /// Reactance (imaginary part), ohms.
+    pub reactance: f64,
+}
+
+impl Impedance {
+    /// The 50 Ω reference impedance of the antenna port.
+    pub const REFERENCE: Impedance = Impedance {
+        resistance: 50.0,
+        reactance: 0.0,
+    };
+
+    /// A representative input impedance of a 434 MHz SAW filter before
+    /// matching (datasheet-style value).
+    pub fn saw_unmatched() -> Self {
+        Impedance {
+            resistance: 115.0,
+            reactance: -48.0,
+        }
+    }
+
+    /// Magnitude of the reflection coefficient against a reference impedance:
+    /// `|Γ| = |(Z - Z0) / (Z + Z0)|`.
+    pub fn reflection_coefficient(&self, reference: Impedance) -> f64 {
+        let num_re = self.resistance - reference.resistance;
+        let num_im = self.reactance - reference.reactance;
+        let den_re = self.resistance + reference.resistance;
+        let den_im = self.reactance + reference.reactance;
+        let num = (num_re * num_re + num_im * num_im).sqrt();
+        let den = (den_re * den_re + den_im * den_im).sqrt().max(1e-12);
+        (num / den).min(1.0)
+    }
+
+    /// Voltage standing-wave ratio against the reference impedance.
+    pub fn vswr(&self, reference: Impedance) -> f64 {
+        let g = self.reflection_coefficient(reference);
+        if g >= 1.0 {
+            f64::INFINITY
+        } else {
+            (1.0 + g) / (1.0 - g)
+        }
+    }
+
+    /// Mismatch loss: the fraction of incident power reflected, in dB.
+    pub fn mismatch_loss(&self, reference: Impedance) -> Db {
+        let g = self.reflection_coefficient(reference);
+        let transmitted = (1.0 - g * g).max(1e-12);
+        Db(-10.0 * transmitted.log10())
+    }
+}
+
+/// The matching network between antenna and SAW filter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MatchingNetwork {
+    /// The load (SAW input) impedance being matched.
+    pub load: Impedance,
+    /// Residual reflection coefficient after tuning (0 = perfect match).
+    pub residual_reflection: f64,
+}
+
+impl MatchingNetwork {
+    /// A tuned L-network as on the prototype: the bulk of the mismatch is
+    /// removed, leaving a small residual (|Γ| ≈ 0.1, ≈0.04 dB of loss).
+    pub fn tuned(load: Impedance) -> Self {
+        MatchingNetwork {
+            load,
+            residual_reflection: 0.1,
+        }
+    }
+
+    /// No matching at all: the raw load reflection applies.
+    pub fn absent(load: Impedance) -> Self {
+        MatchingNetwork {
+            load,
+            residual_reflection: load.reflection_coefficient(Impedance::REFERENCE),
+        }
+    }
+
+    /// Effective insertion loss of the (mis)match.
+    pub fn insertion_loss(&self) -> Db {
+        let g = self.residual_reflection.clamp(0.0, 1.0);
+        Db(-10.0 * (1.0 - g * g).max(1e-12).log10())
+    }
+
+    /// Applies the mismatch loss to an RF buffer (amplitude scaling).
+    pub fn apply(&self, input: &SampleBuffer) -> SampleBuffer {
+        let loss = self.insertion_loss().value();
+        input.clone().scaled(10f64.powf(-loss / 20.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::iq::Iq;
+
+    #[test]
+    fn perfect_match_reflects_nothing() {
+        let z = Impedance::REFERENCE;
+        assert!(z.reflection_coefficient(Impedance::REFERENCE) < 1e-12);
+        assert!((z.vswr(Impedance::REFERENCE) - 1.0).abs() < 1e-9);
+        assert!(z.mismatch_loss(Impedance::REFERENCE).value() < 1e-9);
+    }
+
+    #[test]
+    fn unmatched_saw_loses_measurable_power() {
+        let saw = Impedance::saw_unmatched();
+        let gamma = saw.reflection_coefficient(Impedance::REFERENCE);
+        assert!(gamma > 0.2 && gamma < 0.7, "gamma {gamma}");
+        let loss = saw.mismatch_loss(Impedance::REFERENCE).value();
+        assert!(loss > 0.2 && loss < 3.0, "loss {loss} dB");
+        assert!(saw.vswr(Impedance::REFERENCE) > 1.5);
+    }
+
+    #[test]
+    fn tuned_network_recovers_most_of_the_loss() {
+        let load = Impedance::saw_unmatched();
+        let tuned = MatchingNetwork::tuned(load);
+        let absent = MatchingNetwork::absent(load);
+        assert!(tuned.insertion_loss().value() < 0.1);
+        assert!(absent.insertion_loss().value() > tuned.insertion_loss().value());
+    }
+
+    #[test]
+    fn apply_scales_the_waveform() {
+        let load = Impedance::saw_unmatched();
+        let network = MatchingNetwork::absent(load);
+        let input = SampleBuffer::new(vec![Iq::ONE; 128], 1e6);
+        let out = network.apply(&input);
+        let expected = 10f64.powf(-network.insertion_loss().value() / 10.0);
+        assert!((out.mean_power() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn short_circuit_reflects_everything() {
+        let short = Impedance {
+            resistance: 0.0,
+            reactance: 0.0,
+        };
+        assert!((short.reflection_coefficient(Impedance::REFERENCE) - 1.0).abs() < 1e-9);
+        assert!(short.vswr(Impedance::REFERENCE).is_infinite());
+    }
+}

@@ -1,0 +1,154 @@
+//! Clock generation: micro-power oscillator and delay line.
+//!
+//! The cyclic-frequency-shifting circuit needs two clock signals
+//! `CLK_in(Δf)` and `CLK_out(Δf)`. To save power the prototype generates only
+//! `CLK_in` (from an LTC6907 micro-power oscillator driven by the MCU) and
+//! derives `CLK_out` by passing it through a transmission-line delay whose
+//! phase shift `Δφ` is tuned so `cos(Δφ) ≈ 1` (paper Eq. 5).
+
+use std::f64::consts::PI;
+
+use crate::signal::RealBuffer;
+
+/// A square/sine clock source at a programmable frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Oscillator {
+    /// Clock frequency in Hz.
+    pub frequency: f64,
+    /// Initial phase in radians.
+    pub phase: f64,
+    /// Peak amplitude (volts).
+    pub amplitude: f64,
+    /// Frequency error in parts-per-million (models a cheap RC oscillator).
+    pub ppm_error: f64,
+}
+
+impl Oscillator {
+    /// Creates an ideal oscillator at `frequency` Hz with unit amplitude.
+    pub fn new(frequency: f64) -> Self {
+        Oscillator {
+            frequency,
+            phase: 0.0,
+            amplitude: 1.0,
+            ppm_error: 0.0,
+        }
+    }
+
+    /// The LTC6907-class micro-power oscillator used by the prototype:
+    /// ±0.5 % (5000 ppm) frequency tolerance.
+    pub fn ltc6907(frequency: f64) -> Self {
+        Oscillator {
+            frequency,
+            phase: 0.0,
+            amplitude: 1.0,
+            ppm_error: 0.0,
+        }
+    }
+
+    /// Returns a copy with the given initial phase.
+    pub fn with_phase(mut self, phase: f64) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Returns a copy with the given frequency error in ppm.
+    pub fn with_ppm_error(mut self, ppm: f64) -> Self {
+        self.ppm_error = ppm;
+        self
+    }
+
+    /// The actual output frequency including the ppm error.
+    pub fn actual_frequency(&self) -> f64 {
+        self.frequency * (1.0 + self.ppm_error * 1e-6)
+    }
+
+    /// Generates `len` samples of the (sinusoidal) clock at `sample_rate`.
+    pub fn generate(&self, len: usize, sample_rate: f64) -> RealBuffer {
+        let w = 2.0 * PI * self.actual_frequency() / sample_rate;
+        let samples = (0..len)
+            .map(|n| self.amplitude * (w * n as f64 + self.phase).cos())
+            .collect();
+        RealBuffer::new(samples, sample_rate)
+    }
+}
+
+/// A transmission-line delay that copies `CLK_in` into `CLK_out` with a phase
+/// shift `Δφ` (paper Eq. 5). The line length is expressed directly as the
+/// phase shift it introduces at the clock frequency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DelayLine {
+    /// Phase shift introduced at the clock frequency, radians.
+    pub phase_shift: f64,
+}
+
+impl DelayLine {
+    /// Creates a delay line with the given phase shift.
+    pub fn new(phase_shift: f64) -> Self {
+        DelayLine { phase_shift }
+    }
+
+    /// A line tuned (as in the paper) so `cos(Δφ) ≈ 1`, i.e. a small residual
+    /// phase error of about 0.1 rad.
+    pub fn tuned() -> Self {
+        DelayLine { phase_shift: 0.1 }
+    }
+
+    /// The amplitude factor `cos(Δφ)` the residual phase error costs after the
+    /// output mixer.
+    pub fn amplitude_factor(&self) -> f64 {
+        self.phase_shift.cos()
+    }
+
+    /// Derives the output clock from the input oscillator.
+    pub fn derive(&self, input: &Oscillator) -> Oscillator {
+        input.with_phase(input.phase + self.phase_shift)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oscillator_frequency_is_respected() {
+        let osc = Oscillator::new(100_000.0);
+        let fs = 2.0e6;
+        let clock = osc.generate(4_000, fs);
+        // Count zero crossings: a 100 kHz sine over 2 ms has ~400 crossings.
+        let crossings = clock
+            .samples
+            .windows(2)
+            .filter(|w| (w[0] >= 0.0) != (w[1] >= 0.0))
+            .count();
+        assert!((crossings as i64 - 400).abs() <= 2, "crossings {crossings}");
+    }
+
+    #[test]
+    fn ppm_error_changes_frequency() {
+        let osc = Oscillator::new(1_000_000.0).with_ppm_error(5_000.0);
+        assert!((osc.actual_frequency() - 1_005_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delay_line_adds_phase() {
+        let osc = Oscillator::new(500_000.0);
+        let line = DelayLine::new(0.25);
+        let derived = line.derive(&osc);
+        assert!((derived.phase - 0.25).abs() < 1e-12);
+        assert_eq!(derived.frequency, osc.frequency);
+    }
+
+    #[test]
+    fn tuned_line_loses_almost_nothing() {
+        let line = DelayLine::tuned();
+        assert!(line.amplitude_factor() > 0.99);
+    }
+
+    #[test]
+    fn clock_amplitude() {
+        let osc = Oscillator::new(1000.0);
+        let clock = osc.generate(1000, 100_000.0);
+        assert!((clock.max() - 1.0).abs() < 1e-3);
+        assert!((clock.min() + 1.0).abs() < 1e-3);
+    }
+}

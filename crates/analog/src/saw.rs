@@ -1,0 +1,345 @@
+//! Surface Acoustic Wave (SAW) filter model.
+//!
+//! Saiyan re-purposes a Qualcomm B3790 SAW filter as a frequency→amplitude
+//! converter: within the filter's *critical band* the amplitude response grows
+//! monotonically with frequency, so a frequency-modulated chirp comes out
+//! amplitude-modulated (paper §2.1, Fig. 5/6). We model the filter as a
+//! zero-phase LTI amplitude response applied in the frequency domain, built
+//! from the measured points reported in the paper:
+//!
+//! * insertion loss at the 434 MHz band edge: 10 dB;
+//! * 25 dB of amplitude growth from 433.5 MHz → 434 MHz (500 kHz);
+//! * 9.5 dB from 433.75 MHz → 434 MHz (250 kHz);
+//! * 7.2 dB from 433.875 MHz → 434 MHz (125 kHz);
+//! * steep roll-off outside the passband (Fig. 5 shows ≈ −60 dB at 428 MHz).
+//!
+//! Temperature shifts the whole response in frequency (the filter's
+//! temperature coefficient of frequency), which is what Fig. 24 measures.
+
+use lora_phy::fft::{fft, ifft, next_power_of_two};
+use lora_phy::iq::{Iq, SampleBuffer};
+use rfsim::units::{Celsius, Db, Hertz};
+
+/// A point on the amplitude response curve: (absolute frequency, gain).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResponsePoint {
+    /// Absolute RF frequency.
+    pub frequency: Hertz,
+    /// Filter gain at that frequency (negative = attenuation).
+    pub gain: Db,
+}
+
+/// Frequency-dependent amplitude response of the SAW filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SawFilter {
+    /// Piecewise-linear response control points, sorted by frequency.
+    points: Vec<ResponsePoint>,
+    /// Nominal temperature at which the response was measured.
+    reference_temperature: Celsius,
+    /// Temperature coefficient of frequency in ppm/°C (negative: the response
+    /// slides down in frequency as temperature rises).
+    tcf_ppm_per_c: f64,
+    /// Current operating temperature.
+    temperature: Celsius,
+}
+
+impl SawFilter {
+    /// Temperature coefficient of frequency. Saiyan's range is only mildly
+    /// temperature dependent in Fig. 24, which is consistent with a
+    /// temperature-compensated (quartz-substrate) SAW device; we default to
+    /// −4 ppm/°C and expose the knob for sensitivity studies.
+    pub const DEFAULT_TCF_PPM_PER_C: f64 = -4.0;
+
+    /// Builds the paper's B3790 response (measured points from Fig. 5).
+    pub fn paper_b3790() -> Self {
+        let points = vec![
+            ResponsePoint {
+                frequency: Hertz::from_mhz(428.0),
+                gain: Db(-60.0),
+            },
+            ResponsePoint {
+                frequency: Hertz::from_mhz(431.0),
+                gain: Db(-52.0),
+            },
+            ResponsePoint {
+                frequency: Hertz::from_mhz(433.0),
+                gain: Db(-42.0),
+            },
+            // Critical band: 433.5 -> 434.0 MHz rises by 25 dB to the -10 dB
+            // insertion loss at the band edge.
+            ResponsePoint {
+                frequency: Hertz::from_mhz(433.5),
+                gain: Db(-35.0),
+            },
+            ResponsePoint {
+                frequency: Hertz::from_mhz(433.75),
+                gain: Db(-19.5),
+            },
+            ResponsePoint {
+                frequency: Hertz::from_mhz(433.875),
+                gain: Db(-17.2),
+            },
+            ResponsePoint {
+                frequency: Hertz::from_mhz(434.0),
+                gain: Db(-10.0),
+            },
+            // Passband plateau and upper skirt.
+            ResponsePoint {
+                frequency: Hertz::from_mhz(435.5),
+                gain: Db(-10.0),
+            },
+            ResponsePoint {
+                frequency: Hertz::from_mhz(436.5),
+                gain: Db(-24.0),
+            },
+            ResponsePoint {
+                frequency: Hertz::from_mhz(438.0),
+                gain: Db(-45.0),
+            },
+            ResponsePoint {
+                frequency: Hertz::from_mhz(440.0),
+                gain: Db(-60.0),
+            },
+        ];
+        SawFilter {
+            points,
+            reference_temperature: Celsius(25.0),
+            tcf_ppm_per_c: Self::DEFAULT_TCF_PPM_PER_C,
+            temperature: Celsius(25.0),
+        }
+    }
+
+    /// Builds a filter from custom response points (sorted internally).
+    pub fn from_points(mut points: Vec<ResponsePoint>, reference_temperature: Celsius) -> Self {
+        points.sort_by(|a, b| {
+            a.frequency
+                .value()
+                .partial_cmp(&b.frequency.value())
+                .expect("finite frequencies")
+        });
+        SawFilter {
+            points,
+            reference_temperature,
+            tcf_ppm_per_c: Self::DEFAULT_TCF_PPM_PER_C,
+            temperature: reference_temperature,
+        }
+    }
+
+    /// Sets the operating temperature (shifts the response).
+    pub fn with_temperature(mut self, temperature: Celsius) -> Self {
+        self.temperature = temperature;
+        self
+    }
+
+    /// Sets the temperature coefficient of frequency.
+    pub fn with_tcf(mut self, tcf_ppm_per_c: f64) -> Self {
+        self.tcf_ppm_per_c = tcf_ppm_per_c;
+        self
+    }
+
+    /// The frequency shift of the response at the current temperature.
+    pub fn temperature_shift(&self) -> Hertz {
+        let delta_t = self.temperature.value() - self.reference_temperature.value();
+        let centre = 434.0e6;
+        Hertz(centre * self.tcf_ppm_per_c * 1e-6 * delta_t)
+    }
+
+    /// Gain of the filter at an absolute frequency, interpolated in dB.
+    pub fn gain_at(&self, frequency: Hertz) -> Db {
+        // Temperature moves the response curve; equivalently, evaluate the
+        // reference curve at (f - shift).
+        let f = frequency.value() - self.temperature_shift().value();
+        let first = self.points.first().expect("response has points");
+        let last = self.points.last().expect("response has points");
+        if f <= first.frequency.value() {
+            return first.gain;
+        }
+        if f >= last.frequency.value() {
+            return last.gain;
+        }
+        for w in self.points.windows(2) {
+            let (p0, p1) = (w[0], w[1]);
+            if f >= p0.frequency.value() && f <= p1.frequency.value() {
+                let span = p1.frequency.value() - p0.frequency.value();
+                let frac = if span > 0.0 {
+                    (f - p0.frequency.value()) / span
+                } else {
+                    0.0
+                };
+                return Db(p0.gain.value() + frac * (p1.gain.value() - p0.gain.value()));
+            }
+        }
+        last.gain
+    }
+
+    /// Amplitude gap (dB) between the top of a chirp sweep ending at
+    /// `band_edge` and its start `bandwidth` below — the quantity plotted in
+    /// Fig. 23.
+    pub fn amplitude_gap(&self, band_edge: Hertz, bandwidth: Hertz) -> Db {
+        let top = self.gain_at(band_edge);
+        let bottom = self.gain_at(Hertz(band_edge.value() - bandwidth.value()));
+        Db(top.value() - bottom.value())
+    }
+
+    /// Applies the filter to a complex baseband buffer whose 0 Hz corresponds
+    /// to `carrier` absolute frequency. The filter is applied as a zero-phase
+    /// amplitude response in the frequency domain.
+    pub fn apply(&self, input: &SampleBuffer, carrier: Hertz) -> SampleBuffer {
+        let n = input.len();
+        if n == 0 {
+            return input.clone();
+        }
+        let padded = next_power_of_two(n);
+        let mut data = input.samples.clone();
+        data.resize(padded, Iq::ZERO);
+        let mut spectrum = fft(&data).expect("padded to power of two");
+        let fs = input.sample_rate;
+        for (k, bin) in spectrum.iter_mut().enumerate() {
+            // FFT bin k maps to baseband frequency in [-fs/2, fs/2).
+            let fb = if (k as f64) < padded as f64 / 2.0 {
+                k as f64 * fs / padded as f64
+            } else {
+                (k as f64 - padded as f64) * fs / padded as f64
+            };
+            let absolute = Hertz(carrier.value() + fb);
+            let gain_amp = 10f64.powf(self.gain_at(absolute).value() / 20.0);
+            *bin = bin.scale(gain_amp);
+        }
+        let mut time = ifft(&spectrum).expect("padded to power of two");
+        time.truncate(n);
+        SampleBuffer::new(time, fs)
+    }
+
+    /// The response sampled over `[start, stop]` at `steps` points — used to
+    /// regenerate Fig. 5.
+    pub fn response_curve(&self, start: Hertz, stop: Hertz, steps: usize) -> Vec<ResponsePoint> {
+        let steps = steps.max(2);
+        (0..steps)
+            .map(|i| {
+                let f = start.value()
+                    + (stop.value() - start.value()) * i as f64 / (steps - 1) as f64;
+                ResponsePoint {
+                    frequency: Hertz(f),
+                    gain: self.gain_at(Hertz(f)),
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::chirp::ChirpGenerator;
+    use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+
+    #[test]
+    fn paper_response_points_match_figure5() {
+        let saw = SawFilter::paper_b3790();
+        // 25 dB variation over the top 500 kHz below 434 MHz.
+        let gap500 = saw.amplitude_gap(Hertz::from_mhz(434.0), Hertz::from_khz(500.0));
+        assert!((gap500.value() - 25.0).abs() < 0.1, "gap {}", gap500.value());
+        // 9.5 dB over 250 kHz and 7.2 dB over 125 kHz.
+        let gap250 = saw.amplitude_gap(Hertz::from_mhz(434.0), Hertz::from_khz(250.0));
+        assert!((gap250.value() - 9.5).abs() < 0.1);
+        let gap125 = saw.amplitude_gap(Hertz::from_mhz(434.0), Hertz::from_khz(125.0));
+        assert!((gap125.value() - 7.2).abs() < 0.1);
+        // Insertion loss at the band edge is 10 dB.
+        assert!((saw.gain_at(Hertz::from_mhz(434.0)).value() + 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn gain_is_monotone_in_critical_band() {
+        let saw = SawFilter::paper_b3790();
+        let mut prev = f64::NEG_INFINITY;
+        for khz in (433_500..=434_000).step_by(25) {
+            let g = saw.gain_at(Hertz::from_khz(khz as f64)).value();
+            assert!(g >= prev, "non-monotone at {khz} kHz");
+            prev = g;
+        }
+    }
+
+    #[test]
+    fn chirp_becomes_amplitude_modulated() {
+        // Feed the base up-chirp (433.5 -> 434 MHz) through the filter: the
+        // output amplitude should grow through the symbol and peak near the
+        // end, with roughly the 25 dB gap of Fig. 6.
+        let params = LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz500,
+            BitsPerChirp::new(2).unwrap(),
+        );
+        let gen = ChirpGenerator::new(params);
+        let chirp = gen.base_upchirp();
+        let saw = SawFilter::paper_b3790();
+        let out = saw.apply(&chirp, Hertz(params.carrier_hz));
+        let env = out.envelope();
+        let n = env.len();
+        // Compare early-symbol amplitude to late-symbol amplitude.
+        let early: f64 = env[n / 16..n / 8].iter().sum::<f64>() / (n / 16) as f64;
+        let late: f64 = env[n - n / 8..n - n / 16].iter().sum::<f64>() / (n / 16) as f64;
+        let gap_db = 20.0 * (late / early).log10();
+        assert!(gap_db > 15.0, "gap only {gap_db:.1} dB");
+        // The peak must be in the last quarter of the symbol.
+        let peak_idx = env
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak_idx > 3 * n / 4, "peak at {peak_idx}/{n}");
+    }
+
+    #[test]
+    fn different_symbols_peak_at_different_times() {
+        let params = LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz500,
+            BitsPerChirp::new(2).unwrap(),
+        );
+        let gen = ChirpGenerator::new(params);
+        let saw = SawFilter::paper_b3790();
+        let mut peak_indices = Vec::new();
+        for symbol in 0..4u32 {
+            let chirp = gen.downlink_chirp(symbol).unwrap();
+            let out = saw.apply(&chirp, Hertz(params.carrier_hz));
+            let env = out.envelope();
+            let peak = env
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            peak_indices.push(peak);
+        }
+        // Higher symbols start closer to the band edge, so they peak earlier.
+        for w in peak_indices.windows(2) {
+            assert!(w[1] < w[0], "peaks {peak_indices:?} not strictly earlier");
+        }
+    }
+
+    #[test]
+    fn temperature_shifts_response() {
+        let saw_cold = SawFilter::paper_b3790().with_temperature(Celsius(-8.6));
+        let saw_ref = SawFilter::paper_b3790();
+        // At a temperature below the reference the response slides up in
+        // frequency (negative TCF), changing the gain at a fixed frequency.
+        let f = Hertz::from_mhz(433.75);
+        assert_ne!(saw_cold.gain_at(f).value(), saw_ref.gain_at(f).value());
+        let shift = saw_cold.temperature_shift().value();
+        // -4 ppm/°C over the 33.6 °C difference from the 25 °C reference is
+        // roughly 58 kHz.
+        assert!(shift.abs() > 20.0e3 && shift.abs() < 120.0e3, "shift {shift}");
+    }
+
+    #[test]
+    fn response_curve_covers_requested_span() {
+        let saw = SawFilter::paper_b3790();
+        let curve = saw.response_curve(Hertz::from_mhz(428.0), Hertz::from_mhz(440.0), 25);
+        assert_eq!(curve.len(), 25);
+        assert_eq!(curve[0].frequency.value(), 428.0e6);
+        assert_eq!(curve[24].frequency.value(), 440.0e6);
+        // Out-of-band points are strongly attenuated.
+        assert!(curve[0].gain.value() < -55.0);
+    }
+}

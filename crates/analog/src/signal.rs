@@ -1,0 +1,243 @@
+//! Real-valued baseband signal buffers.
+//!
+//! After the envelope detector the Saiyan receive chain operates on real
+//! voltages rather than complex IQ. [`RealBuffer`] mirrors
+//! [`lora_phy::iq::SampleBuffer`] for that domain and provides the statistics
+//! (peak, mean, SNR within a band) the analog models and experiments need.
+
+use std::f64::consts::PI;
+
+/// A block of real-valued samples with an associated sample rate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RealBuffer {
+    /// The samples (volts, by convention).
+    pub samples: Vec<f64>,
+    /// Sample rate in Hz.
+    pub sample_rate: f64,
+}
+
+impl RealBuffer {
+    /// Creates a buffer.
+    pub fn new(samples: Vec<f64>, sample_rate: f64) -> Self {
+        RealBuffer {
+            samples,
+            sample_rate,
+        }
+    }
+
+    /// Creates an all-zero buffer.
+    pub fn zeros(len: usize, sample_rate: f64) -> Self {
+        RealBuffer {
+            samples: vec![0.0; len],
+            sample_rate,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Duration in seconds.
+    pub fn duration(&self) -> f64 {
+        self.samples.len() as f64 / self.sample_rate
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Mean power (mean of squares).
+    pub fn mean_power(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s * s).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Maximum sample value.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum sample value.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Index of the maximum sample.
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        let mut best_val = f64::NEG_INFINITY;
+        for (i, &v) in self.samples.iter().enumerate() {
+            if v > best_val {
+                best_val = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Scales every sample in place and returns `self`.
+    pub fn scaled(mut self, k: f64) -> Self {
+        for s in &mut self.samples {
+            *s *= k;
+        }
+        self
+    }
+
+    /// Removes the mean from the buffer (in place) and returns `self`.
+    pub fn dc_removed(mut self) -> Self {
+        let mean = self.mean();
+        for s in &mut self.samples {
+            *s -= mean;
+        }
+        self
+    }
+
+    /// Applies a moving-average filter of `window` samples (centred, zero-phase
+    /// enough for our purposes). Used by the Aloba baseline detector.
+    pub fn moving_average(&self, window: usize) -> RealBuffer {
+        let window = window.max(1);
+        let n = self.samples.len();
+        let mut out = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        let mut queue = std::collections::VecDeque::with_capacity(window);
+        for i in 0..n {
+            acc += self.samples[i];
+            queue.push_back(self.samples[i]);
+            if queue.len() > window {
+                acc -= queue.pop_front().expect("non-empty");
+            }
+            out.push(acc / queue.len() as f64);
+        }
+        RealBuffer::new(out, self.sample_rate)
+    }
+
+    /// Estimates the power of the buffer restricted to frequencies in
+    /// `[f_low, f_high]` Hz using a Goertzel-style projection onto a dense
+    /// grid of tones. Good enough for SNR bookkeeping in the shifting chain.
+    pub fn band_power(&self, f_low: f64, f_high: f64) -> f64 {
+        let n = self.samples.len();
+        if n == 0 || f_high <= f_low {
+            return 0.0;
+        }
+        let resolution = self.sample_rate / n as f64;
+        let mut power = 0.0;
+        let mut f = f_low.max(0.0);
+        while f <= f_high && f <= self.sample_rate / 2.0 {
+            let mut re = 0.0;
+            let mut im = 0.0;
+            let w = 2.0 * PI * f / self.sample_rate;
+            for (i, &s) in self.samples.iter().enumerate() {
+                re += s * (w * i as f64).cos();
+                im -= s * (w * i as f64).sin();
+            }
+            // One-sided spectrum: double everything except DC.
+            let scale = if f == 0.0 { 1.0 } else { 2.0 };
+            power += scale * (re * re + im * im) / (n as f64 * n as f64);
+            f += resolution;
+        }
+        power
+    }
+
+    /// Downsamples by an integer factor by picking every `factor`-th sample.
+    pub fn decimate(&self, factor: usize) -> RealBuffer {
+        let factor = factor.max(1);
+        RealBuffer::new(
+            self.samples.iter().step_by(factor).copied().collect(),
+            self.sample_rate / factor as f64,
+        )
+    }
+
+    /// Resamples to `target_rate` using nearest-sample selection. This models
+    /// the MCU's low-rate voltage sampler which simply latches the comparator
+    /// output at its own (much lower) clock.
+    pub fn resample_nearest(&self, target_rate: f64) -> RealBuffer {
+        if self.samples.is_empty() || target_rate <= 0.0 {
+            return RealBuffer::new(Vec::new(), target_rate);
+        }
+        let duration = self.duration();
+        let out_len = (duration * target_rate).floor() as usize;
+        let samples = (0..out_len)
+            .map(|i| {
+                let t = i as f64 / target_rate;
+                let idx = ((t * self.sample_rate).round() as usize).min(self.samples.len() - 1);
+                self.samples[idx]
+            })
+            .collect();
+        RealBuffer::new(samples, target_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn statistics() {
+        let b = RealBuffer::new(vec![1.0, -1.0, 3.0, -3.0], 4.0);
+        assert_eq!(b.mean(), 0.0);
+        assert_eq!(b.mean_power(), 5.0);
+        assert_eq!(b.max(), 3.0);
+        assert_eq!(b.min(), -3.0);
+        assert_eq!(b.argmax(), 2);
+        assert_eq!(b.duration(), 1.0);
+    }
+
+    #[test]
+    fn moving_average_smooths_step() {
+        let mut samples = vec![0.0; 50];
+        samples.extend(vec![1.0; 50]);
+        let b = RealBuffer::new(samples, 100.0);
+        let smoothed = b.moving_average(10);
+        // The step should become a ramp: value at index 54 is partial.
+        assert!(smoothed.samples[54] > 0.3 && smoothed.samples[54] < 0.7);
+        assert!((smoothed.samples[80] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn band_power_locates_tone() {
+        let fs = 10_000.0;
+        let f0 = 1_000.0;
+        let n = 2_000;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * f0 * i as f64 / fs).sin())
+            .collect();
+        let b = RealBuffer::new(samples, fs);
+        let in_band = b.band_power(900.0, 1100.0);
+        let out_band = b.band_power(3000.0, 3200.0);
+        assert!(in_band > 100.0 * out_band.max(1e-12));
+        // A unit sine has power 0.5.
+        assert!((in_band - 0.5).abs() < 0.05, "in-band {in_band}");
+    }
+
+    #[test]
+    fn decimate_and_resample() {
+        let b = RealBuffer::new((0..100).map(|i| i as f64).collect(), 100.0);
+        let d = b.decimate(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.sample_rate, 10.0);
+        assert_eq!(d.samples[3], 30.0);
+
+        let r = b.resample_nearest(25.0);
+        assert_eq!(r.len(), 25);
+        assert_eq!(r.sample_rate, 25.0);
+        assert_eq!(r.samples[1], 4.0);
+    }
+
+    #[test]
+    fn dc_removal() {
+        let b = RealBuffer::new(vec![2.0, 4.0, 6.0], 1.0).dc_removed();
+        assert!((b.mean()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,66 @@
+//! Common interface for downlink packet detectors.
+//!
+//! PLoRa and Aloba cannot demodulate downlink payloads; they can only *detect*
+//! that a LoRa packet is on the air (paper §5.1.3). Saiyan is compared against
+//! them on detection range (Fig. 21), so all three expose the same detection
+//! interface plus a calibrated detection sensitivity used by the
+//! link-abstraction sweeps.
+
+use lora_phy::iq::SampleBuffer;
+use rfsim::units::Dbm;
+
+/// A receiver that can decide whether a LoRa packet is present in a capture.
+pub trait PacketDetector {
+    /// Human-readable name used in experiment output.
+    fn name(&self) -> &'static str;
+
+    /// Waveform-level detection: is a LoRa packet present in the capture?
+    fn detect(&self, rf: &SampleBuffer) -> bool;
+
+    /// The calibrated minimum RSS at which detection succeeds reliably
+    /// (used by the link-abstraction range sweeps).
+    fn detection_sensitivity(&self) -> Dbm;
+
+    /// Probability of detecting a packet received at the given RSS.
+    ///
+    /// Default model: a logistic ramp from 0 to 1 centred 1.5 dB below the
+    /// detection sensitivity, so detection is ~95 % reliable at the
+    /// sensitivity point and collapses a few dB below it.
+    fn detection_probability(&self, rss: Dbm) -> f64 {
+        let margin = rss.value() - self.detection_sensitivity().value();
+        1.0 / (1.0 + (-2.0 * (margin + 1.5)).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl PacketDetector for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn detect(&self, _rf: &SampleBuffer) -> bool {
+            true
+        }
+        fn detection_sensitivity(&self) -> Dbm {
+            Dbm(-60.0)
+        }
+    }
+
+    #[test]
+    fn default_detection_probability_is_monotone_and_anchored() {
+        let d = Dummy;
+        let at_sens = d.detection_probability(Dbm(-60.0));
+        assert!(at_sens > 0.9, "{at_sens}");
+        assert!(d.detection_probability(Dbm(-50.0)) > 0.999);
+        assert!(d.detection_probability(Dbm(-70.0)) < 0.05);
+        let mut prev = 0.0;
+        for rss in (-80..=-40).step_by(2) {
+            let p = d.detection_probability(Dbm(rss as f64));
+            assert!(p >= prev);
+            prev = p;
+        }
+    }
+}

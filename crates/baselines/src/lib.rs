@@ -1,0 +1,20 @@
+//! # baselines — the systems Saiyan is compared against
+//!
+//! * [`plora`] — PLoRa's cross-correlation packet detector, its calibrated
+//!   detection sensitivity, and its backscatter-uplink BER model;
+//! * [`aloba`] — Aloba's moving-average RSSI-pattern detector and uplink model;
+//! * [`envelope_rx`] — a conventional envelope-detector receiver (the ~30 dB
+//!   worse sensitivity baseline of §5.2.1);
+//! * [`detector`] — the shared packet-detection interface used by Fig. 21.
+
+#![warn(missing_docs)]
+
+pub mod aloba;
+pub mod detector;
+pub mod envelope_rx;
+pub mod plora;
+
+pub use aloba::{aloba_uplink_ber, AlobaDetector, ALOBA_DETECTION_SENSITIVITY_DBM};
+pub use detector::PacketDetector;
+pub use envelope_rx::EnvelopeReceiver;
+pub use plora::{plora_uplink_ber, PLoRaDetector, PLORA_DETECTION_SENSITIVITY_DBM};

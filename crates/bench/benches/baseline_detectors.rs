@@ -1,0 +1,42 @@
+//! Criterion benchmarks of the baseline packet detectors (PLoRa, Aloba,
+//! conventional envelope receiver) against the Saiyan detector.
+
+use baselines::{AlobaDetector, EnvelopeReceiver, PLoRaDetector, PacketDetector};
+use criterion::{criterion_group, criterion_main, Criterion};
+use lora_phy::modulator::{Alphabet, Modulator};
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use rfsim::channel::dbm_to_buffer_power;
+use rfsim::noise::AwgnSource;
+use rfsim::units::Dbm;
+
+fn capture() -> (lora_phy::SampleBuffer, LoraParams) {
+    let params = LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).unwrap(),
+    );
+    let (wave, _) = Modulator::new(params)
+        .packet_with_guard(&[0, 1, 2, 3], Alphabet::Downlink, 8)
+        .unwrap();
+    let mut rx = wave.scaled(dbm_to_buffer_power(Dbm(-60.0)).sqrt());
+    let mut awgn = AwgnSource::new(9);
+    awgn.add_to(&mut rx, dbm_to_buffer_power(Dbm(-110.0)));
+    (rx, params)
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let (rx, params) = capture();
+    let plora = PLoRaDetector::new(params);
+    let aloba = AlobaDetector::new(params);
+    let envelope = EnvelopeReceiver::new(params);
+    c.bench_function("detect/plora_cross_correlation", |b| {
+        b.iter(|| plora.detect(&rx))
+    });
+    c.bench_function("detect/aloba_rssi_pattern", |b| b.iter(|| aloba.detect(&rx)));
+    c.bench_function("detect/conventional_envelope", |b| {
+        b.iter(|| envelope.detect(&rx))
+    });
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

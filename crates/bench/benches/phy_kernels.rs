@@ -1,0 +1,75 @@
+//! Criterion benchmarks of the LoRa PHY kernels: chirp modulation, FFT
+//! demodulation, and the FEC coding chain.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use lora_phy::fec::{decode_payload, encode_payload};
+use lora_phy::modulator::{Alphabet, Modulator};
+use lora_phy::params::{Bandwidth, BitsPerChirp, CodeRate, LoraParams, SpreadingFactor};
+use lora_phy::{ChirpGenerator, StandardDemodulator};
+
+fn params() -> LoraParams {
+    LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).unwrap(),
+    )
+}
+
+fn bench_chirp_generation(c: &mut Criterion) {
+    let gen = ChirpGenerator::new(params());
+    c.bench_function("chirp/base_upchirp_sf7_bw500", |b| {
+        b.iter(|| gen.base_upchirp())
+    });
+    c.bench_function("chirp/downlink_symbol", |b| {
+        b.iter(|| gen.downlink_chirp(3).unwrap())
+    });
+}
+
+fn bench_packet_modulation(c: &mut Criterion) {
+    let m = Modulator::new(params());
+    let symbols: Vec<u32> = (0..32).map(|i| i % 4).collect();
+    c.bench_function("modulator/packet_32_symbols", |b| {
+        b.iter(|| m.packet(&symbols, Alphabet::Downlink).unwrap())
+    });
+}
+
+fn bench_standard_demodulation(c: &mut Criterion) {
+    let p = params();
+    let m = Modulator::new(p);
+    let d = StandardDemodulator::new(p);
+    let symbols: Vec<u32> = (0..32).map(|i| i % 4).collect();
+    let (wave, layout) = m.packet(&symbols, Alphabet::Downlink).unwrap();
+    c.bench_function("standard_demod/payload_32_symbols", |b| {
+        b.iter(|| {
+            d.demodulate_payload(&wave, layout.payload_start, 32, Alphabet::Downlink)
+                .unwrap()
+        })
+    });
+    c.bench_function("standard_demod/preamble_detection", |b| {
+        b.iter(|| d.detect_preamble(&wave).unwrap())
+    });
+}
+
+fn bench_fec_chain(c: &mut Criterion) {
+    let data: Vec<u8> = (0..64u8).collect();
+    c.bench_function("fec/encode_64B_sf7_cr48", |b| {
+        b.iter(|| encode_payload(&data, SpreadingFactor::Sf7, CodeRate::Cr48).unwrap())
+    });
+    let symbols = encode_payload(&data, SpreadingFactor::Sf7, CodeRate::Cr48).unwrap();
+    c.bench_function("fec/decode_64B_sf7_cr48", |b| {
+        b.iter_batched(
+            || symbols.clone(),
+            |s| decode_payload(&s, SpreadingFactor::Sf7, CodeRate::Cr48, data.len()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_chirp_generation,
+    bench_packet_modulation,
+    bench_standard_demodulation,
+    bench_fec_chain
+);
+criterion_main!(benches);

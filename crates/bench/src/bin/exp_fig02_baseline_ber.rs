@@ -1,0 +1,40 @@
+//! Fig. 2 — BER of PLoRa and Aloba backscatter uplinks vs tag-to-Tx distance.
+//!
+//! The transmitter and receiver are 100 m apart; the tag moves from 0.1 m to
+//! 20 m away from the transmitter. Both systems' BER climbs from well below
+//! 1 % to effectively 50 % (undecodable), which is the packet-loss problem
+//! that motivates the Saiyan feedback loop.
+
+use netsim::{BackscatterScenario, UplinkSystem};
+use rfsim::units::Meters;
+use saiyan_bench::{fmt, fmt_ber, Table};
+
+fn main() {
+    let distances = [0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0];
+    let mut table = Table::new(
+        "Fig. 2: backscatter uplink BER vs tag-to-Tx distance (Tx-Rx = 100 m)",
+        &["tag-to-Tx (m)", "uplink SNR (dB)", "PLoRa BER", "Aloba BER"],
+    );
+    let mut json_rows = Vec::new();
+    for &d in &distances {
+        let s = BackscatterScenario::fig2(Meters(d));
+        let plora = s.ber(UplinkSystem::PLoRa);
+        let aloba = s.ber(UplinkSystem::Aloba);
+        table.add_row(vec![
+            fmt(d, 1),
+            fmt(s.snr().value(), 1),
+            fmt_ber(plora),
+            fmt_ber(aloba),
+        ]);
+        json_rows.push(serde_json::json!({
+            "distance_m": d,
+            "snr_db": s.snr().value(),
+            "plora_ber": plora,
+            "aloba_ber": aloba,
+        }));
+    }
+    table.print();
+    println!("Paper: BER of both systems rises from <1% to >50% by 20 m; the");
+    println!("receiver can no longer demodulate once the tag is ~20 m from the Tx.");
+    saiyan_bench::write_json("fig02_baseline_ber", &serde_json::json!(json_rows));
+}

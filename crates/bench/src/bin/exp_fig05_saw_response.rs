@@ -1,0 +1,47 @@
+//! Fig. 5 — amplitude-frequency response of the SAW filter.
+//!
+//! Sweeps 428–440 MHz and reports the gain, plus the amplitude variation over
+//! the top 500/250/125 kHz below the 434 MHz band edge (25 / 9.5 / 7.2 dB in
+//! the paper).
+
+use analog::saw::SawFilter;
+use rfsim::units::Hertz;
+use saiyan_bench::{fmt, Table};
+
+fn main() {
+    let saw = SawFilter::paper_b3790();
+    let mut table = Table::new(
+        "Fig. 5: SAW filter amplitude-frequency response",
+        &["frequency (MHz)", "gain (dB)"],
+    );
+    let curve = saw.response_curve(Hertz::from_mhz(428.0), Hertz::from_mhz(440.0), 49);
+    let mut json_rows = Vec::new();
+    for p in &curve {
+        table.add_row(vec![fmt(p.frequency.mhz(), 2), fmt(p.gain.value(), 1)]);
+        json_rows.push(serde_json::json!({
+            "frequency_mhz": p.frequency.mhz(),
+            "gain_db": p.gain.value(),
+        }));
+    }
+    table.print();
+
+    let mut summary = Table::new(
+        "Amplitude variation up to the 434 MHz band edge",
+        &["sweep width", "measured gap (dB)", "paper (dB)"],
+    );
+    for (khz, paper) in [(500.0, 25.0), (250.0, 9.5), (125.0, 7.2)] {
+        let gap = saw.amplitude_gap(Hertz::from_mhz(434.0), Hertz::from_khz(khz));
+        summary.add_row(vec![
+            format!("{khz:.0} kHz"),
+            fmt(gap.value(), 1),
+            fmt(paper, 1),
+        ]);
+    }
+    summary.add_row(vec![
+        "insertion loss".into(),
+        fmt(-saw.gain_at(Hertz::from_mhz(434.0)).value(), 1),
+        "10.0".into(),
+    ]);
+    summary.print();
+    saiyan_bench::write_json("fig05_saw_response", &serde_json::json!(json_rows));
+}

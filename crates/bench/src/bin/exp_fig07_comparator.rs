@@ -1,0 +1,92 @@
+//! Fig. 7 — single-threshold vs double-threshold comparator on a noisy chirp.
+//!
+//! Reproduces the qualitative comparison: a single high threshold misses the
+//! peak when the envelope dips, a single low threshold fires early on a
+//! misleading bump, and the double-threshold (hysteresis) comparator produces
+//! a stable burst whose tail marks the true peak.
+
+use analog::comparator::{DoubleThresholdComparator, SingleThresholdComparator};
+use analog::envelope::EnvelopeDetector;
+use analog::saw::SawFilter;
+use lora_phy::chirp::ChirpGenerator;
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use rfsim::channel::dbm_to_buffer_power;
+use rfsim::noise::AwgnSource;
+use rfsim::units::{Dbm, Hertz};
+use saiyan_bench::{fmt, Table};
+
+fn main() {
+    let params = LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).unwrap(),
+    )
+    .with_oversampling(8);
+    let gen = ChirpGenerator::new(params);
+    let saw = SawFilter::paper_b3790();
+
+    // A base up-chirp at -55 dBm with noise so the envelope wobbles.
+    let chirp = gen.base_upchirp();
+    let mut rx = chirp.scaled(dbm_to_buffer_power(Dbm(-55.0)).sqrt());
+    let mut awgn = AwgnSource::new(7);
+    awgn.add_to(&mut rx, dbm_to_buffer_power(Dbm(-72.0)));
+    let transformed = saw.apply(&rx, Hertz(params.carrier_hz));
+    let envelope = EnvelopeDetector::ideal().detect(&transformed);
+
+    let a_max = envelope.max();
+    let floor = envelope.mean();
+    let u_h = a_max / 10f64.powf(3.0 / 20.0);
+    let u_l = (u_h - (a_max - floor) * 0.4).max(floor * 1.5);
+
+    let single_high = SingleThresholdComparator::new(u_h).compare(&envelope);
+    let single_low = SingleThresholdComparator::new(u_l).compare(&envelope);
+    let double = DoubleThresholdComparator::new(u_h, u_l).compare(&envelope);
+
+    let true_peak = envelope.argmax();
+    let n = envelope.len();
+
+    let mut table = Table::new(
+        "Fig. 7: comparator comparison on a noisy SAW-transformed chirp",
+        &[
+            "comparator",
+            "transitions",
+            "high runs",
+            "peak estimate (sample)",
+            "true peak (sample)",
+        ],
+    );
+    for (name, stream) in [
+        ("single U_H", &single_high),
+        ("single U_L", &single_low),
+        ("double U_H/U_L", &double),
+    ] {
+        table.add_row(vec![
+            name.to_string(),
+            stream.transitions().to_string(),
+            stream.high_runs().len().to_string(),
+            stream
+                .last_high_tail()
+                .map(|i| i.to_string())
+                .unwrap_or_else(|| "-".into()),
+            true_peak.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "Envelope length {n} samples; U_H = {} V, U_L = {} V.",
+        fmt(u_h, 9),
+        fmt(u_l, 9)
+    );
+    println!("Paper: the double-threshold comparator yields a stable output whose");
+    println!("final falling edge sits at the amplitude peak, unlike either single threshold.");
+    saiyan_bench::write_json(
+        "fig07_comparator",
+        &serde_json::json!({
+            "single_high_transitions": single_high.transitions(),
+            "single_low_transitions": single_low.transitions(),
+            "double_transitions": double.transitions(),
+            "true_peak": true_peak,
+            "double_peak": double.last_high_tail(),
+        }),
+    );
+}

@@ -1,0 +1,77 @@
+//! Fig. 10 — baseband spectrum / SNR with and without cyclic-frequency
+//! shifting, and the resulting SNR gain (the paper measures ~11 dB).
+
+use analog::envelope::EnvelopeDetector;
+use analog::saw::SawFilter;
+use analog::shifting::{envelope_snr_db, CyclicFrequencyShifter, ShiftingConfig};
+use lora_phy::chirp::ChirpGenerator;
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use rfsim::channel::dbm_to_buffer_power;
+use rfsim::units::{Dbm, Hertz};
+use saiyan_bench::{fmt, Table};
+
+fn main() {
+    // The paper's Fig. 10 uses 24 chirps at BW 500 kHz, SF 8; we process a
+    // train of base up-chirps through the SAW + envelope chain at several
+    // signal levels and compare the recovered-envelope SNR with and without
+    // the shifting circuit.
+    let params = LoraParams::new(
+        SpreadingFactor::Sf8,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).unwrap(),
+    )
+    .with_oversampling(8);
+    let gen = ChirpGenerator::new(params);
+    let saw = SawFilter::paper_b3790();
+
+    let mut chirps = gen.base_upchirp();
+    for _ in 0..3 {
+        let extra = gen.base_upchirp();
+        chirps.append(&extra);
+    }
+
+    let mut table = Table::new(
+        "Fig. 10: envelope SNR with / without cyclic-frequency shifting",
+        &[
+            "input power (dBm)",
+            "SNR w/o shifting (dB)",
+            "SNR with shifting (dB)",
+            "gain (dB)",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    for power in [-45.0, -50.0, -55.0, -60.0] {
+        let target = dbm_to_buffer_power(Dbm(power));
+        let rf = saw.apply(
+            &chirps.clone().scaled((target / chirps.mean_power()).sqrt()),
+            Hertz(params.carrier_hz),
+        );
+        let shifter = CyclicFrequencyShifter::new(
+            ShiftingConfig::for_bandwidth(params.bw.hz()),
+            EnvelopeDetector::default(),
+        );
+        let reference = CyclicFrequencyShifter::new(
+            ShiftingConfig::for_bandwidth(params.bw.hz()),
+            EnvelopeDetector::ideal(),
+        )
+        .process_without_shifting(&rf);
+        let without = envelope_snr_db(&shifter.process_without_shifting(&rf), &reference);
+        let with = envelope_snr_db(&shifter.process(&rf), &reference);
+        table.add_row(vec![
+            fmt(power, 0),
+            fmt(without, 1),
+            fmt(with, 1),
+            fmt(with - without, 1),
+        ]);
+        json_rows.push(serde_json::json!({
+            "input_power_dbm": power,
+            "snr_without_db": without,
+            "snr_with_db": with,
+            "gain_db": with - without,
+        }));
+    }
+    table.print();
+    println!("Paper: the cyclic-frequency shifting circuit cleans both in-band and");
+    println!("out-of-band noise from the baseband and brings ~11 dB of SNR gain.");
+    saiyan_bench::write_json("fig10_shifting", &serde_json::json!(json_rows));
+}

@@ -1,0 +1,54 @@
+//! Fig. 16 — BER and throughput vs coding rate (K = bits per chirp) at
+//! tag-to-Tx distances of 10/20/50/100/150 m (outdoor).
+
+use lora_phy::params::BitsPerChirp;
+use netsim::{run_link_trials, Scenario, TrialConfig};
+use rfsim::units::Meters;
+use saiyan::metrics::throughput_bps;
+use saiyan_bench::{fmt, fmt_ber, Table};
+
+fn main() {
+    let distances = [10.0, 20.0, 50.0, 100.0, 150.0];
+    let mut ber_table = Table::new(
+        "Fig. 16(a): BER vs coding rate (outdoor, SF7, 500 kHz)",
+        &["CR (K)", "10 m", "20 m", "50 m", "100 m", "150 m"],
+    );
+    let mut tput_table = Table::new(
+        "Fig. 16(b): throughput (kbps) vs coding rate",
+        &["CR (K)", "10 m", "20 m", "50 m", "100 m", "150 m"],
+    );
+    let mut json_rows = Vec::new();
+    for k in 1..=5u8 {
+        let mut ber_cells = vec![format!("{k}")];
+        let mut tput_cells = vec![format!("{k}")];
+        for &d in &distances {
+            let scenario = Scenario::outdoor_default(Meters(d))
+                .with_bits_per_chirp(BitsPerChirp::new(k).unwrap());
+            let counts = run_link_trials(
+                &scenario,
+                &TrialConfig {
+                    packets: 1000,
+                    payload_symbols: 32,
+                    seed: 0x1600 + k as u64,
+                },
+            );
+            let tput = throughput_bps(&scenario.lora, counts.ser()) / 1000.0;
+            ber_cells.push(fmt_ber(counts.ber()));
+            tput_cells.push(fmt(tput, 2));
+            json_rows.push(serde_json::json!({
+                "k": k,
+                "distance_m": d,
+                "ber": counts.ber(),
+                "throughput_kbps": tput,
+            }));
+        }
+        ber_table.add_row(ber_cells);
+        tput_table.add_row(tput_cells);
+    }
+    ber_table.print();
+    tput_table.print();
+    println!("Paper: BER grows with CR (2.4-5.2x from CR1 to CR5) and with distance");
+    println!("(e.g. 0.1‰ -> 4.4‰ at CR5 from 10 m to 150 m); throughput grows ~linearly");
+    println!("with CR (3.57 kbps at CR1 -> ~18.1 kbps at CR5 at 100 m).");
+    saiyan_bench::write_json("fig16_coding_rate", &serde_json::json!(json_rows));
+}

@@ -1,0 +1,50 @@
+//! Fig. 23 — SAW output amplitude gap vs Tx-to-tag distance for each LoRa
+//! bandwidth. The gap (difference between the strongest and weakest amplitude
+//! within a chirp) shrinks with narrower bandwidth and, at the receiver, with
+//! distance as the signal approaches the noise floor.
+
+use analog::saw::SawFilter;
+use lora_phy::params::Bandwidth;
+use netsim::Scenario;
+use rfsim::units::{Hertz, Meters};
+use saiyan_bench::{fmt, Table};
+
+fn main() {
+    let saw = SawFilter::paper_b3790();
+    let mut table = Table::new(
+        "Fig. 23: SAW amplitude gap (dB) vs distance per bandwidth",
+        &["distance (m)", "125 kHz", "250 kHz", "500 kHz"],
+    );
+    let mut json_rows = Vec::new();
+    for d in [10.0, 30.0, 50.0, 70.0, 90.0] {
+        let mut cells = vec![fmt(d, 0)];
+        for bw in Bandwidth::ALL {
+            // The intrinsic filter gap over this sweep width...
+            let intrinsic = saw
+                .amplitude_gap(Hertz::from_mhz(434.0), Hertz(bw.hz()))
+                .value();
+            // ...is compressed once the weak (low-frequency) end of the chirp
+            // sinks into the envelope-detection chain's noise floor: the
+            // observable gap is limited by how far the strongest part of the
+            // chirp (post insertion loss) sits above that floor (~-107 dBm
+            // referred to the antenna).
+            let scenario = Scenario::outdoor_default(Meters(d));
+            let envelope_floor_dbm = -107.0;
+            let insertion_loss_db = 10.0;
+            let headroom =
+                scenario.rss().value() - insertion_loss_db - envelope_floor_dbm;
+            let observable = intrinsic.min(headroom.max(0.0));
+            cells.push(fmt(observable, 1));
+            json_rows.push(serde_json::json!({
+                "distance_m": d,
+                "bw_khz": bw.khz(),
+                "amplitude_gap_db": observable,
+            }));
+        }
+        table.add_row(cells);
+    }
+    table.print();
+    println!("Paper: at 10 m the gap is 24.7 / 9.3 / 7.1 dB for 500/250/125 kHz and");
+    println!("shrinks slowly with distance (24.7 -> 20.2 dB at 100 m for 500 kHz).");
+    saiyan_bench::write_json("fig23_amplitude_gap", &serde_json::json!(json_rows));
+}

@@ -1,0 +1,68 @@
+//! Table 2 — per-component energy (under 1 % duty cycling) and cost of the
+//! Saiyan tag, plus the §4.3 ASIC figures and the harvester arithmetic.
+
+use analog::power::{Component, PowerBudget};
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use saiyan::TagPowerModel;
+use saiyan_bench::{fmt, Table};
+
+fn main() {
+    let pcb = PowerBudget::paper_pcb();
+    let asic = PowerBudget::paper_asic();
+
+    let mut table = Table::new(
+        "Table 2: per-component power (uW, 1% duty cycle) and cost (USD)",
+        &["component", "PCB power (uW)", "PCB cost ($)", "ASIC power (uW)"],
+    );
+    let mut json_rows = Vec::new();
+    for component in Component::ALL {
+        let p = pcb.entry(component).expect("pcb entry");
+        let a = asic.entry(component).expect("asic entry");
+        table.add_row(vec![
+            component.name().to_string(),
+            fmt(p.power_uw, 2),
+            fmt(p.cost_usd, 2),
+            fmt(a.power_uw, 2),
+        ]);
+        json_rows.push(serde_json::json!({
+            "component": component.name(),
+            "pcb_power_uw": p.power_uw,
+            "pcb_cost_usd": p.cost_usd,
+            "asic_power_uw": a.power_uw,
+        }));
+    }
+    table.add_row(vec![
+        "Total".into(),
+        fmt(pcb.total_uw(), 2),
+        fmt(pcb.total_cost_usd(), 2),
+        fmt(asic.total_uw(), 2),
+    ]);
+    table.print();
+
+    println!(
+        "LNA share {:.1}% and oscillator share {:.1}% of the PCB total (paper: 67.3% / 23.5%).",
+        pcb.share(Component::Lna) * 100.0,
+        pcb.share(Component::OscillatorClock) * 100.0
+    );
+    println!(
+        "ASIC on-chip total: {:.1} uW (paper: 93.2 uW), a {:.1}% reduction over the PCB.",
+        asic.total_on_chip_uw(),
+        100.0 * (1.0 - asic.total_on_chip_uw() / pcb.total_on_chip_uw())
+    );
+
+    let params = LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).unwrap(),
+    );
+    let model = TagPowerModel::asic();
+    println!(
+        "Energy to demodulate one 32-symbol downlink packet: {:.1} uJ; the paper's",
+        model.packet_energy_joules(&params, 32) * 1e6
+    );
+    println!(
+        "solar harvester (1 mW / 25.4 s) pays for it in {:.1} s of harvesting.",
+        model.harvest_time_for_packet(&params, 32)
+    );
+    saiyan_bench::write_json("tab2_power", &serde_json::json!(json_rows));
+}

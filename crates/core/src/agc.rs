@@ -1,0 +1,192 @@
+//! Automatic gain control (the paper's future-work item, §4.1).
+//!
+//! The prototype tunes the comparator thresholds `U_H`/`U_L` from an offline
+//! distance→amplitude table. The paper suggests an AGC could adapt the power
+//! gain automatically instead. This module implements a simple feed-forward
+//! AGC in the spirit of the fast-settling controllers the paper cites [42]:
+//! it tracks the envelope's peak level over a sliding window and adjusts a
+//! gain word so the peak lands near a target level, from which the comparator
+//! thresholds follow directly.
+
+use analog::signal::RealBuffer;
+
+use crate::calibration::Thresholds;
+
+/// Configuration of the automatic gain controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AgcConfig {
+    /// The level (volts) the AGC tries to place the envelope peak at.
+    pub target_peak: f64,
+    /// Minimum gain (linear) the variable-gain stage can apply.
+    pub min_gain: f64,
+    /// Maximum gain (linear) the variable-gain stage can apply.
+    pub max_gain: f64,
+    /// Fraction of the gain error corrected per update (0..=1]; 1.0 is the
+    /// fully feed-forward fast-settling behaviour.
+    pub settle_fraction: f64,
+    /// Threshold gap (dB) used when deriving comparator thresholds from the
+    /// normalised peak (paper §4.1: `G = 20·lg(A_max/U_H)`).
+    pub threshold_gap_db: f64,
+}
+
+impl Default for AgcConfig {
+    fn default() -> Self {
+        AgcConfig {
+            target_peak: 1.0e-3,
+            min_gain: 1.0,
+            max_gain: 1.0e6,
+            settle_fraction: 1.0,
+            threshold_gap_db: 3.0,
+        }
+    }
+}
+
+/// A feed-forward automatic gain controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Agc {
+    /// Configuration.
+    pub config: AgcConfig,
+    gain: f64,
+    last_peak: f64,
+}
+
+impl Agc {
+    /// Creates an AGC with unit initial gain.
+    pub fn new(config: AgcConfig) -> Self {
+        Agc {
+            config,
+            gain: 1.0,
+            last_peak: 0.0,
+        }
+    }
+
+    /// The current gain (linear voltage factor).
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+
+    /// The peak level observed in the last update window (before gain).
+    pub fn last_peak(&self) -> f64 {
+        self.last_peak
+    }
+
+    /// Observes one window of the (pre-gain) envelope and updates the gain.
+    /// Returns the updated gain.
+    pub fn update(&mut self, window: &RealBuffer) -> f64 {
+        let peak = window.max();
+        if !peak.is_finite() || peak <= 0.0 {
+            return self.gain;
+        }
+        self.last_peak = peak;
+        let desired = (self.config.target_peak / peak)
+            .clamp(self.config.min_gain, self.config.max_gain);
+        let f = self.config.settle_fraction.clamp(0.0, 1.0);
+        // Multiplicative (log-domain) interpolation towards the desired gain.
+        self.gain = (self.gain.ln() * (1.0 - f) + desired.ln() * f).exp();
+        self.gain = self.gain.clamp(self.config.min_gain, self.config.max_gain);
+        self.gain
+    }
+
+    /// Applies the current gain to an envelope buffer.
+    pub fn apply(&self, envelope: &RealBuffer) -> RealBuffer {
+        envelope.clone().scaled(self.gain)
+    }
+
+    /// The comparator thresholds implied by the current gain: the envelope
+    /// peak is assumed to sit at the target level after the gain, and the
+    /// floor is taken from the observed window statistics.
+    pub fn thresholds(&self, window: &RealBuffer) -> Thresholds {
+        let scaled_peak = self.config.target_peak;
+        let floor = (window.mean() * self.gain).max(0.0);
+        Thresholds::from_peak(
+            scaled_peak,
+            self.config.threshold_gap_db,
+            (scaled_peak - floor).clamp(0.0, scaled_peak * 0.5),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window_with_peak(peak: f64) -> RealBuffer {
+        let mut samples = vec![peak * 0.05; 200];
+        samples[120] = peak;
+        RealBuffer::new(samples, 50_000.0)
+    }
+
+    #[test]
+    fn gain_converges_to_the_target_in_one_step_when_fully_feed_forward() {
+        let mut agc = Agc::new(AgcConfig::default());
+        agc.update(&window_with_peak(1.0e-6));
+        // Gain should map the 1 uV peak onto the 1 mV target.
+        assert!((agc.gain() - 1000.0).abs() / 1000.0 < 1e-9);
+        let out = agc.apply(&window_with_peak(1.0e-6));
+        assert!((out.max() - 1.0e-3).abs() / 1.0e-3 < 1e-9);
+    }
+
+    #[test]
+    fn gain_is_clamped_to_the_configured_range() {
+        let mut agc = Agc::new(AgcConfig {
+            max_gain: 100.0,
+            ..Default::default()
+        });
+        agc.update(&window_with_peak(1.0e-9));
+        assert_eq!(agc.gain(), 100.0);
+        let mut agc2 = Agc::new(AgcConfig {
+            min_gain: 0.5,
+            ..Default::default()
+        });
+        agc2.update(&window_with_peak(1.0));
+        assert_eq!(agc2.gain(), 0.5);
+    }
+
+    #[test]
+    fn partial_settling_moves_gradually() {
+        let mut agc = Agc::new(AgcConfig {
+            settle_fraction: 0.5,
+            ..Default::default()
+        });
+        agc.update(&window_with_peak(1.0e-6));
+        // Half of the (log-domain) step towards 1000x.
+        assert!(agc.gain() > 20.0 && agc.gain() < 1000.0, "gain {}", agc.gain());
+        agc.update(&window_with_peak(1.0e-6));
+        assert!(agc.gain() > 100.0, "gain {}", agc.gain());
+    }
+
+    #[test]
+    fn empty_or_silent_windows_leave_gain_unchanged() {
+        let mut agc = Agc::new(AgcConfig::default());
+        let before = agc.gain();
+        agc.update(&RealBuffer::new(vec![0.0; 64], 1000.0));
+        assert_eq!(agc.gain(), before);
+    }
+
+    #[test]
+    fn thresholds_follow_the_normalised_peak() {
+        let mut agc = Agc::new(AgcConfig::default());
+        let window = window_with_peak(2.0e-6);
+        agc.update(&window);
+        let t = agc.thresholds(&window);
+        // U_H sits 3 dB below the 1 mV target; U_L below U_H.
+        assert!((t.high - 1.0e-3 / 10f64.powf(0.15)).abs() < 1e-6);
+        assert!(t.low < t.high && t.low > 0.0);
+        // The resulting comparator fires once per window on the scaled envelope.
+        let out = agc.apply(&window);
+        let stream = t.comparator().compare(&out);
+        assert_eq!(stream.high_runs().len(), 1);
+    }
+
+    #[test]
+    fn agc_tracks_changing_link_distance() {
+        // As the tag moves away the envelope shrinks; the AGC keeps the scaled
+        // peak at the target so the same thresholds keep working.
+        let mut agc = Agc::new(AgcConfig::default());
+        for peak in [1.0e-4, 3.0e-5, 1.0e-5, 3.0e-6] {
+            agc.update(&window_with_peak(peak));
+            let out = agc.apply(&window_with_peak(peak));
+            assert!((out.max() - 1.0e-3).abs() / 1.0e-3 < 1e-9, "peak {peak}");
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Comparator threshold calibration (paper §4.1).
+//!
+//! The double-threshold comparator needs a high threshold `U_H` slightly below
+//! the envelope's peak amplitude `A_max` and a low threshold `U_L = U_H − U_F`
+//! where `U_F` is the amplitude of the envelope detector's output floor. Both
+//! `A_max` and `U_F` depend on the link distance, so the prototype stores an
+//! offline-measured mapping table per tag; an AGC could automate this (the
+//! paper's future work). This module provides the threshold formulae, the
+//! mapping table, and a simple automatic calibration that estimates `A_max`
+//! and `U_F` from a received buffer (the AGC sketch).
+
+use analog::comparator::DoubleThresholdComparator;
+use analog::signal::RealBuffer;
+use rfsim::units::Meters;
+
+/// A calibrated pair of comparator thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Thresholds {
+    /// The high threshold `U_H` (volts).
+    pub high: f64,
+    /// The low threshold `U_L` (volts).
+    pub low: f64,
+}
+
+impl Thresholds {
+    /// Computes thresholds from the peak amplitude, the threshold gap
+    /// `G = 20·lg(A_max/U_H)` in dB, and the detector floor amplitude `U_F`:
+    /// `U_H = A_max / 10^(G/20)`, `U_L = U_H − U_F` (paper §4.1).
+    pub fn from_peak(a_max: f64, gap_db: f64, floor: f64) -> Self {
+        let high = a_max / 10f64.powf(gap_db / 20.0);
+        let low = (high - floor).max(high * 0.1);
+        Thresholds { high, low }
+    }
+
+    /// Builds the comparator configured with these thresholds.
+    pub fn comparator(&self) -> DoubleThresholdComparator {
+        DoubleThresholdComparator::new(self.high, self.low)
+    }
+}
+
+/// An entry of the offline-measured calibration table: thresholds valid around
+/// a given link distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationEntry {
+    /// Link distance the entry was measured at.
+    pub distance: Meters,
+    /// Measured peak envelope amplitude at that distance.
+    pub a_max: f64,
+    /// Measured detector floor amplitude at that distance.
+    pub floor: f64,
+}
+
+/// The per-tag mapping table from link distance to comparator thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationTable {
+    entries: Vec<CalibrationEntry>,
+    gap_db: f64,
+}
+
+impl CalibrationTable {
+    /// Builds a table from measured entries (sorted by distance internally).
+    pub fn new(mut entries: Vec<CalibrationEntry>, gap_db: f64) -> Self {
+        entries.sort_by(|a, b| {
+            a.distance
+                .value()
+                .partial_cmp(&b.distance.value())
+                .expect("finite distances")
+        });
+        CalibrationTable { entries, gap_db }
+    }
+
+    /// Number of entries in the table.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up thresholds for a link distance, interpolating `A_max` and the
+    /// floor between the nearest measured entries (clamped at the ends).
+    pub fn thresholds_for(&self, distance: Meters) -> Option<Thresholds> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        let d = distance.value();
+        let first = self.entries.first().expect("non-empty");
+        let last = self.entries.last().expect("non-empty");
+        let (a_max, floor) = if d <= first.distance.value() {
+            (first.a_max, first.floor)
+        } else if d >= last.distance.value() {
+            (last.a_max, last.floor)
+        } else {
+            let mut result = (last.a_max, last.floor);
+            for w in self.entries.windows(2) {
+                let (e0, e1) = (w[0], w[1]);
+                if d >= e0.distance.value() && d <= e1.distance.value() {
+                    let span = e1.distance.value() - e0.distance.value();
+                    let frac = if span > 0.0 {
+                        (d - e0.distance.value()) / span
+                    } else {
+                        0.0
+                    };
+                    result = (
+                        e0.a_max + frac * (e1.a_max - e0.a_max),
+                        e0.floor + frac * (e1.floor - e0.floor),
+                    );
+                    break;
+                }
+            }
+            result
+        };
+        Some(Thresholds::from_peak(a_max, self.gap_db, floor))
+    }
+}
+
+/// Automatic (AGC-style) calibration: estimates `A_max` and the floor from a
+/// received envelope buffer. `A_max` is the maximum of the buffer; the floor is
+/// estimated as mean + one standard deviation of the lower half of the samples
+/// (i.e. the detector output between peaks).
+pub fn auto_calibrate(envelope: &RealBuffer, gap_db: f64) -> Thresholds {
+    if envelope.is_empty() {
+        return Thresholds {
+            high: f64::MAX,
+            low: f64::MAX / 2.0,
+        };
+    }
+    let a_max = envelope.max();
+    let mut sorted = envelope.samples.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let lower_half = &sorted[..sorted.len().div_ceil(2)];
+    let mean: f64 = lower_half.iter().sum::<f64>() / lower_half.len() as f64;
+    let var: f64 =
+        lower_half.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / lower_half.len() as f64;
+    let floor = (mean + var.sqrt()).max(0.0);
+    // If the floor swallows the peak (no signal present), fall back to a
+    // threshold just below the maximum so the comparator stays quiet.
+    let gap_db = if a_max <= floor * 2.0 { 1.0 } else { gap_db };
+    Thresholds::from_peak(a_max, gap_db, (a_max - floor).min(a_max * 0.5).max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_formula_matches_paper() {
+        // G = 6 dB: U_H is half the peak amplitude in voltage terms? No:
+        // 20*log10(Amax/UH) = 6 -> UH = Amax / 1.995.
+        let t = Thresholds::from_peak(1.0, 6.0, 0.1);
+        assert!((t.high - 0.501).abs() < 1e-3);
+        assert!((t.low - (t.high - 0.1)).abs() < 1e-12);
+        assert!(t.low < t.high);
+    }
+
+    #[test]
+    fn low_threshold_never_collapses_to_zero() {
+        let t = Thresholds::from_peak(1.0, 3.0, 10.0);
+        assert!(t.low > 0.0);
+        assert!(t.low <= t.high);
+    }
+
+    #[test]
+    fn table_interpolates_between_entries() {
+        let table = CalibrationTable::new(
+            vec![
+                CalibrationEntry {
+                    distance: Meters(10.0),
+                    a_max: 1.0,
+                    floor: 0.1,
+                },
+                CalibrationEntry {
+                    distance: Meters(100.0),
+                    a_max: 0.1,
+                    floor: 0.02,
+                },
+            ],
+            3.0,
+        );
+        let mid = table.thresholds_for(Meters(55.0)).unwrap();
+        let near = table.thresholds_for(Meters(10.0)).unwrap();
+        let far = table.thresholds_for(Meters(100.0)).unwrap();
+        assert!(near.high > mid.high && mid.high > far.high);
+        // Clamping outside the measured span.
+        let clamped = table.thresholds_for(Meters(1000.0)).unwrap();
+        assert_eq!(clamped.high, far.high);
+    }
+
+    #[test]
+    fn empty_table_returns_none() {
+        let table = CalibrationTable::new(Vec::new(), 3.0);
+        assert!(table.is_empty());
+        assert!(table.thresholds_for(Meters(10.0)).is_none());
+    }
+
+    #[test]
+    fn auto_calibration_tracks_signal_level() {
+        // A synthetic envelope: low floor with periodic tall peaks.
+        let mut samples = vec![0.05; 1000];
+        for i in (100..1000).step_by(200) {
+            samples[i] = 1.0;
+            samples[i - 1] = 0.8;
+            samples[i + 1] = 0.8;
+        }
+        let env = RealBuffer::new(samples, 50_000.0);
+        let t = auto_calibrate(&env, 3.0);
+        // U_H must sit between the floor and the peak.
+        assert!(t.high > 0.1 && t.high < 1.0, "U_H {}", t.high);
+        assert!(t.low < t.high);
+        // The comparator built from it must fire exactly at the peaks.
+        let cmp = t.comparator();
+        let out = cmp.compare(&env);
+        assert_eq!(out.high_runs().len(), 5);
+    }
+
+    #[test]
+    fn auto_calibration_on_empty_buffer_disables_comparator() {
+        let t = auto_calibrate(&RealBuffer::new(Vec::new(), 1.0), 3.0);
+        assert!(t.high > 1e30);
+    }
+}

@@ -1,0 +1,135 @@
+//! Saiyan demodulator configuration.
+
+use lora_phy::params::LoraParams;
+
+/// Which stages of the receive chain are enabled — the axis of the paper's
+/// ablation study (Fig. 25).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// Vanilla Saiyan (§2): SAW transform, plain envelope detection,
+    /// double-threshold comparator, peak-position decoding.
+    Vanilla,
+    /// Vanilla plus the cyclic-frequency-shifting circuit (§3.1).
+    WithShifting,
+    /// Super Saiyan (§3): shifting plus the correlator (§3.2).
+    Super,
+}
+
+impl Variant {
+    /// All variants in ablation order.
+    pub const ALL: [Variant; 3] = [Variant::Vanilla, Variant::WithShifting, Variant::Super];
+
+    /// Human-readable label used by experiment output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Variant::Vanilla => "Vanilla Saiyan",
+            Variant::WithShifting => "+ Frequency shifting",
+            Variant::Super => "+ Correlation (Super Saiyan)",
+        }
+    }
+
+    /// Whether the cyclic-frequency-shifting circuit is in the chain.
+    pub fn uses_shifting(&self) -> bool {
+        !matches!(self, Variant::Vanilla)
+    }
+
+    /// Whether the correlator is used for symbol decisions.
+    pub fn uses_correlation(&self) -> bool {
+        matches!(self, Variant::Super)
+    }
+}
+
+/// Complete configuration of a Saiyan demodulator instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaiyanConfig {
+    /// LoRa downlink parameters (SF, BW, bits per chirp, carrier).
+    pub lora: LoraParams,
+    /// Which receive-chain variant to use.
+    pub variant: Variant,
+    /// Multiplier over the Nyquist sampling rate used by the voltage sampler;
+    /// the paper settles on 1.6 (i.e. 3.2·BW/2^(SF−K) vs the 2·BW/2^(SF−K)
+    /// minimum).
+    pub sampling_margin: f64,
+    /// Gap (dB) between the measured peak amplitude and the high threshold
+    /// `U_H` (paper §4.1: `G = 20·lg(A_max/U_H)`).
+    pub threshold_gap_db: f64,
+    /// Seed used for any stochastic elements of the receive chain.
+    pub seed: u64,
+}
+
+impl SaiyanConfig {
+    /// The paper's default evaluation setup: SF7, 500 kHz, the given K and
+    /// variant, practical sampling margin 1.6 and a 3 dB threshold gap.
+    pub fn paper_default(lora: LoraParams, variant: Variant) -> Self {
+        SaiyanConfig {
+            lora,
+            variant,
+            sampling_margin: 1.6,
+            threshold_gap_db: 3.0,
+            seed: 0x5A17,
+        }
+    }
+
+    /// The sampler rate in Hz: `sampling_margin * 2 * BW / 2^(SF−K)`.
+    pub fn sampler_rate(&self) -> f64 {
+        self.sampling_margin * self.lora.nyquist_sampling_rate()
+    }
+
+    /// Samples the voltage sampler takes per chirp symbol (may be fractional;
+    /// the decoder works in time, not sample counts).
+    pub fn sampler_samples_per_symbol(&self) -> f64 {
+        self.sampler_rate() * self.lora.symbol_duration()
+    }
+
+    /// Returns a copy with a different variant (used by the ablation bench).
+    pub fn with_variant(mut self, variant: Variant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::params::{Bandwidth, BitsPerChirp, SpreadingFactor};
+
+    fn lora() -> LoraParams {
+        LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz500,
+            BitsPerChirp::new(2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn sampler_rate_matches_paper_rule() {
+        let cfg = SaiyanConfig::paper_default(lora(), Variant::Super);
+        // 3.2 * 500 kHz / 2^(7-2) = 50 kHz.
+        assert!((cfg.sampler_rate() - 50_000.0).abs() < 1e-6);
+        assert!((cfg.sampler_samples_per_symbol() - 12.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variant_capabilities() {
+        assert!(!Variant::Vanilla.uses_shifting());
+        assert!(Variant::WithShifting.uses_shifting());
+        assert!(!Variant::WithShifting.uses_correlation());
+        assert!(Variant::Super.uses_correlation());
+        assert_eq!(Variant::ALL.len(), 3);
+    }
+
+    #[test]
+    fn builders() {
+        let cfg = SaiyanConfig::paper_default(lora(), Variant::Vanilla)
+            .with_variant(Variant::Super)
+            .with_seed(9);
+        assert_eq!(cfg.variant, Variant::Super);
+        assert_eq!(cfg.seed, 9);
+    }
+}

@@ -1,0 +1,329 @@
+//! Peak-position decoding (paper §2.2, Fig. 8).
+//!
+//! After the comparator and the low-rate sampler, each chirp symbol is
+//! represented by a short run of high samples whose *tail* marks the time at
+//! which the SAW-transformed amplitude peaked. The decoder:
+//!
+//! 1. finds the LoRa preamble as a train of peaks spaced one symbol time
+//!    apart (ten identical up-chirps all peak at their symbol boundary);
+//! 2. waits out the 2.25 sync symbols;
+//! 3. for every payload symbol window, locates the tail of the last high run
+//!    and maps the peak time back to a symbol value.
+
+use lora_phy::downlink::symbol_from_peak_time;
+use lora_phy::params::{LoraParams, PREAMBLE_UPCHIRPS, SYNC_SYMBOLS};
+
+use crate::error::SaiyanError;
+use crate::sampler::SampledStream;
+
+/// Timing information recovered from the preamble.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PreambleTiming {
+    /// Estimated time (seconds from the start of the stream) at which the
+    /// preamble's first symbol begins.
+    pub preamble_start: f64,
+    /// Estimated time at which the payload's first symbol begins.
+    pub payload_start: f64,
+    /// Number of regular peaks that supported the estimate.
+    pub supporting_peaks: usize,
+}
+
+/// Result of decoding one symbol window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SymbolPeak {
+    /// Decided symbol value.
+    pub symbol: u32,
+    /// Peak time within the symbol window (seconds from window start), if a
+    /// peak was found.
+    pub peak_time: Option<f64>,
+}
+
+/// The peak-position decoder.
+#[derive(Debug, Clone)]
+pub struct PeakDecoder {
+    params: LoraParams,
+    /// Fraction of a symbol time by which consecutive preamble peaks may
+    /// deviate from the nominal spacing and still count as regular.
+    spacing_tolerance: f64,
+    /// Minimum number of regularly spaced peaks required to declare a preamble.
+    min_preamble_peaks: usize,
+}
+
+impl PeakDecoder {
+    /// Creates a decoder for the given PHY parameters.
+    pub fn new(params: LoraParams) -> Self {
+        PeakDecoder {
+            params,
+            spacing_tolerance: 0.25,
+            min_preamble_peaks: 5,
+        }
+    }
+
+    /// The PHY parameters in use.
+    pub fn params(&self) -> &LoraParams {
+        &self.params
+    }
+
+    /// Extracts the times of falling edges (tails of high runs) from the
+    /// sampled stream.
+    pub fn falling_edges(&self, stream: &SampledStream) -> Vec<f64> {
+        let mut edges = Vec::new();
+        let mut prev = false;
+        for (i, &b) in stream.bits.iter().enumerate() {
+            if prev && !b {
+                edges.push(stream.time_of(i.saturating_sub(1)));
+            }
+            prev = b;
+        }
+        if prev {
+            // Stream ends while high: treat the last sample as the tail.
+            edges.push(stream.time_of(stream.len().saturating_sub(1)));
+        }
+        edges
+    }
+
+    /// Detects the preamble: the longest train of falling edges spaced one
+    /// symbol time apart (within tolerance). Returns the recovered timing.
+    pub fn detect_preamble(&self, stream: &SampledStream) -> Result<PreambleTiming, SaiyanError> {
+        let t_sym = self.params.symbol_duration();
+        let tol = self.spacing_tolerance * t_sym;
+        let edges = self.falling_edges(stream);
+        if edges.len() < self.min_preamble_peaks {
+            return Err(SaiyanError::PreambleNotFound);
+        }
+
+        // Longest run of consecutive edges with spacing ~ t_sym. Edges caused
+        // by noise in between break the run only if they are not part of a
+        // regular continuation, so we greedily extend from each start.
+        let mut best: Option<(usize, usize)> = None; // (start index, count)
+        for start in 0..edges.len() {
+            let mut count = 1usize;
+            let mut last = edges[start];
+            let mut idx = start + 1;
+            while idx < edges.len() {
+                let dt = edges[idx] - last;
+                if (dt - t_sym).abs() <= tol {
+                    count += 1;
+                    last = edges[idx];
+                    idx += 1;
+                } else if dt < t_sym - tol {
+                    // An extra (noise) edge within the symbol: skip it.
+                    idx += 1;
+                } else {
+                    break;
+                }
+            }
+            if best.map(|(_, c)| count > c).unwrap_or(true) {
+                best = Some((start, count));
+            }
+        }
+        let (start_idx, count) = best.expect("edges is non-empty");
+        if count < self.min_preamble_peaks {
+            return Err(SaiyanError::PreambleNotFound);
+        }
+
+        // The first edge of the train is the peak of the first preamble
+        // up-chirp, which lands at the end of that symbol.
+        let first_peak = edges[start_idx];
+        let preamble_start = first_peak - t_sym;
+        let payload_start =
+            preamble_start + (PREAMBLE_UPCHIRPS as f64 + SYNC_SYMBOLS) * t_sym;
+        Ok(PreambleTiming {
+            preamble_start,
+            payload_start,
+            supporting_peaks: count,
+        })
+    }
+
+    /// Decodes one symbol whose window starts at `window_start` (seconds from
+    /// the start of the stream). Returns the decision and the peak time found.
+    pub fn decode_symbol(&self, stream: &SampledStream, window_start: f64) -> SymbolPeak {
+        let t_sym = self.params.symbol_duration();
+        let window_end = window_start + t_sym;
+        // Find the last high sample within the window.
+        let mut last_high: Option<f64> = None;
+        for (t, b) in stream.iter_timed() {
+            if t < window_start {
+                continue;
+            }
+            if t >= window_end {
+                break;
+            }
+            if b {
+                last_high = Some(t);
+            }
+        }
+        match last_high {
+            Some(t) => {
+                let peak_time = (t - window_start).clamp(0.0, t_sym);
+                SymbolPeak {
+                    symbol: symbol_from_peak_time(peak_time, &self.params),
+                    peak_time: Some(peak_time),
+                }
+            }
+            None => SymbolPeak {
+                symbol: 0,
+                peak_time: None,
+            },
+        }
+    }
+
+    /// Decodes `n_symbols` payload symbols starting at `payload_start`.
+    pub fn decode_payload(
+        &self,
+        stream: &SampledStream,
+        payload_start: f64,
+        n_symbols: usize,
+    ) -> Vec<SymbolPeak> {
+        let t_sym = self.params.symbol_duration();
+        (0..n_symbols)
+            .map(|i| self.decode_symbol(stream, payload_start + i as f64 * t_sym))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::params::{Bandwidth, BitsPerChirp, SpreadingFactor};
+
+    fn params() -> LoraParams {
+        LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz500,
+            BitsPerChirp::new(2).unwrap(),
+        )
+    }
+
+    /// Builds a synthetic sampled stream with high pulses at the given times.
+    fn stream_with_peaks(peaks: &[f64], rate: f64, duration: f64) -> SampledStream {
+        let n = (duration * rate) as usize;
+        let pulse_width = 2.0 / rate;
+        let bits = (0..n)
+            .map(|i| {
+                let t = i as f64 / rate;
+                peaks.iter().any(|&p| t > p - pulse_width && t <= p)
+            })
+            .collect();
+        SampledStream {
+            bits,
+            sample_rate: rate,
+            start_time: 0.0,
+        }
+    }
+
+    #[test]
+    fn falling_edges_are_extracted() {
+        let s = SampledStream {
+            bits: vec![false, true, true, false, false, true, false, true, true],
+            sample_rate: 10.0,
+            start_time: 0.0,
+        };
+        let d = PeakDecoder::new(params());
+        let edges = d.falling_edges(&s);
+        assert_eq!(edges.len(), 3);
+        assert!((edges[0] - 0.2).abs() < 1e-9);
+        assert!((edges[1] - 0.5).abs() < 1e-9);
+        assert!((edges[2] - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preamble_detection_from_regular_peaks() {
+        let p = params();
+        let t_sym = p.symbol_duration();
+        let rate = 50_000.0;
+        // Ten preamble peaks at the end of each preamble symbol.
+        let peaks: Vec<f64> = (1..=10).map(|i| i as f64 * t_sym).collect();
+        let stream = stream_with_peaks(&peaks, rate, 16.0 * t_sym);
+        let d = PeakDecoder::new(p);
+        let timing = d.detect_preamble(&stream).unwrap();
+        assert!(timing.supporting_peaks >= 9);
+        assert!(timing.preamble_start.abs() < t_sym * 0.1);
+        let expected_payload = (10.0 + 2.25) * t_sym;
+        assert!(
+            (timing.payload_start - expected_payload).abs() < t_sym * 0.1,
+            "payload start {} vs {}",
+            timing.payload_start,
+            expected_payload
+        );
+    }
+
+    #[test]
+    fn preamble_detection_tolerates_a_noise_edge() {
+        let p = params();
+        let t_sym = p.symbol_duration();
+        let rate = 50_000.0;
+        let mut peaks: Vec<f64> = (1..=10).map(|i| i as f64 * t_sym).collect();
+        // A spurious noise peak in the middle of symbol 4.
+        peaks.push(3.4 * t_sym);
+        peaks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let stream = stream_with_peaks(&peaks, rate, 16.0 * t_sym);
+        let d = PeakDecoder::new(p);
+        let timing = d.detect_preamble(&stream).unwrap();
+        assert!(timing.preamble_start.abs() < t_sym * 0.1);
+    }
+
+    #[test]
+    fn no_preamble_in_noise_only_stream() {
+        let p = params();
+        let rate = 50_000.0;
+        // Irregularly spaced pulses.
+        let peaks = [0.0011, 0.0023, 0.0041, 0.0087, 0.0113];
+        let stream = stream_with_peaks(&peaks, rate, 0.02);
+        let d = PeakDecoder::new(p);
+        assert!(matches!(
+            d.detect_preamble(&stream),
+            Err(SaiyanError::PreambleNotFound)
+        ));
+    }
+
+    #[test]
+    fn symbol_decoding_from_peak_positions() {
+        let p = params();
+        let t_sym = p.symbol_duration();
+        let rate = 50_000.0;
+        // K=2: symbol s peaks at (1 - s/4) * t_sym into its window.
+        let window_start = 0.0;
+        for sym in 0..4u32 {
+            let peak = window_start + (1.0 - sym as f64 / 4.0) * t_sym - 1e-6;
+            let stream = stream_with_peaks(&[peak.max(1.0 / rate)], rate, t_sym * 1.5);
+            let d = PeakDecoder::new(p);
+            let decision = d.decode_symbol(&stream, window_start);
+            assert_eq!(decision.symbol, sym, "peak at {peak}");
+            assert!(decision.peak_time.is_some());
+        }
+    }
+
+    #[test]
+    fn missing_peak_yields_erasure_symbol_zero() {
+        let p = params();
+        let stream = SampledStream {
+            bits: vec![false; 100],
+            sample_rate: 50_000.0,
+            start_time: 0.0,
+        };
+        let d = PeakDecoder::new(p);
+        let decision = d.decode_symbol(&stream, 0.0);
+        assert_eq!(decision.symbol, 0);
+        assert!(decision.peak_time.is_none());
+    }
+
+    #[test]
+    fn payload_decoding_over_multiple_windows() {
+        let p = params();
+        let t_sym = p.symbol_duration();
+        let rate = 50_000.0;
+        let payload_start = 2.0 * t_sym;
+        let symbols = [0u32, 1, 2, 3, 2, 1];
+        let peaks: Vec<f64> = symbols
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| payload_start + i as f64 * t_sym + (1.0 - s as f64 / 4.0) * t_sym - 1e-6)
+            .collect();
+        let stream = stream_with_peaks(&peaks, rate, payload_start + 8.0 * t_sym);
+        let d = PeakDecoder::new(p);
+        let decisions = d.decode_payload(&stream, payload_start, symbols.len());
+        let decoded: Vec<u32> = decisions.iter().map(|d| d.symbol).collect();
+        assert_eq!(decoded, symbols);
+    }
+}

@@ -1,0 +1,335 @@
+//! The complete Saiyan demodulator: analog front end, comparator, sampler,
+//! and peak-position (or correlation) decoding.
+//!
+//! This is the waveform-level counterpart of the hardware in paper Fig. 12.
+//! It consumes the complex-baseband RF waveform delivered by the channel
+//! model and produces decoded downlink symbols, with or without knowledge of
+//! the packet's timing (the latter exercising preamble detection).
+
+use analog::signal::RealBuffer;
+use lora_phy::downlink::symbols_to_bytes;
+use lora_phy::iq::SampleBuffer;
+use lora_phy::params::BitsPerChirp;
+
+use crate::calibration::{auto_calibrate, Thresholds};
+use crate::config::SaiyanConfig;
+use crate::correlator::Correlator;
+use crate::decoder::{PeakDecoder, PreambleTiming};
+use crate::error::SaiyanError;
+use crate::frontend::Frontend;
+use crate::sampler::VoltageSampler;
+
+/// The result of demodulating a downlink packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DemodResult {
+    /// Decoded payload symbols.
+    pub symbols: Vec<u32>,
+    /// Per-symbol peak time within its window (peak decoding) if available.
+    pub peak_times: Vec<Option<f64>>,
+    /// Per-symbol correlation scores (correlation decoding) if available.
+    pub correlation_scores: Vec<f64>,
+    /// Time (seconds from the start of the capture) at which the payload began.
+    pub payload_start_time: f64,
+    /// Number of regular preamble peaks that supported timing recovery
+    /// (0 when the caller supplied the timing).
+    pub preamble_peaks: usize,
+    /// The comparator thresholds used.
+    pub thresholds: Thresholds,
+}
+
+impl DemodResult {
+    /// Unpacks the decoded symbols into payload bytes.
+    pub fn to_bytes(&self, k: BitsPerChirp, payload_len: usize) -> Vec<u8> {
+        symbols_to_bytes(&self.symbols, k, payload_len)
+    }
+}
+
+/// The Saiyan demodulator.
+#[derive(Debug, Clone)]
+pub struct SaiyanDemodulator {
+    config: SaiyanConfig,
+    frontend: Frontend,
+    sampler: VoltageSampler,
+    decoder: PeakDecoder,
+    correlator: Option<Correlator>,
+}
+
+impl SaiyanDemodulator {
+    /// Builds a demodulator for the given configuration.
+    pub fn new(config: SaiyanConfig) -> Self {
+        let frontend = Frontend::paper(&config);
+        let sampler = VoltageSampler::practical(&config.lora, config.sampling_margin);
+        let decoder = PeakDecoder::new(config.lora);
+        let correlator = if config.variant.uses_correlation() {
+            Some(Correlator::from_config(&config))
+        } else {
+            None
+        };
+        SaiyanDemodulator {
+            config,
+            frontend,
+            sampler,
+            decoder,
+            correlator,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SaiyanConfig {
+        &self.config
+    }
+
+    /// Replaces the analog front end (e.g. to inject a temperature-shifted SAW
+    /// filter for the Fig. 24 experiment).
+    pub fn with_frontend(mut self, frontend: Frontend) -> Self {
+        self.frontend = frontend;
+        self
+    }
+
+    /// Runs only the analog front end, returning the detected envelope.
+    pub fn process_envelope(&self, rf: &SampleBuffer) -> RealBuffer {
+        self.frontend.process(rf)
+    }
+
+    /// Demodulates a packet whose payload starts at a known waveform sample
+    /// index (ground-truth timing from the modulator). This isolates symbol
+    /// decisions from preamble-detection errors and is what the BER
+    /// micro-benchmarks use.
+    pub fn demodulate_aligned(
+        &self,
+        rf: &SampleBuffer,
+        payload_start_sample: usize,
+        n_symbols: usize,
+    ) -> Result<DemodResult, SaiyanError> {
+        let needed = payload_start_sample + n_symbols * self.config.lora.samples_per_symbol();
+        if rf.len() < needed {
+            return Err(SaiyanError::BufferTooShort {
+                needed,
+                got: rf.len(),
+            });
+        }
+        let envelope = self.frontend.process(rf);
+        let payload_start_time = payload_start_sample as f64 / rf.sample_rate;
+        self.decode_from_envelope(&envelope, payload_start_time, n_symbols, 0)
+    }
+
+    /// Demodulates a packet with no prior timing knowledge: detects the
+    /// preamble from the comparator output, waits out the sync symbols, and
+    /// decodes `n_symbols` of payload.
+    pub fn demodulate(
+        &self,
+        rf: &SampleBuffer,
+        n_symbols: usize,
+    ) -> Result<DemodResult, SaiyanError> {
+        let envelope = self.frontend.process(rf);
+        let thresholds = auto_calibrate(&envelope, self.config.threshold_gap_db);
+        let binary = thresholds.comparator().compare(&envelope);
+        let sampled = self.sampler.sample_binary(&binary);
+        let timing: PreambleTiming = self.decoder.detect_preamble(&sampled)?;
+        let available = ((envelope.duration() - timing.payload_start)
+            / self.config.lora.symbol_duration())
+        .floor()
+        .max(0.0) as usize;
+        if available < n_symbols {
+            return Err(SaiyanError::PayloadTruncated {
+                requested: n_symbols,
+                available,
+            });
+        }
+        self.decode_from_envelope(
+            &envelope,
+            timing.payload_start,
+            n_symbols,
+            timing.supporting_peaks,
+        )
+    }
+
+    /// Packet detection only (the capability PLoRa and Aloba are limited to,
+    /// used for the Fig. 21 comparison): returns `true` when the receive chain
+    /// finds a LoRa packet in the capture.
+    pub fn detect_packet(&self, rf: &SampleBuffer) -> bool {
+        let envelope = self.frontend.process(rf);
+        let thresholds = auto_calibrate(&envelope, self.config.threshold_gap_db);
+        let binary = thresholds.comparator().compare(&envelope);
+        let sampled = self.sampler.sample_binary(&binary);
+        if self.decoder.detect_preamble(&sampled).is_ok() {
+            return true;
+        }
+        // Super Saiyan can additionally fall back to the correlator.
+        if let Some(correlator) = &self.correlator {
+            let env_sampled = self.sampler.sample_envelope(&envelope);
+            let score =
+                correlator.detect_score(&env_sampled, self.config.lora.symbol_duration());
+            return score > 0.85;
+        }
+        false
+    }
+
+    /// Shared decoding path once an envelope and payload timing are known.
+    fn decode_from_envelope(
+        &self,
+        envelope: &RealBuffer,
+        payload_start_time: f64,
+        n_symbols: usize,
+        preamble_peaks: usize,
+    ) -> Result<DemodResult, SaiyanError> {
+        let thresholds = auto_calibrate(envelope, self.config.threshold_gap_db);
+        let binary = thresholds.comparator().compare(envelope);
+        let sampled = self.sampler.sample_binary(&binary);
+        let peak_decisions = self
+            .decoder
+            .decode_payload(&sampled, payload_start_time, n_symbols);
+
+        let (symbols, correlation_scores) = if let Some(correlator) = &self.correlator {
+            let env_sampled = self.sampler.sample_envelope(envelope);
+            let decisions = correlator.decode_payload(
+                &env_sampled,
+                payload_start_time,
+                self.config.lora.symbol_duration(),
+                n_symbols,
+            );
+            (
+                decisions.iter().map(|(s, _)| *s).collect::<Vec<u32>>(),
+                decisions.iter().map(|(_, c)| *c).collect::<Vec<f64>>(),
+            )
+        } else {
+            (
+                peak_decisions.iter().map(|d| d.symbol).collect(),
+                Vec::new(),
+            )
+        };
+
+        Ok(DemodResult {
+            symbols,
+            peak_times: peak_decisions.iter().map(|d| d.peak_time).collect(),
+            correlation_scores,
+            payload_start_time,
+            preamble_peaks,
+            thresholds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use lora_phy::modulator::{Alphabet, Modulator};
+    use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+    use rfsim::channel::dbm_to_buffer_power;
+    use rfsim::noise::AwgnSource;
+    use rfsim::units::Dbm;
+
+    fn config(variant: Variant) -> SaiyanConfig {
+        let lora = LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz500,
+            BitsPerChirp::new(2).unwrap(),
+        )
+        .with_oversampling(8);
+        SaiyanConfig::paper_default(lora, variant)
+    }
+
+    /// Modulates a packet and scales it to the requested receive power, with
+    /// optional AWGN at the given SNR-equivalent noise power (dBm).
+    fn received_packet(
+        cfg: &SaiyanConfig,
+        symbols: &[u32],
+        rx_power_dbm: f64,
+        noise_power_dbm: Option<f64>,
+    ) -> (SampleBuffer, usize) {
+        let m = Modulator::new(cfg.lora);
+        let (wave, layout) = m
+            .packet_with_guard(symbols, Alphabet::Downlink, 2)
+            .unwrap();
+        let target = dbm_to_buffer_power(Dbm(rx_power_dbm));
+        let mut rx = wave.scaled((target / 1.0).sqrt());
+        if let Some(np) = noise_power_dbm {
+            let mut awgn = AwgnSource::new(0xBEEF);
+            awgn.add_to(&mut rx, dbm_to_buffer_power(Dbm(np)));
+        }
+        (rx, layout.payload_start)
+    }
+
+    #[test]
+    fn aligned_round_trip_all_variants_strong_signal() {
+        let symbols = vec![0u32, 1, 2, 3, 3, 2, 1, 0, 2];
+        for variant in Variant::ALL {
+            let cfg = config(variant);
+            let demod = SaiyanDemodulator::new(cfg.clone());
+            let (rx, payload_start) = received_packet(&cfg, &symbols, -45.0, None);
+            let result = demod
+                .demodulate_aligned(&rx, payload_start, symbols.len())
+                .unwrap();
+            assert_eq!(result.symbols, symbols, "variant {variant:?}");
+        }
+    }
+
+    #[test]
+    fn blind_round_trip_with_preamble_detection() {
+        let symbols = vec![3u32, 1, 0, 2, 1, 1, 3, 0];
+        let cfg = config(Variant::WithShifting);
+        let demod = SaiyanDemodulator::new(cfg.clone());
+        let (rx, _) = received_packet(&cfg, &symbols, -50.0, None);
+        let result = demod.demodulate(&rx, symbols.len()).unwrap();
+        assert_eq!(result.symbols, symbols);
+        assert!(result.preamble_peaks >= 5);
+    }
+
+    #[test]
+    fn round_trip_survives_moderate_noise() {
+        let symbols = vec![2u32, 0, 3, 1, 2, 2, 0, 3];
+        let cfg = config(Variant::Super);
+        let demod = SaiyanDemodulator::new(cfg.clone());
+        // Signal -55 dBm, noise -75 dBm: 20 dB SNR.
+        let (rx, payload_start) = received_packet(&cfg, &symbols, -55.0, Some(-75.0));
+        let result = demod
+            .demodulate_aligned(&rx, payload_start, symbols.len())
+            .unwrap();
+        assert_eq!(result.symbols, symbols);
+    }
+
+    #[test]
+    fn detection_fails_on_noise_only_capture() {
+        let cfg = config(Variant::Vanilla);
+        let demod = SaiyanDemodulator::new(cfg.clone());
+        let mut noise = SampleBuffer::zeros(40_000, cfg.lora.sample_rate());
+        let mut awgn = AwgnSource::new(7);
+        awgn.add_to(&mut noise, dbm_to_buffer_power(Dbm(-70.0)));
+        assert!(!demod.detect_packet(&noise));
+        assert!(demod.demodulate(&noise, 8).is_err());
+    }
+
+    #[test]
+    fn detection_succeeds_on_clean_packet() {
+        let cfg = config(Variant::Super);
+        let demod = SaiyanDemodulator::new(cfg.clone());
+        let (rx, _) = received_packet(&cfg, &[0, 1, 2, 3], -55.0, None);
+        assert!(demod.detect_packet(&rx));
+    }
+
+    #[test]
+    fn byte_round_trip_through_demod_result() {
+        let cfg = config(Variant::WithShifting);
+        let k = cfg.lora.bits_per_chirp;
+        let payload: Vec<u8> = vec![0xA5, 0x3C, 0x0F];
+        let symbols = lora_phy::downlink::bytes_to_symbols(&payload, k);
+        let demod = SaiyanDemodulator::new(cfg.clone());
+        let (rx, payload_start) = received_packet(&cfg, &symbols, -45.0, None);
+        let result = demod
+            .demodulate_aligned(&rx, payload_start, symbols.len())
+            .unwrap();
+        assert_eq!(result.to_bytes(k, payload.len()), payload);
+    }
+
+    #[test]
+    fn buffer_too_short_is_reported() {
+        let cfg = config(Variant::Vanilla);
+        let demod = SaiyanDemodulator::new(cfg.clone());
+        let rx = SampleBuffer::zeros(100, cfg.lora.sample_rate());
+        assert!(matches!(
+            demod.demodulate_aligned(&rx, 0, 8),
+            Err(SaiyanError::BufferTooShort { .. })
+        ));
+    }
+}

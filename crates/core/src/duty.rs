@@ -1,0 +1,155 @@
+//! Duty-cycled listening schedule.
+//!
+//! Table 2's power figures assume 1 % duty cycling "as in LoRa": the tag only
+//! powers its receive chain during agreed listening windows, and the access
+//! point must transmit its feedback inside one of them. This module models
+//! that schedule, the probability of catching an unsolicited downlink, and
+//! the resulting average power draw — closing the loop between the power
+//! budget and the MAC behaviour.
+
+use lora_phy::params::LoraParams;
+
+use crate::power::TagPowerModel;
+
+/// A periodic listening schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DutyCycleSchedule {
+    /// Length of one schedule period in seconds.
+    pub period_s: f64,
+    /// Length of the listening window at the start of each period, seconds.
+    pub window_s: f64,
+}
+
+impl DutyCycleSchedule {
+    /// Creates a schedule; the window is clamped to the period.
+    pub fn new(period_s: f64, window_s: f64) -> Self {
+        let period_s = period_s.max(1e-6);
+        DutyCycleSchedule {
+            period_s,
+            window_s: window_s.clamp(0.0, period_s),
+        }
+    }
+
+    /// The paper's operating point: a 1 % duty cycle with windows long enough
+    /// for one downlink command packet (plus margin) at the given PHY
+    /// parameters.
+    pub fn one_percent(params: &LoraParams) -> Self {
+        // A command packet is ~20 payload symbols plus preamble and sync.
+        let window = 2.0 * params.packet_duration(20);
+        DutyCycleSchedule::new(window / 0.01, window)
+    }
+
+    /// The duty cycle (fraction of time the receiver is on).
+    pub fn duty_cycle(&self) -> f64 {
+        self.window_s / self.period_s
+    }
+
+    /// Whether the receiver is listening at time `t` (seconds).
+    pub fn is_listening(&self, t: f64) -> bool {
+        t.rem_euclid(self.period_s) < self.window_s
+    }
+
+    /// The start time of the next listening window at or after `t`.
+    pub fn next_window(&self, t: f64) -> f64 {
+        let phase = t.rem_euclid(self.period_s);
+        if phase < self.window_s {
+            t
+        } else {
+            t + (self.period_s - phase)
+        }
+    }
+
+    /// Worst-case latency (seconds) until a downlink command can be delivered
+    /// if the access point waits for the next window.
+    pub fn worst_case_latency(&self) -> f64 {
+        self.period_s - self.window_s
+    }
+
+    /// Probability that an *unsolicited* downlink packet of `packet_s` seconds,
+    /// transmitted at a uniformly random time, falls entirely inside a
+    /// listening window (an AP that knows the schedule always hits it).
+    pub fn unsolicited_hit_probability(&self, packet_s: f64) -> f64 {
+        let usable = (self.window_s - packet_s).max(0.0);
+        (usable / self.period_s).clamp(0.0, 1.0)
+    }
+
+    /// Average receive-chain power (µW) under this schedule for the given tag
+    /// power model (whose Table-2 numbers are referenced to a 1 % duty cycle).
+    pub fn average_power_uw(&self, model: &TagPowerModel) -> f64 {
+        let full_power_uw = model.budget.total_uw() / 0.01;
+        full_power_uw * self.duty_cycle() + crate::power::POWER_MANAGEMENT_UW
+    }
+
+    /// Whether the paper's solar harvester (≈39.4 µW average) can sustain this
+    /// schedule indefinitely.
+    pub fn sustainable(&self, model: &TagPowerModel) -> bool {
+        self.average_power_uw(model) <= crate::power::HARVESTER_AVERAGE_UW
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::params::{Bandwidth, BitsPerChirp, SpreadingFactor};
+
+    fn params() -> LoraParams {
+        LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz500,
+            BitsPerChirp::new(2).unwrap(),
+        )
+    }
+
+    #[test]
+    fn one_percent_schedule_has_one_percent_duty_cycle() {
+        let s = DutyCycleSchedule::one_percent(&params());
+        assert!((s.duty_cycle() - 0.01).abs() < 1e-9);
+        // The window must fit at least one command packet.
+        assert!(s.window_s >= params().packet_duration(20));
+    }
+
+    #[test]
+    fn listening_windows_repeat_periodically() {
+        let s = DutyCycleSchedule::new(1.0, 0.1);
+        assert!(s.is_listening(0.05));
+        assert!(!s.is_listening(0.5));
+        assert!(s.is_listening(3.02));
+        assert!((s.next_window(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(s.next_window(0.05), 0.05);
+        assert!((s.worst_case_latency() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsolicited_hit_probability_shrinks_with_packet_length() {
+        let s = DutyCycleSchedule::new(1.0, 0.1);
+        let short = s.unsolicited_hit_probability(0.01);
+        let long = s.unsolicited_hit_probability(0.09);
+        assert!(short > long);
+        assert_eq!(s.unsolicited_hit_probability(0.2), 0.0);
+        assert!(short < s.duty_cycle());
+    }
+
+    #[test]
+    fn sparser_listening_reaches_harvester_sustainability() {
+        let asic = TagPowerModel::asic();
+        let pcb = TagPowerModel::pcb();
+        let one_percent = DutyCycleSchedule::one_percent(&params());
+        // At the reference 1 % schedule the ASIC still draws more than the
+        // ~39 µW harvester average once power management is included…
+        let p1 = one_percent.average_power_uw(&asic);
+        assert!(p1 > crate::power::HARVESTER_AVERAGE_UW, "power {p1}");
+        // …but listening ten times less often brings it under budget, while
+        // the PCB prototype stays above it (the paper's argument for the ASIC).
+        let sparse = DutyCycleSchedule::new(one_percent.period_s * 10.0, one_percent.window_s);
+        assert!(sparse.sustainable(&asic), "power {}", sparse.average_power_uw(&asic));
+        assert!(!sparse.sustainable(&pcb));
+        // Duty cycling always helps: power is monotone in the duty cycle.
+        assert!(sparse.average_power_uw(&asic) < p1);
+    }
+
+    #[test]
+    fn window_is_clamped_to_period() {
+        let s = DutyCycleSchedule::new(1.0, 2.0);
+        assert_eq!(s.duty_cycle(), 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for the Saiyan demodulator.
+
+use std::fmt;
+
+/// Errors produced by the Saiyan receive chain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SaiyanError {
+    /// No preamble (regular train of amplitude peaks) was found.
+    PreambleNotFound,
+    /// The provided waveform is too short for the requested operation.
+    BufferTooShort {
+        /// Samples required.
+        needed: usize,
+        /// Samples available.
+        got: usize,
+    },
+    /// The payload window extends past the end of the captured waveform.
+    PayloadTruncated {
+        /// Symbols requested.
+        requested: usize,
+        /// Symbols actually available.
+        available: usize,
+    },
+    /// A PHY-layer error bubbled up from the `lora-phy` crate.
+    Phy(lora_phy::PhyError),
+}
+
+impl fmt::Display for SaiyanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaiyanError::PreambleNotFound => write!(f, "no LoRa preamble found"),
+            SaiyanError::BufferTooShort { needed, got } => {
+                write!(f, "waveform too short: needed {needed} samples, got {got}")
+            }
+            SaiyanError::PayloadTruncated {
+                requested,
+                available,
+            } => write!(
+                f,
+                "payload truncated: requested {requested} symbols, only {available} available"
+            ),
+            SaiyanError::Phy(e) => write!(f, "PHY error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SaiyanError {}
+
+impl From<lora_phy::PhyError> for SaiyanError {
+    fn from(e: lora_phy::PhyError) -> Self {
+        SaiyanError::Phy(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        assert!(SaiyanError::PreambleNotFound.to_string().contains("preamble"));
+        let e: SaiyanError = lora_phy::PhyError::PreambleNotFound.into();
+        assert!(matches!(e, SaiyanError::Phy(_)));
+        let b: Box<dyn std::error::Error> = Box::new(e);
+        assert!(!b.to_string().is_empty());
+    }
+}

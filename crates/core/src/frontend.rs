@@ -1,0 +1,147 @@
+//! The analog receive front end, assembled per variant (paper Fig. 12).
+//!
+//! The incident RF signal passes through the SAW filter (frequency→amplitude
+//! transformation), the common-gate LNA, and either the plain envelope
+//! detector (vanilla Saiyan) or the cyclic-frequency-shifting envelope
+//! detector (§3.1), producing the real-valued envelope the comparator and
+//! sampler then digitise.
+
+use analog::envelope::EnvelopeDetector;
+use analog::lna::Lna;
+use analog::saw::SawFilter;
+use analog::shifting::{CyclicFrequencyShifter, ShiftingConfig};
+use analog::signal::RealBuffer;
+use lora_phy::iq::SampleBuffer;
+use rfsim::units::{Celsius, Hertz};
+
+use crate::config::{SaiyanConfig, Variant};
+
+/// The assembled analog front end.
+#[derive(Debug, Clone)]
+pub struct Frontend {
+    /// The SAW filter performing the frequency→amplitude transformation.
+    pub saw: SawFilter,
+    /// The common-gate LNA between the SAW filter and the detector.
+    pub lna: Lna,
+    /// The envelope-detection stage (plain or with cyclic-frequency shifting).
+    pub shifter: CyclicFrequencyShifter,
+    /// Which variant's signal path to use.
+    pub variant: Variant,
+    /// Absolute carrier frequency the complex-baseband input is referenced to.
+    pub carrier: Hertz,
+}
+
+impl Frontend {
+    /// Builds the paper's front end for a configuration.
+    pub fn paper(config: &SaiyanConfig) -> Self {
+        let bw = Hertz(config.lora.bw.hz());
+        let detector = EnvelopeDetector::default().with_seed(config.seed ^ 0xD37E);
+        Frontend {
+            saw: SawFilter::paper_b3790(),
+            lna: Lna::paper_cglna(bw),
+            shifter: CyclicFrequencyShifter::new(
+                ShiftingConfig::for_bandwidth(config.lora.bw.hz()),
+                detector,
+            ),
+            variant: config.variant,
+            carrier: Hertz(config.lora.carrier_hz),
+        }
+    }
+
+    /// Builds an idealised front end (noise-free detector) used to generate
+    /// correlation templates and reference envelopes.
+    pub fn reference(config: &SaiyanConfig) -> Self {
+        let mut fe = Frontend::paper(config);
+        fe.shifter.detector = EnvelopeDetector::ideal();
+        fe
+    }
+
+    /// Returns a copy operating at the given ambient temperature (shifts the
+    /// SAW filter response; Fig. 24).
+    pub fn at_temperature(mut self, temperature: Celsius) -> Self {
+        self.saw = self.saw.with_temperature(temperature);
+        self
+    }
+
+    /// Processes an RF complex-baseband buffer into the detected envelope.
+    pub fn process(&self, rf: &SampleBuffer) -> RealBuffer {
+        let transformed = self.saw.apply(rf, self.carrier);
+        let amplified = self.lna.amplify(&transformed);
+        if self.variant.uses_shifting() {
+            self.shifter.process(&amplified)
+        } else {
+            self.shifter.process_without_shifting(&amplified)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::chirp::ChirpGenerator;
+    use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+    use rfsim::channel::dbm_to_buffer_power;
+    use rfsim::units::Dbm;
+
+    fn config(variant: Variant) -> SaiyanConfig {
+        let lora = LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz500,
+            BitsPerChirp::new(2).unwrap(),
+        )
+        .with_oversampling(8);
+        SaiyanConfig::paper_default(lora, variant)
+    }
+
+    fn chirp_at(power_dbm: f64, symbol: u32, cfg: &SaiyanConfig) -> SampleBuffer {
+        let gen = ChirpGenerator::new(cfg.lora);
+        let chirp = gen.downlink_chirp(symbol).unwrap();
+        let target = dbm_to_buffer_power(Dbm(power_dbm));
+        let current = chirp.mean_power();
+        chirp.scaled((target / current).sqrt())
+    }
+
+    #[test]
+    fn vanilla_front_end_produces_peaked_envelope() {
+        let cfg = config(Variant::Vanilla);
+        let fe = Frontend::paper(&cfg);
+        let rf = chirp_at(-50.0, 0, &cfg);
+        let env = fe.process(&rf);
+        assert_eq!(env.len(), rf.len());
+        // Symbol 0 peaks at the end of the symbol.
+        let peak = env.argmax();
+        assert!(peak > env.len() * 3 / 4, "peak at {peak}/{}", env.len());
+    }
+
+    #[test]
+    fn shifting_front_end_also_peaks_at_the_right_place() {
+        let cfg = config(Variant::WithShifting);
+        let fe = Frontend::paper(&cfg);
+        let rf = chirp_at(-50.0, 1, &cfg);
+        let env = fe.process(&rf);
+        // Symbol 1 of a K=2 alphabet peaks at 3/4 of the symbol.
+        let peak = env.argmax() as f64 / env.len() as f64;
+        assert!((peak - 0.75).abs() < 0.15, "relative peak at {peak}");
+    }
+
+    #[test]
+    fn reference_front_end_is_deterministic() {
+        let cfg = config(Variant::Super);
+        let fe = Frontend::reference(&cfg);
+        let rf = chirp_at(-45.0, 2, &cfg);
+        let a = fe.process(&rf);
+        let b = fe.process(&rf);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn temperature_changes_envelope_amplitude() {
+        let cfg = config(Variant::Vanilla);
+        let fe_ref = Frontend::reference(&cfg);
+        let fe_cold = Frontend::reference(&cfg).at_temperature(Celsius(-40.0));
+        let rf = chirp_at(-50.0, 0, &cfg);
+        let a = fe_ref.process(&rf).max();
+        let b = fe_cold.process(&rf).max();
+        assert!((a - b).abs() / a > 0.01, "temperature had no visible effect");
+    }
+}

@@ -1,0 +1,54 @@
+//! # saiyan — the low-power LoRa backscatter demodulator
+//!
+//! The paper's primary contribution, reproduced in software:
+//!
+//! * [`config`] — demodulator configuration and the vanilla / shifting /
+//!   super ablation variants;
+//! * [`frontend`] — the analog chain (SAW → LNA → envelope detection, with or
+//!   without cyclic-frequency shifting);
+//! * [`calibration`] — comparator threshold calibration (`U_H`, `U_L`);
+//! * [`agc`] — the automatic-gain-control sketch the paper lists as future
+//!   work, deriving thresholds without the offline distance table;
+//! * [`sampler`] — the MCU's low-rate voltage sampler and Table 1;
+//! * [`decoder`] — preamble detection and peak-position symbol decoding;
+//! * [`correlator`] — the Super Saiyan correlation decoder;
+//! * [`demodulator`] — the assembled end-to-end receiver;
+//! * [`sensitivity`] — calibrated RSS→BER link-abstraction models;
+//! * [`metrics`] — BER / throughput / PRR counting;
+//! * [`power`] — tag-level power accounting (PCB and ASIC budgets).
+
+#![warn(missing_docs)]
+
+pub mod agc;
+pub mod calibration;
+pub mod config;
+pub mod correlator;
+pub mod decoder;
+pub mod demodulator;
+pub mod duty;
+pub mod error;
+pub mod frontend;
+pub mod metrics;
+pub mod power;
+pub mod sampler;
+pub mod sensitivity;
+
+pub use agc::{Agc, AgcConfig};
+pub use calibration::{auto_calibrate, CalibrationEntry, CalibrationTable, Thresholds};
+pub use config::{SaiyanConfig, Variant};
+pub use correlator::Correlator;
+pub use decoder::{PeakDecoder, PreambleTiming, SymbolPeak};
+pub use duty::DutyCycleSchedule;
+pub use demodulator::{DemodResult, SaiyanDemodulator};
+pub use error::SaiyanError;
+pub use frontend::Frontend;
+pub use metrics::{
+    packet_error_rate, throughput_bps, throughput_from_ber, ErrorCounts,
+    DEMODULATION_BER_THRESHOLD,
+};
+pub use power::{TagPowerModel, HARVESTER_AVERAGE_UW, STANDARD_LORA_RECEIVER_MW};
+pub use sampler::{table1_sampling_rates, SampledStream, SamplingRateEntry, VoltageSampler};
+pub use sensitivity::{
+    SensitivityConfig, CONVENTIONAL_ENVELOPE_DETECTOR_SENSITIVITY_DBM,
+    SUPER_SAIYAN_SENSITIVITY_DBM,
+};

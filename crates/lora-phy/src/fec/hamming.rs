@@ -1,0 +1,325 @@
+//! LoRa Hamming forward error correction.
+//!
+//! LoRa protects each nibble (4 data bits) with 1–4 parity bits depending on
+//! the code rate (4/5 … 4/8). CR 4/5 and 4/6 can only detect errors, CR 4/7
+//! can correct one bit, and CR 4/8 (extended Hamming(8,4)) corrects one bit
+//! and detects two. This module implements encode/decode for all four rates,
+//! operating on nibble streams.
+
+use crate::params::CodeRate;
+
+/// Result of decoding one coded nibble.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NibbleDecode {
+    /// The recovered 4-bit data value.
+    pub nibble: u8,
+    /// Whether a single-bit error was corrected.
+    pub corrected: bool,
+    /// Whether an uncorrectable error was detected.
+    pub error_detected: bool,
+}
+
+/// Parity bit p_i computed as XOR of selected data bits (d3 d2 d1 d0, with d0 LSB).
+#[inline]
+fn parity(nibble: u8, mask: u8) -> u8 {
+    ((nibble & mask).count_ones() & 1) as u8
+}
+
+/// Encodes a 4-bit nibble at the given code rate.
+///
+/// Bit layout of the returned code word (LSB-first): data bits d0..d3 occupy
+/// bits 0..=3, parity bits follow in bits 4.. (as many as the rate requires).
+pub fn encode_nibble(nibble: u8, cr: CodeRate) -> u8 {
+    let d = nibble & 0x0F;
+    // Classic Hamming(7,4) parities over (d0,d1,d3), (d0,d2,d3), (d1,d2,d3),
+    // plus an overall parity for the extended (8,4) code.
+    let p0 = parity(d, 0b1011);
+    let p1 = parity(d, 0b1101);
+    let p2 = parity(d, 0b1110);
+    let mut code = d;
+    match cr {
+        CodeRate::Cr45 => {
+            // Single overall parity bit.
+            let p = parity(d, 0b1111);
+            code |= p << 4;
+        }
+        CodeRate::Cr46 => {
+            code |= p0 << 4;
+            code |= p1 << 5;
+        }
+        CodeRate::Cr47 => {
+            code |= p0 << 4;
+            code |= p1 << 5;
+            code |= p2 << 6;
+        }
+        CodeRate::Cr48 => {
+            code |= p0 << 4;
+            code |= p1 << 5;
+            code |= p2 << 6;
+            let overall = parity(code, 0b0111_1111);
+            code |= overall << 7;
+        }
+    }
+    code
+}
+
+/// Decodes one coded nibble at the given code rate.
+pub fn decode_nibble(code: u8, cr: CodeRate) -> NibbleDecode {
+    let d = code & 0x0F;
+    match cr {
+        CodeRate::Cr45 => {
+            let p = (code >> 4) & 1;
+            let expect = parity(d, 0b1111);
+            NibbleDecode {
+                nibble: d,
+                corrected: false,
+                error_detected: p != expect,
+            }
+        }
+        CodeRate::Cr46 => {
+            let p0 = (code >> 4) & 1;
+            let p1 = (code >> 5) & 1;
+            let e0 = p0 != parity(d, 0b1011);
+            let e1 = p1 != parity(d, 0b1101);
+            NibbleDecode {
+                nibble: d,
+                corrected: false,
+                error_detected: e0 || e1,
+            }
+        }
+        CodeRate::Cr47 => decode_hamming74(code),
+        CodeRate::Cr48 => decode_hamming84(code),
+    }
+}
+
+/// Decodes a Hamming(7,4) word with single-bit correction.
+fn decode_hamming74(code: u8) -> NibbleDecode {
+    let d = code & 0x0F;
+    let p0 = (code >> 4) & 1;
+    let p1 = (code >> 5) & 1;
+    let p2 = (code >> 6) & 1;
+    let s0 = p0 ^ parity(d, 0b1011);
+    let s1 = p1 ^ parity(d, 0b1101);
+    let s2 = p2 ^ parity(d, 0b1110);
+    let syndrome = (s2 << 2) | (s1 << 1) | s0;
+    if syndrome == 0 {
+        return NibbleDecode {
+            nibble: d,
+            corrected: false,
+            error_detected: false,
+        };
+    }
+    // Map syndrome to the erroneous bit position within the 7-bit word.
+    // Syndromes: data bits participate in these parity sets:
+    //   d0: p0,p1      -> s = 0b011
+    //   d1: p0,p2      -> s = 0b101
+    //   d2: p1,p2      -> s = 0b110
+    //   d3: p0,p1,p2   -> s = 0b111
+    //   p0 alone       -> s = 0b001
+    //   p1 alone       -> s = 0b010
+    //   p2 alone       -> s = 0b100
+    let bit = match syndrome {
+        0b011 => Some(0),
+        0b101 => Some(1),
+        0b110 => Some(2),
+        0b111 => Some(3),
+        0b001 => Some(4),
+        0b010 => Some(5),
+        0b100 => Some(6),
+        _ => None,
+    };
+    match bit {
+        Some(b) => {
+            let fixed = code ^ (1 << b);
+            NibbleDecode {
+                nibble: fixed & 0x0F,
+                corrected: true,
+                error_detected: false,
+            }
+        }
+        None => NibbleDecode {
+            nibble: d,
+            corrected: false,
+            error_detected: true,
+        },
+    }
+}
+
+/// Decodes an extended Hamming(8,4) word: corrects single-bit errors and
+/// detects (without mis-correcting) double-bit errors.
+fn decode_hamming84(code: u8) -> NibbleDecode {
+    let overall = parity(code, 0b1111_1111);
+    let inner = decode_hamming74(code & 0x7F);
+    let d = code & 0x0F;
+    let p0 = (code >> 4) & 1;
+    let p1 = (code >> 5) & 1;
+    let p2 = (code >> 6) & 1;
+    let s0 = p0 ^ parity(d, 0b1011);
+    let s1 = p1 ^ parity(d, 0b1101);
+    let s2 = p2 ^ parity(d, 0b1110);
+    let syndrome_nonzero = (s0 | s1 | s2) != 0;
+
+    if !syndrome_nonzero && overall == 0 {
+        // No error.
+        NibbleDecode {
+            nibble: d,
+            corrected: false,
+            error_detected: false,
+        }
+    } else if overall == 1 {
+        // Odd number of bit errors; assume single and correct via the inner code.
+        if syndrome_nonzero {
+            NibbleDecode {
+                nibble: inner.nibble,
+                corrected: true,
+                error_detected: inner.error_detected,
+            }
+        } else {
+            // The overall parity bit itself flipped; data is intact.
+            NibbleDecode {
+                nibble: d,
+                corrected: true,
+                error_detected: false,
+            }
+        }
+    } else {
+        // Even parity but non-zero syndrome: double error detected.
+        NibbleDecode {
+            nibble: d,
+            corrected: false,
+            error_detected: true,
+        }
+    }
+}
+
+/// Encodes a byte slice into a vector of coded nibbles (two code words per byte,
+/// low nibble first).
+pub fn encode_bytes(data: &[u8], cr: CodeRate) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    for &b in data {
+        out.push(encode_nibble(b & 0x0F, cr));
+        out.push(encode_nibble(b >> 4, cr));
+    }
+    out
+}
+
+/// Statistics from decoding a coded-nibble stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DecodeStats {
+    /// Number of code words where a single-bit error was corrected.
+    pub corrected: usize,
+    /// Number of code words with detected but uncorrectable errors.
+    pub detected: usize,
+}
+
+/// Decodes a coded-nibble stream (as produced by [`encode_bytes`]) back into bytes.
+///
+/// An odd trailing nibble is ignored. Returns the data and decode statistics.
+pub fn decode_bytes(codes: &[u8], cr: CodeRate) -> (Vec<u8>, DecodeStats) {
+    let mut out = Vec::with_capacity(codes.len() / 2);
+    let mut stats = DecodeStats::default();
+    for pair in codes.chunks_exact(2) {
+        let lo = decode_nibble(pair[0], cr);
+        let hi = decode_nibble(pair[1], cr);
+        for d in [&lo, &hi] {
+            if d.corrected {
+                stats.corrected += 1;
+            }
+            if d.error_detected {
+                stats.detected += 1;
+            }
+        }
+        out.push((hi.nibble << 4) | lo.nibble);
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip_all_rates() {
+        for cr in CodeRate::ALL {
+            for nibble in 0u8..16 {
+                let code = encode_nibble(nibble, cr);
+                let dec = decode_nibble(code, cr);
+                assert_eq!(dec.nibble, nibble);
+                assert!(!dec.corrected);
+                assert!(!dec.error_detected, "rate {cr:?} nibble {nibble}");
+            }
+        }
+    }
+
+    #[test]
+    fn cr47_corrects_any_single_bit_error() {
+        for nibble in 0u8..16 {
+            let code = encode_nibble(nibble, CodeRate::Cr47);
+            for bit in 0..7 {
+                let corrupted = code ^ (1 << bit);
+                let dec = decode_nibble(corrupted, CodeRate::Cr47);
+                assert_eq!(dec.nibble, nibble, "bit {bit} of nibble {nibble}");
+                assert!(dec.corrected);
+            }
+        }
+    }
+
+    #[test]
+    fn cr48_corrects_single_and_detects_double() {
+        for nibble in 0u8..16 {
+            let code = encode_nibble(nibble, CodeRate::Cr48);
+            for bit in 0..8 {
+                let corrupted = code ^ (1 << bit);
+                let dec = decode_nibble(corrupted, CodeRate::Cr48);
+                assert_eq!(dec.nibble, nibble, "single error bit {bit}");
+            }
+            for b1 in 0..8 {
+                for b2 in (b1 + 1)..8 {
+                    let corrupted = code ^ (1 << b1) ^ (1 << b2);
+                    let dec = decode_nibble(corrupted, CodeRate::Cr48);
+                    assert!(
+                        dec.error_detected,
+                        "double error {b1},{b2} of nibble {nibble} not detected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cr45_detects_single_bit_errors() {
+        for nibble in 0u8..16 {
+            let code = encode_nibble(nibble, CodeRate::Cr45);
+            for bit in 0..5 {
+                let dec = decode_nibble(code ^ (1 << bit), CodeRate::Cr45);
+                assert!(dec.error_detected);
+            }
+        }
+    }
+
+    #[test]
+    fn byte_stream_round_trip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        for cr in CodeRate::ALL {
+            let coded = encode_bytes(&data, cr);
+            assert_eq!(coded.len(), data.len() * 2);
+            let (decoded, stats) = decode_bytes(&coded, cr);
+            assert_eq!(decoded, data);
+            assert_eq!(stats.corrected, 0);
+            assert_eq!(stats.detected, 0);
+        }
+    }
+
+    #[test]
+    fn byte_stream_with_errors_is_corrected_at_cr48() {
+        let data = vec![0xA5, 0x3C, 0x7E, 0x01];
+        let mut coded = encode_bytes(&data, CodeRate::Cr48);
+        // Flip one bit in every code word.
+        for (i, c) in coded.iter_mut().enumerate() {
+            *c ^= 1 << (i % 8);
+        }
+        let (decoded, stats) = decode_bytes(&coded, CodeRate::Cr48);
+        assert_eq!(decoded, data);
+        assert_eq!(stats.corrected, coded.len());
+    }
+}

@@ -1,0 +1,162 @@
+//! Diagonal interleaving.
+//!
+//! LoRa interleaves the coded bits of a block across symbols so that a single
+//! corrupted symbol spreads its damage over many code words, each of which the
+//! Hamming code can then repair. We implement the classic diagonal
+//! interleaver over a block of `SF` code words of `CR` coded bits each.
+
+use crate::error::PhyError;
+
+/// Interleaves a block of `rows` code words, each `cols` bits wide.
+///
+/// Input: `rows` code words (LSB-first bit significance), each holding `cols`
+/// valid bits. Output: `cols` symbols of `rows` bits each, where output symbol
+/// `j` bit `i` equals input word `i` bit `(i + j) mod cols` — the standard
+/// diagonal pattern.
+pub fn interleave_block(words: &[u16], cols: usize) -> Result<Vec<u16>, PhyError> {
+    let rows = words.len();
+    if rows == 0 || cols == 0 {
+        return Err(PhyError::MalformedFrame(
+            "interleaver block must be non-empty".to_string(),
+        ));
+    }
+    if cols > 16 || rows > 16 {
+        return Err(PhyError::MalformedFrame(
+            "interleaver supports at most 16x16 blocks".to_string(),
+        ));
+    }
+    let mut out = vec![0u16; cols];
+    for (i, &word) in words.iter().enumerate() {
+        for j in 0..cols {
+            let src_bit = (i + j) % cols;
+            let bit = (word >> src_bit) & 1;
+            out[j] |= bit << i;
+        }
+    }
+    Ok(out)
+}
+
+/// Reverses [`interleave_block`].
+pub fn deinterleave_block(symbols: &[u16], rows: usize) -> Result<Vec<u16>, PhyError> {
+    let cols = symbols.len();
+    if rows == 0 || cols == 0 {
+        return Err(PhyError::MalformedFrame(
+            "deinterleaver block must be non-empty".to_string(),
+        ));
+    }
+    if cols > 16 || rows > 16 {
+        return Err(PhyError::MalformedFrame(
+            "deinterleaver supports at most 16x16 blocks".to_string(),
+        ));
+    }
+    let mut out = vec![0u16; rows];
+    for (j, &sym) in symbols.iter().enumerate() {
+        for i in 0..rows {
+            let bit = (sym >> i) & 1;
+            let dst_bit = (i + j) % cols;
+            out[i] |= bit << dst_bit;
+        }
+    }
+    Ok(out)
+}
+
+/// A convenience wrapper that interleaves a stream of code words in blocks of
+/// `rows`, padding the final block with zero words.
+#[derive(Debug, Clone)]
+pub struct Interleaver {
+    rows: usize,
+    cols: usize,
+}
+
+impl Interleaver {
+    /// Creates an interleaver for blocks of `rows` code words of `cols` bits.
+    pub fn new(rows: usize, cols: usize) -> Result<Self, PhyError> {
+        if rows == 0 || cols == 0 || rows > 16 || cols > 16 {
+            return Err(PhyError::MalformedFrame(format!(
+                "invalid interleaver geometry {rows}x{cols}"
+            )));
+        }
+        Ok(Interleaver { rows, cols })
+    }
+
+    /// Rows (code words per block).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns (coded bits per word; also bits per output symbol group).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Interleaves a whole stream, zero-padding the last block.
+    pub fn interleave(&self, words: &[u16]) -> Vec<u16> {
+        let mut out = Vec::with_capacity(words.len().div_ceil(self.rows) * self.cols);
+        for chunk in words.chunks(self.rows) {
+            let mut block: Vec<u16> = chunk.to_vec();
+            block.resize(self.rows, 0);
+            out.extend(interleave_block(&block, self.cols).expect("validated geometry"));
+        }
+        out
+    }
+
+    /// Deinterleaves a stream produced by [`Interleaver::interleave`].
+    /// `original_len` trims the zero padding added to the final block.
+    pub fn deinterleave(&self, symbols: &[u16], original_len: usize) -> Vec<u16> {
+        let mut out = Vec::with_capacity(original_len);
+        for chunk in symbols.chunks(self.cols) {
+            if chunk.len() < self.cols {
+                break;
+            }
+            out.extend(deinterleave_block(chunk, self.rows).expect("validated geometry"));
+        }
+        out.truncate(original_len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_round_trip() {
+        let words = vec![0b10110, 0b01101, 0b11000, 0b00111];
+        let cols = 5;
+        let inter = interleave_block(&words, cols).unwrap();
+        assert_eq!(inter.len(), cols);
+        let back = deinterleave_block(&inter, words.len()).unwrap();
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn single_symbol_corruption_spreads_across_words() {
+        let words = vec![0b1111, 0b0000, 0b1010, 0b0101];
+        let cols = 4;
+        let mut inter = interleave_block(&words, cols).unwrap();
+        // Corrupt every bit of one interleaved symbol.
+        inter[2] ^= 0b1111;
+        let back = deinterleave_block(&inter, words.len()).unwrap();
+        // Each original word should have exactly one flipped bit.
+        for (orig, got) in words.iter().zip(&back) {
+            assert_eq!((orig ^ got).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn stream_round_trip_with_padding() {
+        let il = Interleaver::new(7, 8).unwrap();
+        let words: Vec<u16> = (0..23).map(|i| (i * 37 % 256) as u16).collect();
+        let inter = il.interleave(&words);
+        let back = il.deinterleave(&inter, words.len());
+        assert_eq!(back, words);
+    }
+
+    #[test]
+    fn invalid_geometry_is_rejected() {
+        assert!(Interleaver::new(0, 5).is_err());
+        assert!(Interleaver::new(5, 0).is_err());
+        assert!(Interleaver::new(17, 5).is_err());
+        assert!(interleave_block(&[], 4).is_err());
+    }
+}

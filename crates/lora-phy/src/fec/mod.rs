@@ -1,0 +1,109 @@
+//! LoRa coding chain: Gray mapping, Hamming FEC, whitening, and interleaving.
+//!
+//! The full uplink coding chain is
+//! `bytes -> whitening -> Hamming nibble coding -> interleaving -> Gray -> symbols`
+//! and the reverse on receive. The Saiyan downlink uses a reduced alphabet
+//! (see [`crate::downlink`]) but reuses the whitening and Hamming stages.
+
+pub mod gray;
+pub mod hamming;
+pub mod interleaver;
+pub mod whitening;
+
+pub use gray::{gray_decode, gray_encode, hamming_distance};
+pub use hamming::{decode_bytes, decode_nibble, encode_bytes, encode_nibble, DecodeStats, NibbleDecode};
+pub use interleaver::{deinterleave_block, interleave_block, Interleaver};
+pub use whitening::{dewhiten, whiten, Whitener};
+
+use crate::error::PhyError;
+use crate::params::{CodeRate, SpreadingFactor};
+
+/// Encodes payload bytes into LoRa symbol values using the full coding chain.
+///
+/// Returns symbol values in `0..2^SF`.
+pub fn encode_payload(
+    data: &[u8],
+    sf: SpreadingFactor,
+    cr: CodeRate,
+) -> Result<Vec<u32>, PhyError> {
+    let whitened = whiten(data);
+    let coded = encode_bytes(&whitened, cr);
+    let rows = sf.value() as usize;
+    let cols = cr.coded_bits();
+    let il = Interleaver::new(rows, cols)?;
+    let words: Vec<u16> = coded.iter().map(|&c| c as u16).collect();
+    let interleaved = il.interleave(&words);
+    Ok(interleaved
+        .iter()
+        .map(|&s| gray_encode(s as u32) & ((1 << sf.value()) - 1))
+        .collect())
+}
+
+/// Decodes LoRa symbol values back into payload bytes, reversing
+/// [`encode_payload`]. `payload_len` is the expected number of data bytes.
+pub fn decode_payload(
+    symbols: &[u32],
+    sf: SpreadingFactor,
+    cr: CodeRate,
+    payload_len: usize,
+) -> Result<(Vec<u8>, DecodeStats), PhyError> {
+    let rows = sf.value() as usize;
+    let cols = cr.coded_bits();
+    let il = Interleaver::new(rows, cols)?;
+    let degray: Vec<u16> = symbols.iter().map(|&s| gray_decode(s) as u16).collect();
+    let codewords = il.deinterleave(&degray, payload_len * 2);
+    let codes: Vec<u8> = codewords.iter().map(|&w| w as u8).collect();
+    let (whitened, stats) = decode_bytes(&codes, cr);
+    let mut data = dewhiten(&whitened);
+    data.truncate(payload_len);
+    Ok((data, stats))
+}
+
+/// Number of chirp symbols required to carry `payload_len` bytes at the given
+/// SF and code rate (including interleaver block padding).
+pub fn symbols_for_payload(payload_len: usize, sf: SpreadingFactor, cr: CodeRate) -> usize {
+    let codewords = payload_len * 2;
+    let blocks = codewords.div_ceil(sf.value() as usize);
+    blocks * cr.coded_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_round_trip_all_sf_cr() {
+        let data: Vec<u8> = (0..40u8).map(|i| i.wrapping_mul(19).wrapping_add(3)).collect();
+        for sf in SpreadingFactor::ALL {
+            for cr in CodeRate::ALL {
+                let symbols = encode_payload(&data, sf, cr).unwrap();
+                assert_eq!(symbols.len(), symbols_for_payload(data.len(), sf, cr));
+                assert!(symbols.iter().all(|&s| s < sf.chips_per_symbol()));
+                let (back, stats) = decode_payload(&symbols, sf, cr, data.len()).unwrap();
+                assert_eq!(back, data, "sf {sf:?} cr {cr:?}");
+                assert_eq!(stats.detected, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_symbol_error_is_corrected_at_cr48() {
+        let data: Vec<u8> = (0..16u8).collect();
+        let sf = SpreadingFactor::Sf8;
+        let cr = CodeRate::Cr48;
+        let mut symbols = encode_payload(&data, sf, cr).unwrap();
+        // Flip one bit in one symbol: the interleaver spreads this into single
+        // bit errors in several code words, which Hamming(8,4) corrects.
+        symbols[3] ^= 0b1;
+        let (back, stats) = decode_payload(&symbols, sf, cr, data.len()).unwrap();
+        assert_eq!(back, data);
+        assert!(stats.corrected >= 1);
+    }
+
+    #[test]
+    fn symbols_for_payload_scales_with_cr() {
+        let n45 = symbols_for_payload(32, SpreadingFactor::Sf7, CodeRate::Cr45);
+        let n48 = symbols_for_payload(32, SpreadingFactor::Sf7, CodeRate::Cr48);
+        assert!(n48 > n45);
+    }
+}

@@ -1,0 +1,266 @@
+//! A small self-contained radix-2 FFT.
+//!
+//! The standard LoRa receiver demodulates by dechirping and taking an FFT;
+//! the correlator in Super Saiyan and several experiment harnesses also need
+//! spectra. To keep the dependency set to the approved list we implement an
+//! iterative radix-2 decimation-in-time FFT here. It is not the fastest FFT
+//! in the world but it is allocation-free per call (aside from the output),
+//! exact enough for simulation, and covered by round-trip tests.
+
+use std::f64::consts::PI;
+
+use crate::error::PhyError;
+use crate::iq::Iq;
+
+/// Returns `true` when `n` is a power of two (and non-zero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// Next power of two greater than or equal to `n`.
+pub fn next_power_of_two(n: usize) -> usize {
+    if n <= 1 {
+        return 1;
+    }
+    let mut p = 1;
+    while p < n {
+        p <<= 1;
+    }
+    p
+}
+
+/// In-place iterative radix-2 FFT.
+///
+/// `inverse` selects the inverse transform; the inverse is scaled by `1/N` so
+/// that `ifft(fft(x)) == x`.
+fn fft_in_place(data: &mut [Iq], inverse: bool) -> Result<(), PhyError> {
+    let n = data.len();
+    if !is_power_of_two(n) {
+        return Err(PhyError::FftLengthNotPowerOfTwo(n));
+    }
+    if n <= 1 {
+        return Ok(());
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = Iq::phasor(ang);
+        let mut i = 0;
+        while i < n {
+            let mut w = Iq::ONE;
+            for j in 0..len / 2 {
+                let u = data[i + j];
+                let v = data[i + j + len / 2] * w;
+                data[i + j] = u + v;
+                data[i + j + len / 2] = u - v;
+                w = w * wlen;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+
+    if inverse {
+        let scale = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            *x = x.scale(scale);
+        }
+    }
+    Ok(())
+}
+
+/// Computes the forward FFT of `input`, returning a new vector.
+///
+/// The input length must be a power of two.
+pub fn fft(input: &[Iq]) -> Result<Vec<Iq>, PhyError> {
+    let mut data = input.to_vec();
+    fft_in_place(&mut data, false)?;
+    Ok(data)
+}
+
+/// Computes the inverse FFT of `input`, returning a new vector scaled by `1/N`.
+pub fn ifft(input: &[Iq]) -> Result<Vec<Iq>, PhyError> {
+    let mut data = input.to_vec();
+    fft_in_place(&mut data, true)?;
+    Ok(data)
+}
+
+/// Computes the FFT after zero-padding the input to the next power of two.
+pub fn fft_padded(input: &[Iq]) -> Vec<Iq> {
+    let n = next_power_of_two(input.len());
+    let mut data = Vec::with_capacity(n);
+    data.extend_from_slice(input);
+    data.resize(n, Iq::ZERO);
+    fft_in_place(&mut data, false).expect("padded length is a power of two");
+    data
+}
+
+/// Returns the squared-magnitude spectrum of `input` (zero-padded as needed).
+pub fn power_spectrum(input: &[Iq]) -> Vec<f64> {
+    fft_padded(input).iter().map(Iq::norm_sqr).collect()
+}
+
+/// Index of the largest-magnitude FFT bin.
+pub fn argmax_bin(spectrum: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut best_val = f64::NEG_INFINITY;
+    for (i, &v) in spectrum.iter().enumerate() {
+        if v > best_val {
+            best_val = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Ratio (in dB) between the strongest spectral bin and the mean of the rest;
+/// a simple peak-to-noise-floor metric used by detection experiments.
+pub fn peak_to_mean_db(spectrum: &[f64]) -> f64 {
+    if spectrum.len() < 2 {
+        return 0.0;
+    }
+    let peak_idx = argmax_bin(spectrum);
+    let peak = spectrum[peak_idx];
+    if peak <= 0.0 {
+        // An all-zero (silent) spectrum has no peak at all.
+        return 0.0;
+    }
+    let rest: f64 = spectrum
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != peak_idx)
+        .map(|(_, v)| v)
+        .sum::<f64>()
+        / (spectrum.len() - 1) as f64;
+    if rest <= 0.0 {
+        return f64::INFINITY;
+    }
+    10.0 * (peak / rest).log10()
+}
+
+/// Applies a Hann window to the samples in place (used before spectra for
+/// display-oriented experiments such as Fig. 10).
+pub fn hann_window(data: &mut [Iq]) {
+    let n = data.len();
+    if n < 2 {
+        return;
+    }
+    for (i, x) in data.iter_mut().enumerate() {
+        let w = 0.5 * (1.0 - (2.0 * PI * i as f64 / (n - 1) as f64).cos());
+        *x = x.scale(w);
+    }
+}
+
+/// Circular cross-correlation of two equal-length sequences via FFT:
+/// `corr[k] = sum_n a[n] * conj(b[n-k])`.
+pub fn circular_cross_correlation(a: &[Iq], b: &[Iq]) -> Result<Vec<Iq>, PhyError> {
+    if a.len() != b.len() {
+        return Err(PhyError::BufferTooShort {
+            needed: a.len(),
+            got: b.len(),
+        });
+    }
+    let n = next_power_of_two(a.len());
+    let mut fa = a.to_vec();
+    fa.resize(n, Iq::ZERO);
+    let mut fb = b.to_vec();
+    fb.resize(n, Iq::ZERO);
+    fft_in_place(&mut fa, false)?;
+    fft_in_place(&mut fb, false)?;
+    let mut prod: Vec<Iq> = fa.iter().zip(&fb).map(|(x, y)| *x * y.conj()).collect();
+    fft_in_place(&mut prod, true)?;
+    prod.truncate(a.len());
+    Ok(prod)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_helpers() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(12));
+        assert_eq!(next_power_of_two(5), 8);
+        assert_eq!(next_power_of_two(8), 8);
+        assert_eq!(next_power_of_two(1), 1);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let data = vec![Iq::ONE; 12];
+        assert!(fft(&data).is_err());
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut input = vec![Iq::ZERO; 64];
+        input[0] = Iq::ONE;
+        let out = fft(&input).unwrap();
+        for bin in out {
+            assert!((bin.re - 1.0).abs() < 1e-9 && bin.im.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_locates_tone() {
+        let n = 256;
+        let k = 37;
+        let input: Vec<Iq> = (0..n)
+            .map(|i| Iq::phasor(2.0 * PI * k as f64 * i as f64 / n as f64))
+            .collect();
+        let spec: Vec<f64> = fft(&input).unwrap().iter().map(Iq::norm_sqr).collect();
+        assert_eq!(argmax_bin(&spec), k);
+        assert!(peak_to_mean_db(&spec) > 40.0);
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let n = 128;
+        let input: Vec<Iq> = (0..n)
+            .map(|i| Iq::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let back = ifft(&fft(&input).unwrap()).unwrap();
+        for (a, b) in input.iter().zip(&back) {
+            assert!((a.re - b.re).abs() < 1e-9);
+            assert!((a.im - b.im).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlation_peaks_at_lag_zero_for_identical_inputs() {
+        let n = 128;
+        let sig: Vec<Iq> = (0..n)
+            .map(|i| Iq::phasor(0.05 * (i * i) as f64))
+            .collect();
+        let corr = circular_cross_correlation(&sig, &sig).unwrap();
+        let mags: Vec<f64> = corr.iter().map(Iq::abs).collect();
+        assert_eq!(argmax_bin(&mags), 0);
+        assert!((mags[0] - n as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hann_window_zeroes_edges() {
+        let mut data = vec![Iq::ONE; 32];
+        hann_window(&mut data);
+        assert!(data[0].abs() < 1e-12);
+        assert!(data[31].abs() < 1e-12);
+        assert!(data[16].abs() > 0.9);
+    }
+}

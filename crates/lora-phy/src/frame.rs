@@ -1,0 +1,237 @@
+//! LoRa frame layer: header, payload, CRC.
+//!
+//! Frames carry the MAC-layer packets of the workspace. The wire format is a
+//! compact explicit header (length, code rate, flags) followed by the payload
+//! and a CRC-16. The frame layer sits between the MAC crate (which produces
+//! byte payloads) and the PHY coding chain (which maps bytes to chirp
+//! symbols).
+
+use crate::error::PhyError;
+use crate::fec::{decode_payload, encode_payload, DecodeStats};
+use crate::params::{CodeRate, SpreadingFactor};
+
+/// CRC-16/CCITT-FALSE used to protect the frame payload.
+pub fn crc16(data: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &byte in data {
+        crc ^= (byte as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Flags carried in the frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameFlags {
+    /// Set when the payload is a MAC acknowledgement.
+    pub ack: bool,
+    /// Set when the frame requests an acknowledgement from the receiver.
+    pub ack_request: bool,
+    /// Set on downlink (access point to tag) frames.
+    pub downlink: bool,
+}
+
+impl FrameFlags {
+    fn to_byte(self) -> u8 {
+        (self.ack as u8) | ((self.ack_request as u8) << 1) | ((self.downlink as u8) << 2)
+    }
+
+    fn from_byte(b: u8) -> Self {
+        FrameFlags {
+            ack: b & 1 != 0,
+            ack_request: b & 2 != 0,
+            downlink: b & 4 != 0,
+        }
+    }
+}
+
+/// An application/MAC frame before PHY encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Header flags.
+    pub flags: FrameFlags,
+    /// Code rate used for the payload coding chain.
+    pub code_rate: CodeRate,
+    /// The payload bytes (at most 255).
+    pub payload: Vec<u8>,
+}
+
+impl Frame {
+    /// Maximum payload size in bytes.
+    pub const MAX_PAYLOAD: usize = 255;
+
+    /// Creates a new frame, validating the payload length.
+    pub fn new(payload: Vec<u8>, code_rate: CodeRate, flags: FrameFlags) -> Result<Self, PhyError> {
+        if payload.len() > Self::MAX_PAYLOAD {
+            return Err(PhyError::MalformedFrame(format!(
+                "payload of {} bytes exceeds the {}-byte limit",
+                payload.len(),
+                Self::MAX_PAYLOAD
+            )));
+        }
+        Ok(Frame {
+            flags,
+            code_rate,
+            payload,
+        })
+    }
+
+    /// Serialises the frame into wire bytes: `[len, cr, flags, payload..., crc_hi, crc_lo]`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 5);
+        out.push(self.payload.len() as u8);
+        out.push(self.code_rate.denominator() as u8);
+        out.push(self.flags.to_byte());
+        out.extend_from_slice(&self.payload);
+        let crc = crc16(&self.payload);
+        out.push((crc >> 8) as u8);
+        out.push((crc & 0xFF) as u8);
+        out
+    }
+
+    /// Parses wire bytes produced by [`Frame::to_bytes`], verifying the CRC.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, PhyError> {
+        if bytes.len() < 5 {
+            return Err(PhyError::MalformedFrame(format!(
+                "frame of {} bytes is shorter than the 5-byte minimum",
+                bytes.len()
+            )));
+        }
+        let len = bytes[0] as usize;
+        let cr_den = bytes[1] as usize;
+        let flags = FrameFlags::from_byte(bytes[2]);
+        if bytes.len() < 3 + len + 2 {
+            return Err(PhyError::MalformedFrame(format!(
+                "frame header declares {len} payload bytes but only {} bytes follow",
+                bytes.len().saturating_sub(5)
+            )));
+        }
+        let code_rate = match cr_den {
+            5 => CodeRate::Cr45,
+            6 => CodeRate::Cr46,
+            7 => CodeRate::Cr47,
+            8 => CodeRate::Cr48,
+            other => {
+                return Err(PhyError::MalformedFrame(format!(
+                    "unknown code rate denominator {other}"
+                )))
+            }
+        };
+        let payload = bytes[3..3 + len].to_vec();
+        let expected = ((bytes[3 + len] as u16) << 8) | bytes[3 + len + 1] as u16;
+        let computed = crc16(&payload);
+        if computed != expected {
+            return Err(PhyError::CrcMismatch { computed, expected });
+        }
+        Ok(Frame {
+            flags,
+            code_rate,
+            payload,
+        })
+    }
+
+    /// Encodes the frame into LoRa chirp symbols using the full coding chain.
+    pub fn to_symbols(&self, sf: SpreadingFactor) -> Result<Vec<u32>, PhyError> {
+        encode_payload(&self.to_bytes(), sf, self.code_rate)
+    }
+
+    /// Decodes a frame from chirp symbols.
+    ///
+    /// `wire_len` is the number of wire bytes (payload length + 5) the caller
+    /// expects; the code rate is read from the decoded header.
+    pub fn from_symbols(
+        symbols: &[u32],
+        sf: SpreadingFactor,
+        code_rate: CodeRate,
+        wire_len: usize,
+    ) -> Result<(Self, DecodeStats), PhyError> {
+        let (bytes, stats) = decode_payload(symbols, sf, code_rate, wire_len)?;
+        let frame = Frame::from_bytes(&bytes)?;
+        Ok((frame, stats))
+    }
+
+    /// The number of wire bytes this frame serialises into.
+    pub fn wire_len(&self) -> usize {
+        self.payload.len() + 5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_known_vector() {
+        // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        assert_eq!(crc16(b"123456789"), 0x29B1);
+        assert_eq!(crc16(&[]), 0xFFFF);
+    }
+
+    #[test]
+    fn frame_byte_round_trip() {
+        let frame = Frame::new(
+            vec![1, 2, 3, 4, 5],
+            CodeRate::Cr47,
+            FrameFlags {
+                ack: true,
+                ack_request: false,
+                downlink: true,
+            },
+        )
+        .unwrap();
+        let bytes = frame.to_bytes();
+        assert_eq!(bytes.len(), frame.wire_len());
+        let back = Frame::from_bytes(&bytes).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc() {
+        let frame = Frame::new(vec![10; 20], CodeRate::Cr45, FrameFlags::default()).unwrap();
+        let mut bytes = frame.to_bytes();
+        bytes[7] ^= 0xFF;
+        assert!(matches!(
+            Frame::from_bytes(&bytes),
+            Err(PhyError::CrcMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_payload_rejected() {
+        assert!(Frame::new(vec![0; 256], CodeRate::Cr45, FrameFlags::default()).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let frame = Frame::new(vec![9; 10], CodeRate::Cr46, FrameFlags::default()).unwrap();
+        let bytes = frame.to_bytes();
+        assert!(Frame::from_bytes(&bytes[..8]).is_err());
+        assert!(Frame::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn symbol_round_trip() {
+        let frame = Frame::new(
+            (0..32u8).collect(),
+            CodeRate::Cr48,
+            FrameFlags {
+                ack: false,
+                ack_request: true,
+                downlink: true,
+            },
+        )
+        .unwrap();
+        let sf = SpreadingFactor::Sf8;
+        let symbols = frame.to_symbols(sf).unwrap();
+        let (back, stats) =
+            Frame::from_symbols(&symbols, sf, CodeRate::Cr48, frame.wire_len()).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(stats.detected, 0);
+    }
+}

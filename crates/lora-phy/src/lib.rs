@@ -1,0 +1,47 @@
+//! # lora-phy — LoRa CSS physical-layer substrate
+//!
+//! This crate provides the LoRa physical layer that every other crate in the
+//! Saiyan reproduction builds on:
+//!
+//! * [`iq`] — complex baseband sample types and buffers;
+//! * [`params`] — spreading factor, bandwidth, bits-per-chirp and derived
+//!   quantities (symbol time, data rate, sampling-rate rules);
+//! * [`chirp`] — chirp waveform generation and peak-time geometry;
+//! * [`fft`] — a self-contained radix-2 FFT with spectrum helpers;
+//! * [`fec`] — Gray mapping, Hamming FEC, whitening and interleaving;
+//! * [`modulator`] / [`demodulator`] — packet modulation and the standard
+//!   (access-point grade) dechirp + FFT receiver;
+//! * [`frame`] — frame header, CRC and the byte↔symbol coding chain;
+//! * [`downlink`] — the reduced `2^K`-symbol alphabet used by the Saiyan
+//!   downlink and its peak-position ground truth;
+//! * [`sync`] — carrier-frequency-offset estimation/correction for the
+//!   standard receiver.
+//!
+//! The paper this reproduces: *Saiyan: Design and Implementation of a
+//! Low-power Demodulator for LoRa Backscatter Systems* (NSDI 2022).
+
+#![warn(missing_docs)]
+
+pub mod chirp;
+pub mod demodulator;
+pub mod downlink;
+pub mod error;
+pub mod fec;
+pub mod fft;
+pub mod frame;
+pub mod iq;
+pub mod modulator;
+pub mod params;
+pub mod sync;
+
+pub use chirp::{ChirpDirection, ChirpGenerator};
+pub use demodulator::{bit_errors, symbol_errors, PacketDecision, StandardDemodulator, SymbolDecision};
+pub use error::PhyError;
+pub use frame::{crc16, Frame, FrameFlags};
+pub use iq::{db_to_lin, lin_to_db, Iq, SampleBuffer};
+pub use modulator::{Alphabet, Modulator, PacketLayout};
+pub use sync::{CfoEstimate, Synchronizer};
+pub use params::{
+    Bandwidth, BitsPerChirp, CodeRate, LoraParams, SpreadingFactor, DEFAULT_CARRIER_HZ,
+    DEFAULT_PAYLOAD_SYMBOLS, PREAMBLE_UPCHIRPS, SYNC_SYMBOLS,
+};

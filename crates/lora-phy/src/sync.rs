@@ -1,0 +1,212 @@
+//! Carrier-frequency-offset (CFO) and timing estimation for the standard
+//! receiver.
+//!
+//! The access point's USRP and the tag's oscillator are never perfectly
+//! aligned; cheap tags can be tens of ppm off, which at 434 MHz is several
+//! kilohertz of carrier offset. The standard dechirp+FFT receiver estimates
+//! the offset from the preamble (all preamble up-chirps dechirp to the same
+//! tone, whose frequency is the sum of the timing and carrier offsets) and
+//! removes it before demodulating the payload. The Saiyan tag itself is
+//! insensitive to small CFO — the SAW response changes by a negligible amount
+//! over a few kilohertz — but the network simulator uses this module for the
+//! uplink receiver and the tests use it to validate the channel model's CFO
+//! injection.
+
+use crate::chirp::ChirpGenerator;
+use crate::error::PhyError;
+use crate::fft::{argmax_bin, fft_padded};
+use crate::iq::{Iq, SampleBuffer};
+use crate::params::{LoraParams, PREAMBLE_UPCHIRPS};
+
+/// A carrier-frequency-offset estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CfoEstimate {
+    /// Estimated offset in hertz.
+    pub offset_hz: f64,
+    /// Number of preamble symbols that contributed to the estimate.
+    pub symbols_used: usize,
+}
+
+/// CFO and timing estimator operating on the LoRa preamble.
+#[derive(Debug, Clone)]
+pub struct Synchronizer {
+    params: LoraParams,
+    downchirp: Vec<Iq>,
+}
+
+impl Synchronizer {
+    /// Creates a synchroniser for the given parameters.
+    pub fn new(params: LoraParams) -> Self {
+        Synchronizer {
+            params,
+            downchirp: ChirpGenerator::new(params).base_downchirp().samples,
+        }
+    }
+
+    /// Dechirps one symbol starting at `start` and returns the complex value
+    /// of the strongest FFT bin together with its index.
+    fn dominant_bin(&self, buffer: &SampleBuffer, start: usize) -> Result<(usize, Iq, usize), PhyError> {
+        let sps = self.params.samples_per_symbol();
+        if buffer.len() < start + sps {
+            return Err(PhyError::BufferTooShort {
+                needed: start + sps,
+                got: buffer.len(),
+            });
+        }
+        let mixed: Vec<Iq> = buffer.samples[start..start + sps]
+            .iter()
+            .zip(&self.downchirp)
+            .map(|(a, b)| *a * *b)
+            .collect();
+        let spectrum = fft_padded(&mixed);
+        let mags: Vec<f64> = spectrum.iter().map(Iq::norm_sqr).collect();
+        let bin = argmax_bin(&mags);
+        Ok((bin, spectrum[bin], spectrum.len()))
+    }
+
+    /// Estimates the CFO from a preamble that starts at sample
+    /// `preamble_start`.
+    ///
+    /// The integer part comes from the position of the dechirped tone (common
+    /// to all preamble symbols); the fractional part comes from the average
+    /// phase rotation of that tone between consecutive preamble symbols
+    /// (a rotation of `2π·Δf·T_sym` per symbol).
+    pub fn estimate_cfo(
+        &self,
+        buffer: &SampleBuffer,
+        preamble_start: usize,
+    ) -> Result<CfoEstimate, PhyError> {
+        let sps = self.params.samples_per_symbol();
+        let usable = ((buffer.len().saturating_sub(preamble_start)) / sps)
+            .min(PREAMBLE_UPCHIRPS);
+        if usable < 2 {
+            return Err(PhyError::BufferTooShort {
+                needed: preamble_start + 2 * sps,
+                got: buffer.len(),
+            });
+        }
+
+        // Integer (bin-resolution) part from the first preamble symbol. A
+        // perfectly aligned preamble up-chirp dechirps to a tone at a multiple
+        // of the bandwidth (0 or BW depending on the wrap), so the CFO is the
+        // deviation from the nearest multiple of BW.
+        let (bin0, mut prev_phasor, fft_len) =
+            self.dominant_bin(buffer, preamble_start)?;
+        let fs = self.params.sample_rate();
+        let raw_freq = if (bin0 as f64) < fft_len as f64 / 2.0 {
+            bin0 as f64 * fs / fft_len as f64
+        } else {
+            (bin0 as f64 - fft_len as f64) * fs / fft_len as f64
+        };
+        let bw = self.params.bw.hz();
+        let bin_freq = raw_freq - bw * (raw_freq / bw).round();
+
+        // Fractional part from symbol-to-symbol phase rotation of the tone.
+        let t_sym = self.params.symbol_duration();
+        let mut rotation_sum = 0.0;
+        let mut rotations = 0usize;
+        for symbol in 1..usable {
+            let (bin, phasor, _) =
+                self.dominant_bin(buffer, preamble_start + symbol * sps)?;
+            // Only use symbols whose tone landed in (nearly) the same bin.
+            if bin.abs_diff(bin0) <= 1 || bin.abs_diff(bin0) >= fft_len - 1 {
+                let rotation = (phasor * prev_phasor.conj()).arg();
+                rotation_sum += rotation;
+                rotations += 1;
+            }
+            prev_phasor = phasor;
+        }
+        let fractional = if rotations > 0 {
+            (rotation_sum / rotations as f64) / (2.0 * std::f64::consts::PI * t_sym)
+        } else {
+            0.0
+        };
+
+        Ok(CfoEstimate {
+            offset_hz: bin_freq + fractional,
+            symbols_used: usable,
+        })
+    }
+
+    /// Removes an estimated CFO from a buffer (returns a corrected copy).
+    pub fn correct_cfo(&self, buffer: &SampleBuffer, estimate: &CfoEstimate) -> SampleBuffer {
+        buffer.clone().frequency_shifted(-estimate.offset_hz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modulator::{Alphabet, Modulator};
+    use crate::params::{Bandwidth, BitsPerChirp, SpreadingFactor};
+
+    fn params() -> LoraParams {
+        LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz500,
+            BitsPerChirp::new(2).unwrap(),
+        )
+    }
+
+    fn packet_with_cfo(cfo_hz: f64) -> (SampleBuffer, usize) {
+        let m = Modulator::new(params());
+        let (wave, layout) = m.packet(&[0, 1, 2, 3], Alphabet::Downlink).unwrap();
+        let shifted = wave.frequency_shifted(cfo_hz);
+        (shifted, layout.preamble_samples)
+    }
+
+    #[test]
+    fn zero_cfo_is_estimated_as_zero() {
+        let (wave, _) = packet_with_cfo(0.0);
+        let sync = Synchronizer::new(params());
+        let est = sync.estimate_cfo(&wave, 0).unwrap();
+        assert!(est.offset_hz.abs() < 200.0, "estimate {}", est.offset_hz);
+        assert_eq!(est.symbols_used, PREAMBLE_UPCHIRPS);
+    }
+
+    #[test]
+    fn injected_cfo_is_recovered() {
+        for cfo in [1_500.0, -2_200.0, 4_000.0] {
+            let (wave, _) = packet_with_cfo(cfo);
+            let sync = Synchronizer::new(params());
+            let est = sync.estimate_cfo(&wave, 0).unwrap();
+            assert!(
+                (est.offset_hz - cfo).abs() < 500.0,
+                "cfo {cfo}: estimate {}",
+                est.offset_hz
+            );
+        }
+    }
+
+    #[test]
+    fn correction_restores_demodulation() {
+        // A CFO of half a downlink symbol slot would corrupt peak positions /
+        // FFT bins; after correction the standard receiver decodes cleanly.
+        let cfo = 3_000.0;
+        let p = params();
+        let m = Modulator::new(p);
+        let symbols = vec![0u32, 3, 1, 2, 2, 1];
+        let (wave, layout) = m.packet(&symbols, Alphabet::Downlink).unwrap();
+        let shifted = wave.frequency_shifted(cfo);
+
+        let sync = Synchronizer::new(p);
+        let est = sync.estimate_cfo(&shifted, 0).unwrap();
+        let corrected = sync.correct_cfo(&shifted, &est);
+
+        let rx = crate::demodulator::StandardDemodulator::new(p);
+        let decoded = rx
+            .demodulate_payload(&corrected, layout.payload_start, symbols.len(), Alphabet::Downlink)
+            .unwrap();
+        assert_eq!(decoded.symbols, symbols);
+    }
+
+    #[test]
+    fn too_short_buffers_are_rejected() {
+        let sync = Synchronizer::new(params());
+        let short = SampleBuffer::zeros(100, params().sample_rate());
+        assert!(matches!(
+            sync.estimate_cfo(&short, 0),
+            Err(PhyError::BufferTooShort { .. })
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! Slotted ALOHA for multi-tag acknowledgements (paper §4.4, Fig. 15).
+//!
+//! When a multicast or broadcast downlink command solicits responses from
+//! several tags, each tag draws a random slot number, counts carrier signals
+//! from the access point (one per slot), and transmits when its counter
+//! reaches zero. Randomising the slot choice keeps the collision probability
+//! low without any coordination.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::packet::TagId;
+
+/// Per-tag slotted-ALOHA state.
+#[derive(Debug, Clone)]
+pub struct AlohaState {
+    /// The tag this state belongs to.
+    pub tag: TagId,
+    /// Remaining slots before this tag transmits.
+    pub counter: u32,
+}
+
+impl AlohaState {
+    /// Draws a fresh random slot in `0..num_slots`.
+    pub fn new(tag: TagId, num_slots: u32, rng: &mut impl Rng) -> Self {
+        AlohaState {
+            tag,
+            counter: rng.gen_range(0..num_slots.max(1)),
+        }
+    }
+
+    /// Called when the access point signals the start of a slot with a carrier
+    /// burst. Returns `true` when the tag transmits in this slot.
+    pub fn on_carrier(&mut self) -> bool {
+        if self.counter == 0 {
+            true
+        } else {
+            self.counter -= 1;
+            false
+        }
+    }
+}
+
+/// Outcome of one slotted-ALOHA round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlohaRound {
+    /// Tags that transmitted alone in their slot (successful).
+    pub successes: Vec<TagId>,
+    /// Tags that collided with another tag.
+    pub collisions: Vec<TagId>,
+    /// Number of slots that went unused.
+    pub idle_slots: u32,
+}
+
+impl AlohaRound {
+    /// Fraction of participating tags whose response got through.
+    pub fn success_ratio(&self) -> f64 {
+        let total = self.successes.len() + self.collisions.len();
+        if total == 0 {
+            return 0.0;
+        }
+        self.successes.len() as f64 / total as f64
+    }
+}
+
+/// Simulates one slotted-ALOHA acknowledgement round: `tags` respond within
+/// `num_slots` slots, each choosing a slot uniformly at random.
+pub fn simulate_round(tags: &[TagId], num_slots: u32, seed: u64) -> AlohaRound {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut states: Vec<AlohaState> = tags
+        .iter()
+        .map(|&t| AlohaState::new(t, num_slots, &mut rng))
+        .collect();
+
+    let mut successes = Vec::new();
+    let mut collisions = Vec::new();
+    let mut idle_slots = 0u32;
+    for _slot in 0..num_slots {
+        let mut transmitters = Vec::new();
+        for s in &mut states {
+            if s.on_carrier() {
+                transmitters.push(s.tag);
+            }
+        }
+        // Tags that transmitted are done; remove them from future slots.
+        states.retain(|s| !transmitters.contains(&s.tag));
+        match transmitters.len() {
+            0 => idle_slots += 1,
+            1 => successes.push(transmitters[0]),
+            _ => collisions.extend(transmitters),
+        }
+    }
+    AlohaRound {
+        successes,
+        collisions,
+        idle_slots,
+    }
+}
+
+/// Analytic probability that a given tag's response survives a round with
+/// `tags` contenders and `slots` slots: `(1 - 1/slots)^(tags-1)`.
+pub fn analytic_success_probability(tags: u32, slots: u32) -> f64 {
+    if tags == 0 || slots == 0 {
+        return 0.0;
+    }
+    (1.0 - 1.0 / slots as f64).powi(tags as i32 - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_tag_never_collides() {
+        let round = simulate_round(&[TagId(1)], 8, 42);
+        assert_eq!(round.successes, vec![TagId(1)]);
+        assert!(round.collisions.is_empty());
+        assert_eq!(round.success_ratio(), 1.0);
+    }
+
+    #[test]
+    fn all_tags_either_succeed_or_collide() {
+        let tags: Vec<TagId> = (0..10).map(TagId).collect();
+        let round = simulate_round(&tags, 16, 7);
+        assert_eq!(round.successes.len() + round.collisions.len(), 10);
+        assert!(round.idle_slots < 16);
+    }
+
+    #[test]
+    fn more_slots_reduce_collisions() {
+        let tags: Vec<TagId> = (0..12).map(TagId).collect();
+        let mut few_slot_successes = 0usize;
+        let mut many_slot_successes = 0usize;
+        for seed in 0..200 {
+            few_slot_successes += simulate_round(&tags, 4, seed).successes.len();
+            many_slot_successes += simulate_round(&tags, 64, seed + 10_000).successes.len();
+        }
+        assert!(many_slot_successes > few_slot_successes);
+    }
+
+    #[test]
+    fn simulation_matches_analytic_probability() {
+        let tags: Vec<TagId> = (0..8).map(TagId).collect();
+        let slots = 16;
+        let rounds = 2000;
+        let mut successes = 0usize;
+        for seed in 0..rounds {
+            successes += simulate_round(&tags, slots, seed).successes.len();
+        }
+        let empirical = successes as f64 / (rounds as usize * tags.len()) as f64;
+        let analytic = analytic_success_probability(tags.len() as u32, slots);
+        assert!(
+            (empirical - analytic).abs() < 0.03,
+            "empirical {empirical:.3} vs analytic {analytic:.3}"
+        );
+    }
+
+    #[test]
+    fn counter_decrements_on_carrier() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut s = AlohaState::new(TagId(5), 4, &mut rng);
+        let initial = s.counter;
+        let mut fired_at = None;
+        for slot in 0..5 {
+            if s.on_carrier() {
+                fired_at = Some(slot);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(initial));
+    }
+
+    #[test]
+    fn analytic_bounds() {
+        assert_eq!(analytic_success_probability(1, 8), 1.0);
+        assert_eq!(analytic_success_probability(0, 8), 0.0);
+        assert!(analytic_success_probability(10, 2) < analytic_success_probability(2, 2));
+    }
+}

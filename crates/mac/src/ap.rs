@@ -1,0 +1,230 @@
+//! Access-point-side MAC session state machine.
+//!
+//! The access point owns the feedback loop: it tracks which uplink packets
+//! arrived from each tag, issues retransmission requests for the missing
+//! ones, monitors interference and commands channel hops, and runs the rate
+//! adapter from per-tag link-margin reports.
+
+use lora_phy::params::BitsPerChirp;
+
+use crate::error::MacError;
+use crate::hopping::{ChannelTable, HoppingController};
+use crate::packet::{Addressing, Command, DownlinkPacket, TagId, UplinkPacket};
+use crate::rate::RateAdapter;
+use crate::retransmission::ArqTracker;
+
+/// Per-tag bookkeeping at the access point.
+#[derive(Debug, Clone)]
+struct TagRecord {
+    tracker: ArqTracker,
+    /// Last link margin (dB above the K=1 threshold) reported for this tag.
+    last_margin_db: Option<f64>,
+    /// Payloads received in order of arrival.
+    received: Vec<(u8, Vec<u8>)>,
+}
+
+/// The access-point MAC session.
+#[derive(Debug, Clone)]
+pub struct AccessPoint {
+    /// Per-tag state, keyed by tag id.
+    tags: Vec<(TagId, TagRecord)>,
+    /// The hopping controller for the shared channel.
+    pub hopping: HoppingController,
+    /// The rate adapter.
+    pub rate: RateAdapter,
+    /// Maximum retransmission requests per lost packet.
+    pub max_retries: u32,
+}
+
+impl AccessPoint {
+    /// Creates an access point on the given channel table.
+    pub fn new(table: ChannelTable, initial_channel: u8, max_retries: u32) -> Result<Self, MacError> {
+        Ok(AccessPoint {
+            tags: Vec::new(),
+            hopping: HoppingController::new(table, initial_channel, -70.0)?,
+            rate: RateAdapter::default(),
+            max_retries,
+        })
+    }
+
+    /// Registers a tag so losses can be tracked for it.
+    pub fn register_tag(&mut self, tag: TagId) {
+        if self.record(tag).is_none() {
+            self.tags.push((
+                tag,
+                TagRecord {
+                    tracker: ArqTracker::new(tag, self.max_retries),
+                    last_margin_db: None,
+                    received: Vec::new(),
+                },
+            ));
+        }
+    }
+
+    fn record(&mut self, tag: TagId) -> Option<&mut TagRecord> {
+        self.tags.iter_mut().find(|(t, _)| *t == tag).map(|(_, r)| r)
+    }
+
+    /// Number of registered tags.
+    pub fn tag_count(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Payloads successfully received from a tag.
+    pub fn received_from(&self, tag: TagId) -> Vec<Vec<u8>> {
+        self.tags
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, r)| r.received.iter().map(|(_, p)| p.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Called when an uplink packet is decoded successfully.
+    pub fn on_uplink(&mut self, packet: &UplinkPacket) {
+        let tag = packet.source;
+        self.register_tag(tag);
+        let record = self.record(tag).expect("registered above");
+        record.tracker.record_reception(packet.sequence);
+        if !packet.is_ack
+            && !record
+                .received
+                .iter()
+                .any(|(seq, _)| *seq == packet.sequence)
+        {
+            record.received.push((packet.sequence, packet.payload.clone()));
+        }
+    }
+
+    /// Called when an expected uplink packet (sequence `seq` from `tag`) was
+    /// not decoded. Returns the retransmission request to send, if the retry
+    /// budget allows one.
+    pub fn on_uplink_loss(&mut self, tag: TagId, seq: u8) -> Option<DownlinkPacket> {
+        self.register_tag(tag);
+        let record = self.record(tag).expect("registered above");
+        record.tracker.record_loss(seq);
+        record.tracker.next_request().map(|sequence| DownlinkPacket {
+            addressing: Addressing::Unicast(tag),
+            command: Command::Retransmit { sequence },
+        })
+    }
+
+    /// Issues a follow-up retransmission request for a tag, if any packet is
+    /// still missing and within budget.
+    pub fn next_retransmission_request(&mut self, tag: TagId) -> Option<DownlinkPacket> {
+        let record = self.record(tag)?;
+        record.tracker.next_request().map(|sequence| DownlinkPacket {
+            addressing: Addressing::Unicast(tag),
+            command: Command::Retransmit { sequence },
+        })
+    }
+
+    /// Records a spectrum measurement and returns the hop command to broadcast
+    /// if the current channel is jammed.
+    pub fn on_spectrum_scan(&mut self, channel: u8, level_dbm: f64) -> Option<DownlinkPacket> {
+        if self.hopping.record_interference(channel, level_dbm).is_err() {
+            return None;
+        }
+        self.hopping.maybe_hop()
+    }
+
+    /// Records a link-margin estimate for a tag and returns the rate command
+    /// to send if the rate should change.
+    pub fn on_link_measurement(&mut self, tag: TagId, margin_db: f64) -> Option<DownlinkPacket> {
+        self.register_tag(tag);
+        if let Some(record) = self.record(tag) {
+            record.last_margin_db = Some(margin_db);
+        }
+        self.rate.update(tag, margin_db)
+    }
+
+    /// The rate currently commanded for a tag.
+    pub fn commanded_rate(&self, tag: TagId) -> BitsPerChirp {
+        self.rate.current_rate(tag)
+    }
+
+    /// Sequence numbers from a tag that were lost for good (retry budget spent).
+    pub fn abandoned(&self, tag: TagId) -> Vec<u8> {
+        self.tags
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, r)| r.tracker.given_up())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ap() -> AccessPoint {
+        AccessPoint::new(ChannelTable::paper_433mhz(), 2, 2).unwrap()
+    }
+
+    #[test]
+    fn losses_trigger_bounded_retransmission_requests() {
+        let mut ap = ap();
+        let tag = TagId(3);
+        let req = ap.on_uplink_loss(tag, 7).expect("first request");
+        assert!(matches!(
+            req.command,
+            Command::Retransmit { sequence: 7 }
+        ));
+        // One more request allowed, then the budget (2) is exhausted.
+        assert!(ap.next_retransmission_request(tag).is_some());
+        assert!(ap.next_retransmission_request(tag).is_none());
+        assert_eq!(ap.abandoned(tag), vec![7]);
+    }
+
+    #[test]
+    fn reception_clears_outstanding_losses_and_stores_payload() {
+        let mut ap = ap();
+        let tag = TagId(4);
+        ap.on_uplink_loss(tag, 1);
+        ap.on_uplink(&UplinkPacket {
+            source: tag,
+            sequence: 1,
+            is_ack: false,
+            payload: vec![9, 9],
+        });
+        assert!(ap.next_retransmission_request(tag).is_none());
+        assert_eq!(ap.received_from(tag), vec![vec![9, 9]]);
+        // Duplicate delivery is not stored twice.
+        ap.on_uplink(&UplinkPacket {
+            source: tag,
+            sequence: 1,
+            is_ack: false,
+            payload: vec![9, 9],
+        });
+        assert_eq!(ap.received_from(tag).len(), 1);
+    }
+
+    #[test]
+    fn spectrum_scans_drive_channel_hops() {
+        let mut ap = ap();
+        for ch in 0..5u8 {
+            assert!(ap.on_spectrum_scan(ch, -95.0).is_none());
+        }
+        let hop = ap.on_spectrum_scan(2, -40.0).expect("should hop");
+        assert!(matches!(hop.command, Command::ChannelHop { .. }));
+        assert!(matches!(hop.addressing, Addressing::Broadcast));
+    }
+
+    #[test]
+    fn link_measurements_drive_rate_commands() {
+        let mut ap = ap();
+        let tag = TagId(9);
+        let cmd = ap.on_link_measurement(tag, 14.0).expect("rate upgrade");
+        assert!(matches!(cmd.command, Command::SetRate { bits_per_chirp: 5 }));
+        assert_eq!(ap.commanded_rate(tag).bits(), 5);
+        // No change on a repeat measurement.
+        assert!(ap.on_link_measurement(tag, 14.0).is_none());
+    }
+
+    #[test]
+    fn registering_twice_is_idempotent() {
+        let mut ap = ap();
+        ap.register_tag(TagId(1));
+        ap.register_tag(TagId(1));
+        assert_eq!(ap.tag_count(), 1);
+    }
+}

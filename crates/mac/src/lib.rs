@@ -1,0 +1,33 @@
+//! # saiyan-mac — the feedback-loop MAC layer
+//!
+//! The networking capabilities the Saiyan demodulator unlocks (paper §1, §4.4,
+//! §5.3):
+//!
+//! * [`packet`] — tiny downlink command / uplink response formats;
+//! * [`retransmission`] — on-demand ARQ (tag-side buffer, AP-side tracker,
+//!   analytic PRR with retransmissions);
+//! * [`hopping`] — interference-driven channel hopping;
+//! * [`rate`] — margin-based rate adaptation;
+//! * [`aloha`] — slotted ALOHA for multi-tag acknowledgements;
+//! * [`tag`] / [`ap`] — the tag-side and access-point-side session state
+//!   machines that tie the mechanisms together.
+
+#![warn(missing_docs)]
+
+pub mod aloha;
+pub mod ap;
+pub mod error;
+pub mod hopping;
+pub mod packet;
+pub mod rate;
+pub mod retransmission;
+pub mod tag;
+
+pub use aloha::{analytic_success_probability, simulate_round, AlohaRound, AlohaState};
+pub use ap::AccessPoint;
+pub use tag::{TagAction, TagSession};
+pub use error::MacError;
+pub use hopping::{ChannelTable, HoppingController, TagChannelState};
+pub use packet::{Addressing, Command, DownlinkPacket, TagId, UplinkPacket};
+pub use rate::{apply_rate_command, RateAdapter};
+pub use retransmission::{prr_with_retransmissions, ArqTracker, RetransmissionBuffer};

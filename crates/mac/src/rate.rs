@@ -1,0 +1,186 @@
+//! Rate adaptation driven by the feedback loop.
+//!
+//! The access point measures the quality of each backscatter link and, through
+//! the downlink, tells the tag which data rate (bits per chirp) to use so the
+//! link is neither wasted (rate too low) nor unreliable (rate too high). The
+//! paper motivates this as one of the PHY-layer operations the feedback loop
+//! unlocks; the policy here is a margin-based ladder over the calibrated
+//! sensitivity model.
+
+use lora_phy::params::BitsPerChirp;
+
+use crate::error::MacError;
+use crate::packet::{Addressing, Command, DownlinkPacket, TagId};
+
+/// A margin-based rate-adaptation policy.
+///
+/// For each candidate K (bits per chirp) the policy knows the minimum SNR-like
+/// margin (dB above the K=1 sensitivity) the link must have; it picks the
+/// fastest rate whose requirement is met, with `hysteresis_db` of slack before
+/// stepping back down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateAdapter {
+    /// Extra margin (dB) each additional bit per chirp requires.
+    pub per_bit_margin_db: f64,
+    /// Hysteresis (dB) before downgrading the rate.
+    pub hysteresis_db: f64,
+    /// The rate currently commanded for each known tag.
+    current: Vec<(TagId, BitsPerChirp)>,
+}
+
+impl Default for RateAdapter {
+    fn default() -> Self {
+        RateAdapter {
+            // Matches the calibrated per-bit sensitivity penalty in
+            // `saiyan::sensitivity` (≈ 2.8 dB per extra bit per chirp).
+            per_bit_margin_db: 2.8,
+            hysteresis_db: 1.5,
+            current: Vec::new(),
+        }
+    }
+}
+
+impl RateAdapter {
+    /// The highest K whose margin requirement is met by `margin_db` (the
+    /// link's measured margin above the K=1 demodulation threshold).
+    pub fn rate_for_margin(&self, margin_db: f64) -> BitsPerChirp {
+        let mut best = 1u8;
+        for k in 2..=5u8 {
+            let required = self.per_bit_margin_db * (k - 1) as f64;
+            if margin_db >= required {
+                best = k;
+            }
+        }
+        BitsPerChirp::new(best).expect("1..=5 is always valid")
+    }
+
+    /// The rate currently assigned to a tag (defaults to K=1).
+    pub fn current_rate(&self, tag: TagId) -> BitsPerChirp {
+        self.current
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, k)| *k)
+            .unwrap_or_else(|| BitsPerChirp::new(1).expect("valid"))
+    }
+
+    /// Processes a new link-margin measurement for `tag`. Returns the rate
+    /// command to send if the rate should change.
+    pub fn update(&mut self, tag: TagId, margin_db: f64) -> Option<DownlinkPacket> {
+        let target = self.rate_for_margin(margin_db);
+        let current = self.current_rate(tag);
+        let should_change = if target.bits() > current.bits() {
+            true
+        } else if target.bits() < current.bits() {
+            // Only downgrade once the margin is below the requirement minus
+            // the hysteresis band.
+            let required_for_current = self.per_bit_margin_db * (current.bits() - 1) as f64;
+            margin_db < required_for_current - self.hysteresis_db
+        } else {
+            false
+        };
+        if !should_change {
+            return None;
+        }
+        self.set_rate(tag, target);
+        Some(DownlinkPacket {
+            addressing: Addressing::Unicast(tag),
+            command: Command::SetRate {
+                bits_per_chirp: target.bits(),
+            },
+        })
+    }
+
+    /// Records the rate assigned to a tag.
+    fn set_rate(&mut self, tag: TagId, rate: BitsPerChirp) {
+        if let Some(entry) = self.current.iter_mut().find(|(t, _)| *t == tag) {
+            entry.1 = rate;
+        } else {
+            self.current.push((tag, rate));
+        }
+    }
+}
+
+/// Tag-side application of a rate command.
+pub fn apply_rate_command(packet: &DownlinkPacket, tag: TagId) -> Result<Option<BitsPerChirp>, MacError> {
+    let addressed = match packet.addressing {
+        Addressing::Unicast(id) => id == tag,
+        Addressing::Multicast { .. } | Addressing::Broadcast => true,
+    };
+    if !addressed {
+        return Ok(None);
+    }
+    if let Command::SetRate { bits_per_chirp } = packet.command {
+        let k = BitsPerChirp::new(bits_per_chirp).map_err(|_| MacError::InvalidRate(bits_per_chirp))?;
+        return Ok(Some(k));
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_ladder_is_monotone_in_margin() {
+        let adapter = RateAdapter::default();
+        let mut prev = 0u8;
+        for margin in [0.0, 2.0, 3.0, 6.0, 9.0, 12.0, 20.0] {
+            let k = adapter.rate_for_margin(margin).bits();
+            assert!(k >= prev, "margin {margin}: K {k} < previous {prev}");
+            prev = k;
+        }
+        assert_eq!(adapter.rate_for_margin(0.0).bits(), 1);
+        assert_eq!(adapter.rate_for_margin(20.0).bits(), 5);
+    }
+
+    #[test]
+    fn update_issues_command_only_on_change() {
+        let mut adapter = RateAdapter::default();
+        let tag = TagId(4);
+        // Strong link: upgrade to the top rate.
+        let cmd = adapter.update(tag, 15.0).expect("should upgrade");
+        assert!(matches!(
+            cmd.command,
+            Command::SetRate { bits_per_chirp: 5 }
+        ));
+        // Same margin again: no new command.
+        assert!(adapter.update(tag, 15.0).is_none());
+    }
+
+    #[test]
+    fn hysteresis_prevents_flapping() {
+        let mut adapter = RateAdapter::default();
+        let tag = TagId(1);
+        adapter.update(tag, 6.0); // K=3 (requires 5.6 dB)
+        assert_eq!(adapter.current_rate(tag).bits(), 3);
+        // Margin dips slightly below the K=3 requirement but within hysteresis:
+        // the adapter holds the rate.
+        assert!(adapter.update(tag, 5.0).is_none());
+        assert_eq!(adapter.current_rate(tag).bits(), 3);
+        // A deep dip forces the downgrade.
+        let cmd = adapter.update(tag, 1.0).expect("should downgrade");
+        assert!(matches!(cmd.command, Command::SetRate { bits_per_chirp: 1 }));
+    }
+
+    #[test]
+    fn tag_applies_rate_commands() {
+        let tag = TagId(2);
+        let cmd = DownlinkPacket {
+            addressing: Addressing::Unicast(tag),
+            command: Command::SetRate { bits_per_chirp: 4 },
+        };
+        assert_eq!(apply_rate_command(&cmd, tag).unwrap().unwrap().bits(), 4);
+        // Addressed elsewhere: ignored.
+        let other = DownlinkPacket {
+            addressing: Addressing::Unicast(TagId(9)),
+            command: Command::SetRate { bits_per_chirp: 4 },
+        };
+        assert!(apply_rate_command(&other, tag).unwrap().is_none());
+        // Invalid rate: error.
+        let bad = DownlinkPacket {
+            addressing: Addressing::Unicast(tag),
+            command: Command::SetRate { bits_per_chirp: 0 },
+        };
+        assert!(apply_rate_command(&bad, tag).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! On-demand retransmission through the ACK/feedback loop (paper §5.3.1).
+//!
+//! Without a downlink, a backscatter tag must blindly repeat every packet to
+//! survive loss. With Saiyan, the access point asks for a retransmission only
+//! when a packet is actually missing, and the tag replays it from a small
+//! buffer. This module implements both sides' state machines.
+
+use std::collections::VecDeque;
+
+use crate::error::MacError;
+use crate::packet::TagId;
+
+/// Tag-side retransmission buffer: remembers the last few transmitted uplink
+/// payloads so they can be replayed on request.
+#[derive(Debug, Clone)]
+pub struct RetransmissionBuffer {
+    capacity: usize,
+    entries: VecDeque<(u8, Vec<u8>)>,
+    next_sequence: u8,
+}
+
+impl RetransmissionBuffer {
+    /// Creates a buffer that retains the last `capacity` packets.
+    pub fn new(capacity: usize) -> Self {
+        RetransmissionBuffer {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// Registers a new outgoing payload and returns its sequence number.
+    pub fn push(&mut self, payload: Vec<u8>) -> u8 {
+        let seq = self.next_sequence;
+        self.next_sequence = self.next_sequence.wrapping_add(1);
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back((seq, payload));
+        seq
+    }
+
+    /// Looks up the payload for a retransmission request.
+    pub fn get(&self, sequence: u8) -> Result<&[u8], MacError> {
+        self.entries
+            .iter()
+            .find(|(s, _)| *s == sequence)
+            .map(|(_, p)| p.as_slice())
+            .ok_or(MacError::UnknownSequence(sequence))
+    }
+
+    /// Drops a payload once the access point acknowledged it.
+    pub fn acknowledge(&mut self, sequence: u8) {
+        self.entries.retain(|(s, _)| *s != sequence);
+    }
+
+    /// Number of unacknowledged packets currently buffered.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Access-point-side tracking of which uplink packets were received from a tag
+/// and which need a retransmission request.
+#[derive(Debug, Clone)]
+pub struct ArqTracker {
+    /// The tag being tracked.
+    pub tag: TagId,
+    /// Maximum number of retransmission requests per packet.
+    pub max_retries: u32,
+    expected_next: u8,
+    outstanding: Vec<(u8, u32)>,
+}
+
+impl ArqTracker {
+    /// Creates a tracker for a tag.
+    pub fn new(tag: TagId, max_retries: u32) -> Self {
+        ArqTracker {
+            tag,
+            max_retries,
+            expected_next: 0,
+            outstanding: Vec::new(),
+        }
+    }
+
+    /// Records that the AP expected an uplink packet with sequence `seq` but
+    /// did not decode it.
+    pub fn record_loss(&mut self, seq: u8) {
+        if !self.outstanding.iter().any(|(s, _)| *s == seq) {
+            self.outstanding.push((seq, 0));
+        }
+        self.expected_next = seq.wrapping_add(1);
+    }
+
+    /// Records a successfully received packet.
+    pub fn record_reception(&mut self, seq: u8) {
+        self.outstanding.retain(|(s, _)| *s != seq);
+        self.expected_next = seq.wrapping_add(1);
+    }
+
+    /// Returns the next retransmission request to send, if any packet is still
+    /// missing and under its retry budget. Increments the retry counter.
+    pub fn next_request(&mut self) -> Option<u8> {
+        for (seq, tries) in self.outstanding.iter_mut() {
+            if *tries < self.max_retries {
+                *tries += 1;
+                return Some(*seq);
+            }
+        }
+        None
+    }
+
+    /// Sequence numbers that were lost and exhausted their retries.
+    pub fn given_up(&self) -> Vec<u8> {
+        self.outstanding
+            .iter()
+            .filter(|(_, tries)| *tries >= self.max_retries)
+            .map(|(s, _)| *s)
+            .collect()
+    }
+
+    /// Number of packets still awaiting a successful (re)transmission.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+}
+
+/// Packet reception ratio achieved with up to `max_retransmissions` reactive
+/// retransmissions when a single transmission succeeds with probability `p`
+/// and each retransmission round is independent. Every retransmission also
+/// requires the downlink request to get through, with probability
+/// `downlink_success`.
+pub fn prr_with_retransmissions(
+    p: f64,
+    max_retransmissions: u32,
+    downlink_success: f64,
+) -> f64 {
+    let p = p.clamp(0.0, 1.0);
+    let d = downlink_success.clamp(0.0, 1.0);
+    let mut missing = 1.0 - p;
+    for _ in 0..max_retransmissions {
+        // A missing packet is recovered if the request arrives AND the
+        // retransmission is received.
+        missing *= 1.0 - d * p;
+    }
+    1.0 - missing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_push_get_ack() {
+        let mut buf = RetransmissionBuffer::new(4);
+        let s0 = buf.push(vec![1, 2, 3]);
+        let s1 = buf.push(vec![4]);
+        assert_eq!(buf.get(s0).unwrap(), &[1, 2, 3]);
+        assert_eq!(buf.get(s1).unwrap(), &[4]);
+        buf.acknowledge(s0);
+        assert!(buf.get(s0).is_err());
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn buffer_evicts_oldest_when_full() {
+        let mut buf = RetransmissionBuffer::new(2);
+        let s0 = buf.push(vec![0]);
+        let _s1 = buf.push(vec![1]);
+        let _s2 = buf.push(vec![2]);
+        assert!(buf.get(s0).is_err());
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn tracker_requests_until_budget_exhausted() {
+        let mut t = ArqTracker::new(TagId(1), 2);
+        t.record_loss(5);
+        assert_eq!(t.next_request(), Some(5));
+        assert_eq!(t.next_request(), Some(5));
+        assert_eq!(t.next_request(), None);
+        assert_eq!(t.given_up(), vec![5]);
+        // A late reception clears the outstanding entry.
+        t.record_reception(5);
+        assert_eq!(t.outstanding(), 0);
+        assert!(t.given_up().is_empty());
+    }
+
+    #[test]
+    fn tracker_handles_multiple_losses() {
+        let mut t = ArqTracker::new(TagId(2), 3);
+        t.record_loss(1);
+        t.record_loss(2);
+        assert_eq!(t.outstanding(), 2);
+        assert_eq!(t.next_request(), Some(1));
+        t.record_reception(1);
+        assert_eq!(t.next_request(), Some(2));
+    }
+
+    #[test]
+    fn prr_grows_with_retransmissions() {
+        // Matches the shape of Fig. 26: Aloba at ~45 % single-shot PRR climbs
+        // towards ~95 % with three retransmissions.
+        let p = 0.456;
+        let prr0 = prr_with_retransmissions(p, 0, 1.0);
+        let prr1 = prr_with_retransmissions(p, 1, 1.0);
+        let prr3 = prr_with_retransmissions(p, 3, 1.0);
+        assert!((prr0 - 0.456).abs() < 1e-9);
+        assert!(prr1 > 0.65 && prr1 < 0.80, "prr1 {prr1}");
+        assert!(prr3 > 0.90, "prr3 {prr3}");
+        // A lossy downlink slows the recovery.
+        let prr3_lossy = prr_with_retransmissions(p, 3, 0.5);
+        assert!(prr3_lossy < prr3);
+    }
+
+    #[test]
+    fn prr_is_clamped() {
+        assert_eq!(prr_with_retransmissions(1.5, 2, 1.0), 1.0);
+        assert_eq!(prr_with_retransmissions(-0.2, 2, 1.0), prr_with_retransmissions(0.0, 2, 1.0));
+    }
+}

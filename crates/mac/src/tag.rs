@@ -1,0 +1,347 @@
+//! Tag-side MAC session state machine.
+//!
+//! Glues the individual feedback-loop mechanisms together on the tag: it
+//! buffers outgoing uplink packets for retransmission, applies downlink
+//! commands (retransmit / hop / rate / sensor control / ACK), and contends in
+//! slotted-ALOHA rounds when a broadcast command solicits acknowledgements.
+
+use lora_phy::params::BitsPerChirp;
+use rand::Rng;
+
+use crate::aloha::AlohaState;
+use crate::error::MacError;
+use crate::hopping::{ChannelTable, TagChannelState};
+use crate::packet::{Addressing, Command, DownlinkPacket, TagId, UplinkPacket};
+use crate::retransmission::RetransmissionBuffer;
+
+/// Actions the tag wants the radio/backscatter layer to perform after
+/// processing an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TagAction {
+    /// Transmit (backscatter) an uplink packet.
+    Transmit(UplinkPacket),
+    /// Switch the backscatter/listening channel to the given centre frequency (Hz).
+    SwitchChannel(u64),
+    /// Change the downlink data rate.
+    ChangeRate(u8),
+    /// Turn a sensor on or off.
+    SetSensor {
+        /// Sensor index.
+        sensor: u8,
+        /// Desired state.
+        enable: bool,
+    },
+}
+
+/// The tag-side MAC session.
+#[derive(Debug, Clone)]
+pub struct TagSession {
+    /// This tag's identity.
+    pub id: TagId,
+    /// Retransmission buffer for recent uplink packets.
+    buffer: RetransmissionBuffer,
+    /// Channel state (table + current channel).
+    channel: TagChannelState,
+    /// Current downlink/uplink rate (bits per chirp).
+    rate: BitsPerChirp,
+    /// Sensors currently enabled (bitmask over sensor indices 0..8).
+    sensors_enabled: u8,
+    /// Pending slotted-ALOHA contention state, if an ACK is queued.
+    aloha: Option<(AlohaState, UplinkPacket)>,
+    /// Number of slots used for ALOHA contention.
+    aloha_slots: u32,
+}
+
+impl TagSession {
+    /// Creates a session on the given channel table.
+    pub fn new(id: TagId, table: ChannelTable, initial_channel: u8) -> Result<Self, MacError> {
+        Ok(TagSession {
+            id,
+            buffer: RetransmissionBuffer::new(8),
+            channel: TagChannelState::new(id, table, initial_channel)?,
+            rate: BitsPerChirp::new(1).expect("1 is valid"),
+            sensors_enabled: 0xFF,
+            aloha: None,
+            aloha_slots: 16,
+        })
+    }
+
+    /// The tag's current channel centre frequency (Hz).
+    pub fn frequency(&self) -> f64 {
+        self.channel.frequency()
+    }
+
+    /// The tag's current bits-per-chirp rate.
+    pub fn rate(&self) -> BitsPerChirp {
+        self.rate
+    }
+
+    /// Whether a given sensor is enabled.
+    pub fn sensor_enabled(&self, sensor: u8) -> bool {
+        sensor < 8 && (self.sensors_enabled >> sensor) & 1 == 1
+    }
+
+    /// Number of unacknowledged uplink packets buffered for retransmission.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Queues a new sensor reading for uplink transmission; returns the
+    /// transmit action carrying its sequence number.
+    pub fn send_reading(&mut self, payload: Vec<u8>) -> TagAction {
+        let sequence = self.buffer.push(payload.clone());
+        TagAction::Transmit(UplinkPacket {
+            source: self.id,
+            sequence,
+            is_ack: false,
+            payload,
+        })
+    }
+
+    /// Whether a downlink packet is addressed to this tag.
+    fn addressed_to_us(&self, packet: &DownlinkPacket) -> bool {
+        match packet.addressing {
+            Addressing::Unicast(id) => id == self.id,
+            Addressing::Multicast { .. } | Addressing::Broadcast => true,
+        }
+    }
+
+    /// Whether the command needs a contended (ALOHA) acknowledgement: anything
+    /// that is not unicast and not itself an ACK.
+    fn needs_contended_ack(&self, packet: &DownlinkPacket) -> bool {
+        !matches!(packet.addressing, Addressing::Unicast(_))
+            && !matches!(packet.command, Command::Ack { .. })
+    }
+
+    /// Processes a successfully demodulated downlink packet. Returns the
+    /// immediate actions the radio layer should perform.
+    pub fn on_downlink(
+        &mut self,
+        packet: &DownlinkPacket,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<TagAction>, MacError> {
+        if !self.addressed_to_us(packet) {
+            return Ok(Vec::new());
+        }
+        let mut actions = Vec::new();
+        match packet.command {
+            Command::Retransmit { sequence } => {
+                let payload = self.buffer.get(sequence)?.to_vec();
+                actions.push(TagAction::Transmit(UplinkPacket {
+                    source: self.id,
+                    sequence,
+                    is_ack: false,
+                    payload,
+                }));
+            }
+            Command::ChannelHop { channel } => {
+                if self.channel.apply(packet)? {
+                    actions.push(TagAction::SwitchChannel(
+                        self.channel.frequency() as u64,
+                    ));
+                }
+                let _ = channel;
+            }
+            Command::SetRate { bits_per_chirp } => {
+                let rate = BitsPerChirp::new(bits_per_chirp)
+                    .map_err(|_| MacError::InvalidRate(bits_per_chirp))?;
+                if rate != self.rate {
+                    self.rate = rate;
+                    actions.push(TagAction::ChangeRate(bits_per_chirp));
+                }
+            }
+            Command::SensorControl { sensor, enable } => {
+                if sensor < 8 {
+                    if enable {
+                        self.sensors_enabled |= 1 << sensor;
+                    } else {
+                        self.sensors_enabled &= !(1 << sensor);
+                    }
+                }
+                actions.push(TagAction::SetSensor { sensor, enable });
+            }
+            Command::Ack { sequence } => {
+                self.buffer.acknowledge(sequence);
+            }
+        }
+
+        // Multicast/broadcast commands are acknowledged through slotted ALOHA
+        // (paper §4.4); unicast commands are answered directly where needed.
+        if self.needs_contended_ack(packet) {
+            let ack = UplinkPacket {
+                source: self.id,
+                sequence: 0,
+                is_ack: true,
+                payload: Vec::new(),
+            };
+            self.aloha = Some((AlohaState::new(self.id, self.aloha_slots, rng), ack));
+        } else if matches!(packet.addressing, Addressing::Unicast(_))
+            && !matches!(packet.command, Command::Ack { .. } | Command::Retransmit { .. })
+        {
+            actions.push(TagAction::Transmit(UplinkPacket {
+                source: self.id,
+                sequence: 0,
+                is_ack: true,
+                payload: Vec::new(),
+            }));
+        }
+        Ok(actions)
+    }
+
+    /// Called when the access point signals the start of an ALOHA slot with a
+    /// carrier burst. Returns the ACK to transmit if this tag's slot came up.
+    pub fn on_carrier(&mut self) -> Option<TagAction> {
+        let (state, ack) = self.aloha.as_mut()?;
+        if state.on_carrier() {
+            let action = TagAction::Transmit(ack.clone());
+            self.aloha = None;
+            Some(action)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the tag is still waiting for its ALOHA slot.
+    pub fn awaiting_slot(&self) -> bool {
+        self.aloha.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn session() -> TagSession {
+        TagSession::new(TagId(5), ChannelTable::paper_433mhz(), 2).unwrap()
+    }
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn readings_are_buffered_and_retransmittable() {
+        let mut tag = session();
+        let action = tag.send_reading(vec![1, 2, 3]);
+        let seq = match &action {
+            TagAction::Transmit(p) => p.sequence,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(tag.buffered(), 1);
+
+        // The AP asks for a retransmission of that sequence.
+        let retx = DownlinkPacket {
+            addressing: Addressing::Unicast(TagId(5)),
+            command: Command::Retransmit { sequence: seq },
+        };
+        let actions = tag.on_downlink(&retx, &mut rng()).unwrap();
+        assert!(matches!(
+            &actions[0],
+            TagAction::Transmit(p) if p.payload == vec![1, 2, 3] && p.sequence == seq
+        ));
+
+        // An ACK clears the buffer entry.
+        let ack = DownlinkPacket {
+            addressing: Addressing::Unicast(TagId(5)),
+            command: Command::Ack { sequence: seq },
+        };
+        tag.on_downlink(&ack, &mut rng()).unwrap();
+        assert_eq!(tag.buffered(), 0);
+    }
+
+    #[test]
+    fn unknown_sequence_retransmission_is_an_error() {
+        let mut tag = session();
+        let retx = DownlinkPacket {
+            addressing: Addressing::Unicast(TagId(5)),
+            command: Command::Retransmit { sequence: 9 },
+        };
+        assert!(matches!(
+            tag.on_downlink(&retx, &mut rng()),
+            Err(MacError::UnknownSequence(9))
+        ));
+    }
+
+    #[test]
+    fn commands_for_other_tags_are_ignored() {
+        let mut tag = session();
+        let other = DownlinkPacket {
+            addressing: Addressing::Unicast(TagId(6)),
+            command: Command::ChannelHop { channel: 0 },
+        };
+        assert!(tag.on_downlink(&other, &mut rng()).unwrap().is_empty());
+        assert_eq!(tag.frequency(), 434.0e6);
+    }
+
+    #[test]
+    fn hop_rate_and_sensor_commands_change_state() {
+        let mut tag = session();
+        let hop = DownlinkPacket {
+            addressing: Addressing::Unicast(TagId(5)),
+            command: Command::ChannelHop { channel: 4 },
+        };
+        let actions = tag.on_downlink(&hop, &mut rng()).unwrap();
+        assert!(actions.iter().any(|a| matches!(a, TagAction::SwitchChannel(_))));
+        assert_eq!(tag.frequency(), 435.0e6);
+
+        let rate = DownlinkPacket {
+            addressing: Addressing::Unicast(TagId(5)),
+            command: Command::SetRate { bits_per_chirp: 4 },
+        };
+        let actions = tag.on_downlink(&rate, &mut rng()).unwrap();
+        assert!(actions.iter().any(|a| matches!(a, TagAction::ChangeRate(4))));
+        assert_eq!(tag.rate().bits(), 4);
+
+        let sensor = DownlinkPacket {
+            addressing: Addressing::Unicast(TagId(5)),
+            command: Command::SensorControl {
+                sensor: 2,
+                enable: false,
+            },
+        };
+        tag.on_downlink(&sensor, &mut rng()).unwrap();
+        assert!(!tag.sensor_enabled(2));
+        assert!(tag.sensor_enabled(3));
+    }
+
+    #[test]
+    fn broadcast_commands_trigger_aloha_contention() {
+        let mut tag = session();
+        let broadcast = DownlinkPacket {
+            addressing: Addressing::Broadcast,
+            command: Command::SensorControl {
+                sensor: 0,
+                enable: false,
+            },
+        };
+        tag.on_downlink(&broadcast, &mut rng()).unwrap();
+        assert!(tag.awaiting_slot());
+        // The ACK comes out after at most `aloha_slots` carrier bursts.
+        let mut fired = false;
+        for _ in 0..16 {
+            if let Some(TagAction::Transmit(p)) = tag.on_carrier() {
+                assert!(p.is_ack);
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+        assert!(!tag.awaiting_slot());
+    }
+
+    #[test]
+    fn unicast_non_ack_commands_get_an_immediate_ack() {
+        let mut tag = session();
+        let unicast = DownlinkPacket {
+            addressing: Addressing::Unicast(TagId(5)),
+            command: Command::SetRate { bits_per_chirp: 3 },
+        };
+        let actions = tag.on_downlink(&unicast, &mut rng()).unwrap();
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, TagAction::Transmit(p) if p.is_ack)));
+        assert!(!tag.awaiting_slot());
+    }
+}

@@ -1,0 +1,333 @@
+//! Case-study simulations: reactive retransmission (§5.3.1, Fig. 26),
+//! channel hopping under jamming (§5.3.2, Fig. 27), and multi-tag
+//! acknowledgement via slotted ALOHA (§4.4).
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfsim::units::Meters;
+use saiyan_mac::packet::TagId;
+use saiyan_mac::{simulate_round, ArqTracker, RetransmissionBuffer};
+
+use crate::backscatter::{BackscatterScenario, UplinkSystem};
+use crate::scenario::Scenario;
+
+/// Parameters of the Fig. 26 retransmission case study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetransmissionStudy {
+    /// The backscatter uplink system carrying the data.
+    pub system: UplinkSystem,
+    /// Uplink geometry (the paper uses a 100 m link).
+    pub uplink: BackscatterScenario,
+    /// Downlink scenario for the Saiyan-equipped tag receiving the feedback.
+    pub downlink: Scenario,
+    /// Payload size in bits per uplink packet.
+    pub payload_bits: usize,
+    /// Packets per run.
+    pub packets: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RetransmissionStudy {
+    /// The §5.3.1 setup for a given system: tag 10 m from the carrier
+    /// transmitter, receiver 100 m away, downlink at 100 m.
+    pub fn paper(system: UplinkSystem) -> Self {
+        RetransmissionStudy {
+            system,
+            uplink: paper_uplink(system),
+            downlink: Scenario::outdoor_default(Meters(100.0)),
+            payload_bits: 256,
+            packets: 1000,
+            seed: 0xF16_26,
+        }
+    }
+
+    /// Simulates the study with up to `max_retransmissions` reactive
+    /// retransmissions per lost packet and returns the PRR.
+    pub fn prr(&self, max_retransmissions: u32) -> f64 {
+        let uplink_success = self.uplink.prr(self.system, self.payload_bits);
+        // The feedback request is a short downlink command (≈ 40 bits).
+        let downlink_success =
+            1.0 - saiyan::metrics::packet_error_rate(self.downlink.ber(), 40);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ max_retransmissions as u64);
+
+        let mut delivered = 0usize;
+        for seq in 0..self.packets {
+            let mut buffer = RetransmissionBuffer::new(4);
+            let mut tracker = ArqTracker::new(TagId(1), max_retransmissions);
+            let sequence = buffer.push(vec![seq as u8]);
+
+            let mut received = rng.gen::<f64>() < uplink_success;
+            if received {
+                tracker.record_reception(sequence);
+            } else {
+                tracker.record_loss(sequence);
+            }
+            while !received {
+                let Some(request_seq) = tracker.next_request() else {
+                    break;
+                };
+                // The request must reach the tag over the downlink…
+                if rng.gen::<f64>() >= downlink_success {
+                    continue;
+                }
+                // …the tag must still have the packet buffered…
+                if buffer.get(request_seq).is_err() {
+                    break;
+                }
+                // …and the retransmission must survive the uplink.
+                if rng.gen::<f64>() < uplink_success {
+                    received = true;
+                    tracker.record_reception(request_seq);
+                }
+            }
+            if received {
+                delivered += 1;
+            }
+        }
+        delivered as f64 / self.packets as f64
+    }
+}
+
+/// The uplink geometry used for the case studies: calibrated per system so the
+/// single-shot PRR matches the paper's §5.3.1 starting points (~82 % for
+/// PLoRa, ~46 % for Aloba at the 100 m link).
+fn paper_uplink(system: UplinkSystem) -> BackscatterScenario {
+    let tag_to_tx = match system {
+        UplinkSystem::PLoRa => Meters(3.55),
+        UplinkSystem::Aloba => Meters(2.8),
+    };
+    BackscatterScenario::fig2(tag_to_tx)
+}
+
+/// One observation window of the channel-hopping case study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoppingWindow {
+    /// Window index.
+    pub index: usize,
+    /// Whether the tag had already hopped away from the jammed channel.
+    pub hopped: bool,
+    /// Packet reception ratio measured in the window.
+    pub prr: f64,
+}
+
+/// Parameters of the Fig. 27 channel-hopping case study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelHoppingStudy {
+    /// Uplink geometry.
+    pub uplink: BackscatterScenario,
+    /// Downlink scenario used to deliver the hop command.
+    pub downlink: Scenario,
+    /// Jammer power at the receiver while on the jammed channel (dBm).
+    pub jammer_dbm: f64,
+    /// Number of observation windows before the hop command is issued.
+    pub windows_before_hop: usize,
+    /// Total number of observation windows.
+    pub total_windows: usize,
+    /// Packets per window.
+    pub packets_per_window: usize,
+    /// Payload bits per packet.
+    pub payload_bits: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ChannelHoppingStudy {
+    /// The §5.3.2 setup: PLoRa uplink, jammer on the original channel.
+    pub fn paper() -> Self {
+        ChannelHoppingStudy {
+            // Operating point calibrated so the un-jammed PRR matches the
+            // ~92 % median of Fig. 27 after the hop.
+            uplink: BackscatterScenario::fig2(Meters(3.05)),
+            downlink: Scenario::outdoor_default(Meters(100.0)),
+            // Effective co-channel leakage of the adjacent-band USRP jammer at
+            // the receiver, calibrated so the jammed median PRR sits near the
+            // ~47 % the paper reports before the hop.
+            jammer_dbm: -105.0,
+            windows_before_hop: 25,
+            total_windows: 50,
+            packets_per_window: 40,
+            payload_bits: 256,
+            seed: 0xF16_27,
+        }
+    }
+
+    /// Simulates the study and returns the per-window PRR trace.
+    pub fn run(&self) -> Vec<HoppingWindow> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        // While jammed, the uplink SINR collapses: the jammer power adds to the
+        // receiver noise floor.
+        let jammed_snr = rfsim::units::Db(
+            self.uplink.received_power().value()
+                - rfsim::units::sum_dbm(&[
+                    self.uplink.received_power() - self.uplink.snr(),
+                    rfsim::units::Dbm(self.jammer_dbm),
+                ])
+                .value(),
+        );
+        let clean_prr = self.uplink.prr(UplinkSystem::PLoRa, self.payload_bits);
+        let jammed_prr = 1.0
+            - saiyan::metrics::packet_error_rate(
+                UplinkSystem::PLoRa.ber(jammed_snr),
+                self.payload_bits,
+            );
+        // The hop command itself must be demodulated by the tag.
+        let downlink_success =
+            1.0 - saiyan::metrics::packet_error_rate(self.downlink.ber(), 40);
+
+        let mut hopped = false;
+        let mut windows = Vec::with_capacity(self.total_windows);
+        for index in 0..self.total_windows {
+            if index >= self.windows_before_hop && !hopped {
+                // The access point keeps commanding the hop until it succeeds.
+                if rng.gen::<f64>() < downlink_success {
+                    hopped = true;
+                }
+            }
+            let per_packet = if hopped { clean_prr } else { jammed_prr };
+            let delivered = (0..self.packets_per_window)
+                .filter(|_| rng.gen::<f64>() < per_packet)
+                .count();
+            windows.push(HoppingWindow {
+                index,
+                hopped,
+                prr: delivered as f64 / self.packets_per_window as f64,
+            });
+        }
+        windows
+    }
+}
+
+/// Empirical CDF of a set of samples: returns (value, cumulative probability)
+/// pairs sorted by value.
+pub fn empirical_cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    if samples.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len() as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Median of a sample set (0 if empty).
+pub fn median(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    sorted[sorted.len() / 2]
+}
+
+/// Result of one multi-tag acknowledgement round (§4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiTagRound {
+    /// Number of tags that successfully demodulated the downlink command.
+    pub demodulated: usize,
+    /// Number of tags whose ACK got through without collision.
+    pub acked: usize,
+    /// Number of ACKs lost to collisions.
+    pub collided: usize,
+}
+
+/// Simulates a broadcast command to `num_tags` tags at the given downlink
+/// distance, followed by a slotted-ALOHA acknowledgement round with
+/// `slots` slots.
+pub fn multi_tag_acknowledgement(
+    num_tags: usize,
+    downlink: &Scenario,
+    slots: u32,
+    seed: u64,
+) -> MultiTagRound {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let downlink_success = 1.0 - saiyan::metrics::packet_error_rate(downlink.ber(), 40);
+    // Only tags that actually decoded the command will respond.
+    let responders: Vec<TagId> = (0..num_tags)
+        .filter(|_| rng.gen::<f64>() < downlink_success)
+        .map(|i| TagId(i as u16))
+        .collect();
+    let round = simulate_round(&responders, slots, seed ^ 0xA10A);
+    MultiTagRound {
+        demodulated: responders.len(),
+        acked: round.successes.len(),
+        collided: round.collisions.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retransmissions_lift_prr_like_fig26() {
+        let study = RetransmissionStudy::paper(UplinkSystem::Aloba);
+        let prr0 = study.prr(0);
+        let prr1 = study.prr(1);
+        let prr3 = study.prr(3);
+        // Fig. 26: Aloba climbs from ~46 % to ~95 % with three retransmissions.
+        assert!(prr0 > 0.25 && prr0 < 0.7, "single-shot PRR {prr0}");
+        assert!(prr1 > prr0);
+        assert!(prr3 > 0.85, "PRR after 3 retransmissions {prr3}");
+
+        let plora = RetransmissionStudy::paper(UplinkSystem::PLoRa);
+        let plora0 = plora.prr(0);
+        assert!(plora0 > prr0, "PLoRa single-shot {plora0} vs Aloba {prr0}");
+        assert!(plora.prr(3) > 0.95);
+    }
+
+    #[test]
+    fn channel_hopping_restores_prr_like_fig27() {
+        let study = ChannelHoppingStudy::paper();
+        let windows = study.run();
+        assert_eq!(windows.len(), study.total_windows);
+        let before: Vec<f64> = windows
+            .iter()
+            .filter(|w| !w.hopped)
+            .map(|w| w.prr)
+            .collect();
+        let after: Vec<f64> = windows.iter().filter(|w| w.hopped).map(|w| w.prr).collect();
+        assert!(!before.is_empty() && !after.is_empty());
+        // Fig. 27: the median PRR jumps from ~47 % to ~92 % after the hop.
+        let m_before = median(&before);
+        let m_after = median(&after);
+        assert!(m_before < 0.7, "median before hop {m_before}");
+        assert!(m_after > 0.85, "median after hop {m_after}");
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_normalised() {
+        let cdf = empirical_cdf(&[0.3, 0.1, 0.9, 0.5]);
+        assert_eq!(cdf.len(), 4);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert!(empirical_cdf(&[]).is_empty());
+    }
+
+    #[test]
+    fn multi_tag_round_accounts_for_every_responder() {
+        let downlink = Scenario::outdoor_default(Meters(50.0));
+        let round = multi_tag_acknowledgement(12, &downlink, 16, 3);
+        assert!(round.demodulated <= 12);
+        assert_eq!(round.acked + round.collided, round.demodulated);
+        // At 50 m the downlink is reliable, so nearly every tag demodulates.
+        assert!(round.demodulated >= 10);
+    }
+
+    #[test]
+    fn jamming_actually_hurts_before_the_hop() {
+        let study = ChannelHoppingStudy::paper();
+        let windows = study.run();
+        let first = &windows[0];
+        assert!(!first.hopped);
+        assert!(first.prr < 0.8);
+    }
+}

@@ -1,0 +1,392 @@
+//! Discrete-event network simulation of a Saiyan deployment.
+//!
+//! Ties the whole stack together over time: an access point and a set of
+//! backscatter tags exchange uplink readings and downlink feedback over
+//! links whose success probabilities come from the calibrated scenario
+//! models. Packet loss triggers reactive retransmission requests, a jammer
+//! can appear mid-run and trigger a channel hop, and every exchange is
+//! billed against the tag's energy budget.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfsim::units::Meters;
+use saiyan::metrics::packet_error_rate;
+use saiyan::TagPowerModel;
+use saiyan_mac::hopping::ChannelTable;
+use saiyan_mac::packet::{Command, DownlinkPacket, TagId, UplinkPacket};
+use saiyan_mac::tag::{TagAction, TagSession};
+use saiyan_mac::AccessPoint;
+
+use crate::backscatter::{BackscatterScenario, UplinkSystem};
+use crate::scenario::Scenario;
+
+/// Events processed by the simulator, ordered by time.
+#[derive(Debug, Clone, PartialEq)]
+enum EventKind {
+    /// A tag generates and backscatters a sensor reading.
+    SensorReading { tag: TagId },
+    /// A downlink command is transmitted by the access point.
+    Downlink { packet: DownlinkPacket },
+    /// An uplink packet is transmitted by a tag.
+    Uplink { packet: UplinkPacket },
+    /// The access point scans the spectrum of its current channel.
+    SpectrumScan,
+    /// The jammer switches on.
+    JammerOn,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Event {
+    time: f64,
+    kind: EventKind,
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order so the BinaryHeap pops the earliest event first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Configuration of a deployment simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentConfig {
+    /// Number of tags in the deployment.
+    pub num_tags: usize,
+    /// Downlink distance (AP to tags), metres.
+    pub downlink_distance_m: f64,
+    /// Backscatter uplink operating point (tag-to-carrier distance), metres.
+    pub uplink_tag_to_tx_m: f64,
+    /// Uplink system the tags use.
+    pub uplink_system: UplinkSystem,
+    /// Sensor readings generated per tag.
+    pub readings_per_tag: usize,
+    /// Interval between readings (seconds).
+    pub reading_interval_s: f64,
+    /// Maximum retransmission requests per lost reading.
+    pub max_retries: u32,
+    /// Time at which a jammer appears on the current channel (None = never).
+    pub jammer_at_s: Option<f64>,
+    /// Uplink packet size in bits.
+    pub payload_bits: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            num_tags: 5,
+            downlink_distance_m: 100.0,
+            uplink_tag_to_tx_m: 3.0,
+            uplink_system: UplinkSystem::PLoRa,
+            readings_per_tag: 50,
+            reading_interval_s: 2.0,
+            max_retries: 3,
+            jammer_at_s: None,
+            payload_bits: 256,
+            seed: 0xD3_10,
+        }
+    }
+}
+
+/// Statistics produced by a deployment run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeploymentStats {
+    /// Sensor readings generated across all tags.
+    pub readings_generated: usize,
+    /// Readings delivered to the access point (after any retransmissions).
+    pub readings_delivered: usize,
+    /// Uplink transmissions attempted (including retransmissions).
+    pub uplink_transmissions: usize,
+    /// Downlink commands transmitted by the access point.
+    pub downlink_commands: usize,
+    /// Retransmission requests issued.
+    pub retransmission_requests: usize,
+    /// Channel hops commanded.
+    pub channel_hops: usize,
+    /// Total energy spent by all tags on downlink demodulation (joules).
+    pub tag_demodulation_energy_j: f64,
+    /// Simulated duration (seconds).
+    pub duration_s: f64,
+}
+
+impl DeploymentStats {
+    /// Delivery ratio of sensor readings.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.readings_generated == 0 {
+            return 0.0;
+        }
+        self.readings_delivered as f64 / self.readings_generated as f64
+    }
+
+    /// Mean uplink transmissions per delivered reading (1.0 = no loss).
+    pub fn transmissions_per_delivery(&self) -> f64 {
+        if self.readings_delivered == 0 {
+            return 0.0;
+        }
+        self.uplink_transmissions as f64 / self.readings_delivered as f64
+    }
+}
+
+/// The deployment simulator.
+#[derive(Debug)]
+pub struct DeploymentSim {
+    config: DeploymentConfig,
+    ap: AccessPoint,
+    tags: Vec<TagSession>,
+    queue: BinaryHeap<Event>,
+    rng: ChaCha8Rng,
+    power_model: TagPowerModel,
+    jammed: bool,
+    stats: DeploymentStats,
+    /// Per-tag next sequence number expected by the simulation driver.
+    expected_seq: Vec<u8>,
+}
+
+impl DeploymentSim {
+    /// Builds a simulator from a configuration.
+    pub fn new(config: DeploymentConfig) -> Self {
+        let table = ChannelTable::paper_433mhz();
+        let ap = AccessPoint::new(table.clone(), 2, config.max_retries)
+            .expect("channel 2 exists in the paper table");
+        let tags: Vec<TagSession> = (0..config.num_tags)
+            .map(|i| {
+                TagSession::new(TagId(i as u16), table.clone(), 2)
+                    .expect("channel 2 exists in the paper table")
+            })
+            .collect();
+        let mut queue = BinaryHeap::new();
+        // Schedule the sensor readings round-robin across tags.
+        for reading in 0..config.readings_per_tag {
+            for (i, tag) in tags.iter().enumerate() {
+                let time = reading as f64 * config.reading_interval_s
+                    + i as f64 * config.reading_interval_s / config.num_tags.max(1) as f64;
+                queue.push(Event {
+                    time,
+                    kind: EventKind::SensorReading { tag: tag.id },
+                });
+            }
+        }
+        // Periodic spectrum scans.
+        let total_time = config.readings_per_tag as f64 * config.reading_interval_s;
+        let mut t = 1.0;
+        while t < total_time {
+            queue.push(Event {
+                time: t,
+                kind: EventKind::SpectrumScan,
+            });
+            t += 5.0;
+        }
+        if let Some(jam_time) = config.jammer_at_s {
+            queue.push(Event {
+                time: jam_time,
+                kind: EventKind::JammerOn,
+            });
+        }
+        let seed = config.seed;
+        let num_tags = config.num_tags;
+        DeploymentSim {
+            config,
+            ap,
+            tags,
+            queue,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            power_model: TagPowerModel::asic(),
+            jammed: false,
+            stats: DeploymentStats::default(),
+            expected_seq: vec![0; num_tags],
+        }
+    }
+
+    /// Probability that an uplink packet is decoded by the access point.
+    fn uplink_success(&self) -> f64 {
+        if self.jammed {
+            // Co-channel jamming collapses the uplink until the hop happens.
+            return 0.05;
+        }
+        let scenario = BackscatterScenario::fig2(Meters(self.config.uplink_tag_to_tx_m));
+        scenario.prr(self.config.uplink_system, self.config.payload_bits)
+    }
+
+    /// Probability that a short downlink command is demodulated by a tag.
+    ///
+    /// The §5.3.2 jammer sits next to the *receiver*, so it corrupts the
+    /// backscatter uplink but not the tags' downlink reception 100 m away —
+    /// which is exactly why the hop command still gets through.
+    fn downlink_success(&self) -> f64 {
+        let scenario = Scenario::outdoor_default(Meters(self.config.downlink_distance_m));
+        1.0 - packet_error_rate(scenario.ber(), 40)
+    }
+
+    /// Runs the simulation to completion and returns the statistics.
+    pub fn run(mut self) -> DeploymentStats {
+        let lora = Scenario::outdoor_default(Meters(self.config.downlink_distance_m)).lora;
+        while let Some(event) = self.queue.pop() {
+            self.stats.duration_s = self.stats.duration_s.max(event.time);
+            match event.kind {
+                EventKind::SensorReading { tag } => {
+                    let idx = tag.0 as usize;
+                    let seq = self.expected_seq[idx];
+                    self.expected_seq[idx] = seq.wrapping_add(1);
+                    self.stats.readings_generated += 1;
+                    let action = self.tags[idx].send_reading(vec![seq, tag.0 as u8]);
+                    if let TagAction::Transmit(packet) = action {
+                        self.queue.push(Event {
+                            time: event.time + 0.01,
+                            kind: EventKind::Uplink { packet },
+                        });
+                    }
+                }
+                EventKind::Uplink { packet } => {
+                    self.stats.uplink_transmissions += 1;
+                    let success = self.rng.gen::<f64>() < self.uplink_success();
+                    if success {
+                        if !packet.is_ack {
+                            self.stats.readings_delivered += 1;
+                        }
+                        self.ap.on_uplink(&packet);
+                    } else if !packet.is_ack {
+                        // The AP expected this reading; ask for a retransmission.
+                        if let Some(request) =
+                            self.ap.on_uplink_loss(packet.source, packet.sequence)
+                        {
+                            self.stats.retransmission_requests += 1;
+                            self.queue.push(Event {
+                                time: event.time + 0.05,
+                                kind: EventKind::Downlink { packet: request },
+                            });
+                        }
+                    }
+                }
+                EventKind::Downlink { packet } => {
+                    self.stats.downlink_commands += 1;
+                    let p_success = self.downlink_success();
+                    for tag in &mut self.tags {
+                        // Every tag in range wakes its demodulator for the command.
+                        self.stats.tag_demodulation_energy_j +=
+                            self.power_model.packet_energy_joules(&lora, 8);
+                        if self.rng.gen::<f64>() >= p_success {
+                            continue;
+                        }
+                        if let Ok(actions) = tag.on_downlink(&packet, &mut self.rng) {
+                            for action in actions {
+                                match action {
+                                    TagAction::Transmit(reply) => {
+                                        self.queue.push(Event {
+                                            time: event.time + 0.05,
+                                            kind: EventKind::Uplink { packet: reply },
+                                        });
+                                    }
+                                    TagAction::SwitchChannel(_) => {
+                                        // Hopping away from the jammer restores the links.
+                                        self.jammed = false;
+                                    }
+                                    TagAction::ChangeRate(_) | TagAction::SetSensor { .. } => {}
+                                }
+                            }
+                        }
+                    }
+                    if matches!(packet.command, Command::ChannelHop { .. }) {
+                        self.stats.channel_hops += 1;
+                    }
+                }
+                EventKind::SpectrumScan => {
+                    let level = if self.jammed { -40.0 } else { -95.0 };
+                    let current = self.ap.hopping.current;
+                    if let Some(hop) = self.ap.on_spectrum_scan(current, level) {
+                        self.queue.push(Event {
+                            time: event.time + 0.02,
+                            kind: EventKind::Downlink { packet: hop },
+                        });
+                    }
+                }
+                EventKind::JammerOn => {
+                    self.jammed = true;
+                }
+            }
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_deployment_delivers_nearly_everything() {
+        let stats = DeploymentSim::new(DeploymentConfig {
+            num_tags: 3,
+            readings_per_tag: 40,
+            ..Default::default()
+        })
+        .run();
+        assert_eq!(stats.readings_generated, 120);
+        assert!(stats.delivery_ratio() > 0.95, "delivery {}", stats.delivery_ratio());
+        assert!(stats.transmissions_per_delivery() < 1.5);
+        assert!(stats.tag_demodulation_energy_j >= 0.0);
+    }
+
+    #[test]
+    fn retransmissions_raise_delivery_on_a_lossy_uplink() {
+        let lossy = DeploymentConfig {
+            uplink_system: UplinkSystem::Aloba,
+            uplink_tag_to_tx_m: 2.8,
+            readings_per_tag: 60,
+            num_tags: 2,
+            ..Default::default()
+        };
+        let with_arq = DeploymentSim::new(lossy.clone()).run();
+        let without_arq = DeploymentSim::new(DeploymentConfig {
+            max_retries: 0,
+            ..lossy
+        })
+        .run();
+        assert!(
+            with_arq.delivery_ratio() > without_arq.delivery_ratio() + 0.1,
+            "ARQ {} vs none {}",
+            with_arq.delivery_ratio(),
+            without_arq.delivery_ratio()
+        );
+        assert!(with_arq.retransmission_requests > 0);
+    }
+
+    #[test]
+    fn a_jammer_triggers_a_channel_hop_and_recovery() {
+        let stats = DeploymentSim::new(DeploymentConfig {
+            jammer_at_s: Some(20.0),
+            readings_per_tag: 60,
+            num_tags: 2,
+            ..Default::default()
+        })
+        .run();
+        assert!(stats.channel_hops >= 1, "no hop happened");
+        // Despite the jamming window, most readings still make it through
+        // because the deployment hops away.
+        assert!(stats.delivery_ratio() > 0.7, "delivery {}", stats.delivery_ratio());
+    }
+
+    #[test]
+    fn statistics_are_internally_consistent() {
+        let stats = DeploymentSim::new(DeploymentConfig::default()).run();
+        assert!(stats.readings_delivered <= stats.readings_generated);
+        assert!(stats.uplink_transmissions >= stats.readings_generated);
+        assert!(stats.duration_s > 0.0);
+    }
+}

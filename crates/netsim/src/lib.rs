@@ -1,0 +1,36 @@
+//! # netsim — scenario simulation and Monte-Carlo evaluation
+//!
+//! The evaluation engine behind every table and figure reproduction:
+//!
+//! * [`scenario`] — downlink scenarios (environment, distance, PHY, variant,
+//!   temperature, jammer) and their link-abstraction BER;
+//! * [`range`] — demodulation-range and detection-range searches;
+//! * [`trial`] — Monte-Carlo packet trials (link abstraction and full
+//!   waveform);
+//! * [`backscatter`] — the two-hop backscatter uplink (Fig. 2);
+//! * [`casestudy`] — retransmission, channel hopping and multi-tag ALOHA
+//!   case studies (Figs. 26/27, §4.4);
+//! * [`event`] — a discrete-event simulation of a whole deployment
+//!   (access point + tags + jammer) built on the MAC session machines.
+//!
+//! See DESIGN.md for how the link abstraction is calibrated against the
+//! paper's headline measurements and EXPERIMENTS.md for per-figure results.
+
+#![warn(missing_docs)]
+
+pub mod backscatter;
+pub mod casestudy;
+pub mod event;
+pub mod range;
+pub mod scenario;
+pub mod trial;
+
+pub use backscatter::{BackscatterScenario, UplinkSystem};
+pub use casestudy::{
+    empirical_cdf, median, multi_tag_acknowledgement, ChannelHoppingStudy, HoppingWindow,
+    MultiTagRound, RetransmissionStudy,
+};
+pub use event::{DeploymentConfig, DeploymentSim, DeploymentStats};
+pub use range::{demodulation_range, detection_range, paper_demodulation_range};
+pub use scenario::Scenario;
+pub use trial::{run_link_trials, run_waveform_trials, TrialConfig};

@@ -1,0 +1,149 @@
+//! Range searches: demodulation range and detection range.
+//!
+//! The paper's headline metric is the *demodulation range*: the maximum
+//! transmitter-to-tag distance at which the BER stays below 1 ‰ (§5). The
+//! comparison with PLoRa/Aloba uses the *detection range* instead, since those
+//! systems can only detect packets. Both searches are monotone in distance, so
+//! a bisection over the scenario's BER (or detection probability) finds them
+//! quickly.
+
+use rfsim::units::{Dbm, Meters};
+use saiyan::metrics::DEMODULATION_BER_THRESHOLD;
+
+use crate::scenario::Scenario;
+
+/// Upper bound (metres) used by the range searches.
+pub const MAX_SEARCH_DISTANCE_M: f64 = 2_000.0;
+
+/// Finds the demodulation range of a scenario template: the largest distance
+/// at which `scenario.with_distance(d).ber() <= threshold`.
+pub fn demodulation_range(template: &Scenario, ber_threshold: f64) -> Meters {
+    let meets = |d: f64| template.clone().with_distance(Meters(d)).ber() <= ber_threshold;
+    bisect_range(meets)
+}
+
+/// Demodulation range at the paper's 1 ‰ threshold.
+pub fn paper_demodulation_range(template: &Scenario) -> Meters {
+    demodulation_range(template, DEMODULATION_BER_THRESHOLD)
+}
+
+/// Finds the detection range for a receiver with the given detection
+/// sensitivity: the largest distance at which the scenario delivers at least
+/// that RSS.
+pub fn detection_range(template: &Scenario, sensitivity: Dbm) -> Meters {
+    let meets = |d: f64| {
+        template
+            .clone()
+            .with_distance(Meters(d))
+            .effective_rss()
+            .value()
+            >= sensitivity.value()
+    };
+    bisect_range(meets)
+}
+
+/// Generic bisection over distance for a monotone "link works at distance d"
+/// predicate. Returns 0 if the link does not even work at 1 m.
+fn bisect_range(meets: impl Fn(f64) -> bool) -> Meters {
+    if !meets(1.0) {
+        return Meters(0.0);
+    }
+    if meets(MAX_SEARCH_DISTANCE_M) {
+        return Meters(MAX_SEARCH_DISTANCE_M);
+    }
+    let mut lo = 1.0;
+    let mut hi = MAX_SEARCH_DISTANCE_M;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if meets(mid) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Meters(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+    use saiyan::config::Variant;
+
+    #[test]
+    fn headline_demodulation_range_matches_paper_scale() {
+        // Super Saiyan, SF7/500 kHz/K=2, outdoor: the paper reports 148.6 m;
+        // our calibrated model should land within ~15 %.
+        let template = Scenario::outdoor_default(Meters(1.0));
+        let range = paper_demodulation_range(&template);
+        assert!(
+            (range.value() - 148.6).abs() / 148.6 < 0.15,
+            "range {} m",
+            range.value()
+        );
+    }
+
+    #[test]
+    fn ablation_ranges_are_ordered_and_ratios_match() {
+        let base = Scenario::outdoor_default(Meters(1.0));
+        let vanilla =
+            paper_demodulation_range(&base.clone().with_variant(Variant::Vanilla)).value();
+        let shifting =
+            paper_demodulation_range(&base.clone().with_variant(Variant::WithShifting)).value();
+        let full = paper_demodulation_range(&base.clone().with_variant(Variant::Super)).value();
+        assert!(vanilla < shifting && shifting < full);
+        // Fig. 25: shifting buys 1.56-1.73x, correlation another 1.94-2.25x.
+        let shift_gain = shifting / vanilla;
+        let corr_gain = full / shifting;
+        assert!(shift_gain > 1.4 && shift_gain < 1.9, "shifting gain {shift_gain}");
+        assert!(corr_gain > 1.8 && corr_gain < 2.4, "correlation gain {corr_gain}");
+    }
+
+    #[test]
+    fn indoor_ranges_shrink_with_walls() {
+        let outdoor = paper_demodulation_range(&Scenario::outdoor_default(Meters(1.0))).value();
+        let one_wall = paper_demodulation_range(&Scenario::indoor(Meters(1.0), 1)).value();
+        let two_walls = paper_demodulation_range(&Scenario::indoor(Meters(1.0), 2)).value();
+        assert!(one_wall < outdoor);
+        assert!(two_walls < one_wall);
+        // Fig. 20: the second wall roughly halves the range.
+        let ratio = one_wall / two_walls;
+        assert!(ratio > 1.8 && ratio < 2.6, "wall ratio {ratio}");
+    }
+
+    #[test]
+    fn wider_bandwidth_extends_range() {
+        let base = Scenario::outdoor_default(Meters(1.0));
+        let mut ranges = Vec::new();
+        for bw in [Bandwidth::Khz125, Bandwidth::Khz250, Bandwidth::Khz500] {
+            let lora = LoraParams::new(SpreadingFactor::Sf7, bw, BitsPerChirp::new(2).unwrap());
+            ranges.push(paper_demodulation_range(&base.clone().with_lora(lora)).value());
+        }
+        assert!(ranges[0] < ranges[1] && ranges[1] < ranges[2]);
+        // Fig. 18: 125 kHz -> 500 kHz roughly doubles the range (72.2 -> 138.6 m).
+        let ratio = ranges[2] / ranges[0];
+        assert!(ratio > 1.6 && ratio < 2.4, "bw ratio {ratio}");
+    }
+
+    #[test]
+    fn detection_range_ordering_matches_fig21() {
+        let template = Scenario::outdoor_default(Meters(1.0));
+        let saiyan = detection_range(&template, Dbm(saiyan::SUPER_SAIYAN_SENSITIVITY_DBM)).value();
+        let plora =
+            detection_range(&template, Dbm(baselines::PLORA_DETECTION_SENSITIVITY_DBM)).value();
+        let aloba =
+            detection_range(&template, Dbm(baselines::ALOBA_DETECTION_SENSITIVITY_DBM)).value();
+        assert!(saiyan > plora && plora > aloba);
+        // Fig. 21: Saiyan 148.6 m vs PLoRa 42.4 m (3.26x) and Aloba 30.6 m (4.52x).
+        assert!((saiyan / plora - 3.26).abs() < 0.8, "ratio {}", saiyan / plora);
+        assert!((saiyan / aloba - 4.52).abs() < 1.1, "ratio {}", saiyan / aloba);
+    }
+
+    #[test]
+    fn dead_link_reports_zero_range() {
+        // An absurdly high BER threshold cannot fail; an impossible one gives 0.
+        let template = Scenario::outdoor_default(Meters(1.0));
+        assert_eq!(demodulation_range(&template, -1.0).value(), 0.0);
+        assert!(demodulation_range(&template, 0.9).value() > 100.0);
+    }
+}

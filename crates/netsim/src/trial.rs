@@ -1,0 +1,195 @@
+//! Monte-Carlo packet trials.
+//!
+//! Two levels of fidelity are available:
+//!
+//! * **Link abstraction** ([`run_link_trials`]): per-bit coin flips against
+//!   the calibrated RSS→BER model. This is what the big evaluation sweeps use
+//!   (the paper itself sends 1,000 packets × 100 repetitions per point).
+//! * **Waveform level** ([`run_waveform_trials`]): full modulation → channel →
+//!   Saiyan receive chain, used by micro-benchmarks and to sanity-check the
+//!   abstraction on a few points.
+
+use lora_phy::downlink::bytes_to_symbols;
+use lora_phy::modulator::{Alphabet, Modulator};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfsim::channel::dbm_to_buffer_power;
+use rfsim::noise::AwgnSource;
+use saiyan::config::SaiyanConfig;
+use saiyan::demodulator::SaiyanDemodulator;
+use saiyan::metrics::ErrorCounts;
+
+use crate::scenario::Scenario;
+
+/// Configuration of a Monte-Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialConfig {
+    /// Number of packets per run.
+    pub packets: usize,
+    /// Payload symbols per packet (the paper uses 32 chirps).
+    pub payload_symbols: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig {
+            packets: 1000,
+            payload_symbols: 32,
+            seed: 0xCAFE,
+        }
+    }
+}
+
+/// Runs link-abstraction trials: every transmitted bit is flipped with the
+/// scenario's BER, and packets/symbols/bits are tallied.
+pub fn run_link_trials(scenario: &Scenario, config: &TrialConfig) -> ErrorCounts {
+    let ber = scenario.ber();
+    let k = scenario.lora.bits_per_chirp.bits() as u32;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut counts = ErrorCounts::default();
+    for _ in 0..config.packets {
+        let sent: Vec<u32> = (0..config.payload_symbols)
+            .map(|_| rng.gen_range(0..scenario.lora.bits_per_chirp.alphabet_size()))
+            .collect();
+        let received: Vec<u32> = sent
+            .iter()
+            .map(|&s| {
+                let mut v = s;
+                for bit in 0..k {
+                    if rng.gen::<f64>() < ber {
+                        v ^= 1 << bit;
+                    }
+                }
+                v
+            })
+            .collect();
+        counts.add_packet(&sent, &received, k);
+    }
+    counts
+}
+
+/// Runs waveform-level trials through the full Saiyan receive chain with
+/// ground-truth packet timing (isolating symbol decisions). Slow; keep
+/// `config.packets` small.
+pub fn run_waveform_trials(
+    scenario: &Scenario,
+    saiyan_config: &SaiyanConfig,
+    config: &TrialConfig,
+) -> ErrorCounts {
+    let demod = SaiyanDemodulator::new(saiyan_config.clone());
+    let modulator = Modulator::new(saiyan_config.lora);
+    let rss = scenario.effective_rss();
+    let noise_power = scenario.noise_model().noise_power();
+    let k = saiyan_config.lora.bits_per_chirp;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut counts = ErrorCounts::default();
+
+    for trial in 0..config.packets {
+        let payload: Vec<u8> = (0..(config.payload_symbols * k.bits() as usize).div_ceil(8))
+            .map(|_| rng.gen())
+            .collect();
+        let symbols: Vec<u32> = bytes_to_symbols(&payload, k)
+            .into_iter()
+            .take(config.payload_symbols)
+            .collect();
+        let (wave, layout) = modulator
+            .packet_with_guard(&symbols, Alphabet::Downlink, 2)
+            .expect("valid symbols");
+        // Scale to the scenario RSS and add thermal noise.
+        let target = dbm_to_buffer_power(rss);
+        let current = wave.mean_power().max(1e-300);
+        let mut rx = wave.scaled((target / current).sqrt());
+        let mut awgn = AwgnSource::new(config.seed ^ (trial as u64).wrapping_mul(0x9E37_79B9));
+        awgn.add_to(&mut rx, dbm_to_buffer_power(noise_power));
+
+        match demod.demodulate_aligned(&rx, layout.payload_start, symbols.len()) {
+            Ok(result) => counts.add_packet(&symbols, &result.symbols, k.bits() as u32),
+            Err(_) => counts.add_lost_packet(symbols.len(), k.bits() as u32),
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfsim::units::Meters;
+    use saiyan::config::Variant;
+
+    #[test]
+    fn link_trials_match_configured_ber() {
+        let scenario = Scenario::outdoor_default(Meters(120.0));
+        let expected = scenario.ber();
+        let counts = run_link_trials(
+            &scenario,
+            &TrialConfig {
+                packets: 2000,
+                payload_symbols: 32,
+                seed: 1,
+            },
+        );
+        let measured = counts.ber();
+        assert!(
+            (measured - expected).abs() < expected * 0.3 + 2e-4,
+            "measured {measured} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn link_trials_near_are_clean_and_far_are_noisy() {
+        let near = run_link_trials(
+            &Scenario::outdoor_default(Meters(10.0)),
+            &TrialConfig {
+                packets: 200,
+                payload_symbols: 32,
+                seed: 2,
+            },
+        );
+        let far = run_link_trials(
+            &Scenario::outdoor_default(Meters(400.0)),
+            &TrialConfig {
+                packets: 200,
+                payload_symbols: 32,
+                seed: 2,
+            },
+        );
+        assert!(near.ber() < 1e-3);
+        assert!(far.ber() > 0.2);
+        assert!(near.prr() > 0.9);
+        assert!(far.prr() < 0.1);
+    }
+
+    #[test]
+    fn trials_are_reproducible_from_seed() {
+        let scenario = Scenario::outdoor_default(Meters(140.0));
+        let cfg = TrialConfig {
+            packets: 300,
+            payload_symbols: 16,
+            seed: 77,
+        };
+        let a = run_link_trials(&scenario, &cfg);
+        let b = run_link_trials(&scenario, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn waveform_trials_decode_cleanly_at_short_range() {
+        let scenario = Scenario::outdoor_default(Meters(10.0));
+        let lora = scenario.lora.with_oversampling(8);
+        let saiyan_config = SaiyanConfig::paper_default(lora, Variant::WithShifting);
+        let counts = run_waveform_trials(
+            &scenario,
+            &saiyan_config,
+            &TrialConfig {
+                packets: 3,
+                payload_symbols: 16,
+                seed: 5,
+            },
+        );
+        assert_eq!(counts.packets_total, 3);
+        assert!(counts.ber() < 0.05, "waveform BER {}", counts.ber());
+    }
+}

@@ -1,0 +1,141 @@
+//! Small-scale fading models (optional channel impairment).
+//!
+//! The paper's field studies average over many packets, so large-scale path
+//! loss dominates the reported trends; small-scale fading is provided as an
+//! optional impairment for sensitivity analyses and for the indoor NLOS
+//! scenarios where multipath is plausible.
+
+use std::f64::consts::PI;
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::units::Db;
+
+/// Fading distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FadingKind {
+    /// No fading: the channel gain is exactly the path-loss prediction.
+    None,
+    /// Rayleigh fading (no dominant path), typical deep-indoor NLOS.
+    Rayleigh,
+    /// Rician fading with the given K-factor (dB): a dominant LOS path plus
+    /// scattered energy.
+    Rician {
+        /// Ratio of LOS power to scattered power, in dB.
+        k_factor_db: f64,
+    },
+    /// Log-normal shadowing with the given standard deviation (dB).
+    LogNormalShadowing {
+        /// Standard deviation of the shadowing term, in dB.
+        sigma_db: f64,
+    },
+}
+
+/// A seeded fading process generating per-packet channel gains.
+#[derive(Debug, Clone)]
+pub struct FadingProcess {
+    kind: FadingKind,
+    rng: ChaCha8Rng,
+}
+
+impl FadingProcess {
+    /// Creates a fading process.
+    pub fn new(kind: FadingKind, seed: u64) -> Self {
+        FadingProcess {
+            kind,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The configured fading kind.
+    pub fn kind(&self) -> FadingKind {
+        self.kind
+    }
+
+    fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+    }
+
+    /// Draws the channel power gain (relative to the path-loss mean) for one
+    /// packet, expressed in dB. Mean linear gain is (approximately) unity so
+    /// fading does not bias the average link budget.
+    pub fn sample_gain(&mut self) -> Db {
+        match self.kind {
+            FadingKind::None => Db(0.0),
+            FadingKind::Rayleigh => {
+                // |h|^2 with h = (x + jy)/sqrt(2), x,y ~ N(0,1): exponential with mean 1.
+                let x = self.gaussian();
+                let y = self.gaussian();
+                let gain = (x * x + y * y) / 2.0;
+                Db(10.0 * gain.max(1e-12).log10())
+            }
+            FadingKind::Rician { k_factor_db } => {
+                let k = 10f64.powf(k_factor_db / 10.0);
+                // LOS component sqrt(k/(k+1)), scattered component 1/sqrt(k+1).
+                let los = (k / (k + 1.0)).sqrt();
+                let sigma = (1.0 / (2.0 * (k + 1.0))).sqrt();
+                let x = los + sigma * self.gaussian();
+                let y = sigma * self.gaussian();
+                let gain = x * x + y * y;
+                Db(10.0 * gain.max(1e-12).log10())
+            }
+            FadingKind::LogNormalShadowing { sigma_db } => Db(sigma_db * self.gaussian()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_fading_is_zero_db() {
+        let mut f = FadingProcess::new(FadingKind::None, 1);
+        for _ in 0..10 {
+            assert_eq!(f.sample_gain().value(), 0.0);
+        }
+    }
+
+    #[test]
+    fn rayleigh_mean_linear_gain_is_unity() {
+        let mut f = FadingProcess::new(FadingKind::Rayleigh, 2);
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| 10f64.powf(f.sample_gain().value() / 10.0))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1.0).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn rician_high_k_approaches_no_fading() {
+        let mut f = FadingProcess::new(FadingKind::Rician { k_factor_db: 30.0 }, 3);
+        let gains: Vec<f64> = (0..1000).map(|_| f.sample_gain().value()).collect();
+        let max_abs = gains.iter().fold(0.0f64, |m, g| m.max(g.abs()));
+        assert!(max_abs < 2.0, "max |gain| {max_abs} dB");
+    }
+
+    #[test]
+    fn shadowing_std_matches_request() {
+        let mut f = FadingProcess::new(FadingKind::LogNormalShadowing { sigma_db: 4.0 }, 4);
+        let n = 50_000;
+        let gains: Vec<f64> = (0..n).map(|_| f.sample_gain().value()).collect();
+        let mean = gains.iter().sum::<f64>() / n as f64;
+        let var = gains.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.1);
+        assert!((var.sqrt() - 4.0).abs() < 0.1, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn rayleigh_produces_deep_fades() {
+        let mut f = FadingProcess::new(FadingKind::Rayleigh, 5);
+        let gains: Vec<f64> = (0..10_000).map(|_| f.sample_gain().value()).collect();
+        // Deep fades well below -10 dB must occur with non-trivial probability.
+        let deep = gains.iter().filter(|&&g| g < -10.0).count();
+        assert!(deep > 300, "only {deep} deep fades");
+    }
+}

@@ -1,0 +1,201 @@
+//! In-band interference sources.
+//!
+//! The channel-hopping case study (§5.3.2) places a software-defined radio
+//! jammer next to the receiver; the MAC design also assumes legacy ISM-band
+//! devices may stomp on the LoRa channel. Interferers generate complex
+//! baseband waveforms (relative to the victim's carrier) that the channel
+//! model adds to the signal.
+
+use std::f64::consts::PI;
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use lora_phy::iq::{Iq, SampleBuffer};
+
+use crate::units::{Dbm, Hertz};
+
+/// Kinds of interference waveform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InterferenceKind {
+    /// A continuous-wave (single tone) jammer.
+    ContinuousWave,
+    /// A wideband noise jammer occupying the indicated bandwidth.
+    WidebandNoise {
+        /// Occupied bandwidth.
+        bandwidth: Hertz,
+    },
+    /// A pulsed jammer: on for `duty` fraction of every `period_s` seconds.
+    Pulsed {
+        /// Pulse repetition period in seconds.
+        period_s: f64,
+        /// On-time fraction (0..=1).
+        duty: f64,
+    },
+}
+
+/// An interference source positioned in frequency relative to the victim carrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interferer {
+    /// Waveform type.
+    pub kind: InterferenceKind,
+    /// Power of the interference as received at the victim antenna.
+    pub received_power: Dbm,
+    /// Frequency offset from the victim's carrier (Hz); 0 = co-channel.
+    pub offset: Hertz,
+    /// Seed for any randomness in the waveform.
+    pub seed: u64,
+}
+
+impl Interferer {
+    /// A co-channel CW jammer at the given received power.
+    pub fn cw_jammer(received_power: Dbm) -> Self {
+        Interferer {
+            kind: InterferenceKind::ContinuousWave,
+            received_power,
+            offset: Hertz(0.0),
+            seed: 0xDEAD_BEEF,
+        }
+    }
+
+    /// Generates `len` samples of the interference waveform at `sample_rate`.
+    pub fn waveform(&self, len: usize, sample_rate: f64) -> SampleBuffer {
+        let amplitude = self.received_power.milliwatts().sqrt();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let samples: Vec<Iq> = match self.kind {
+            InterferenceKind::ContinuousWave => {
+                let step = 2.0 * PI * self.offset.value() / sample_rate;
+                let phase0: f64 = rng.gen_range(0.0..2.0 * PI);
+                (0..len)
+                    .map(|n| Iq::from_polar(amplitude, phase0 + step * n as f64))
+                    .collect()
+            }
+            InterferenceKind::WidebandNoise { bandwidth } => {
+                // Band-limited noise approximated by a first-order smoothed
+                // complex Gaussian sequence mixed to the offset.
+                let alpha = (bandwidth.value() / sample_rate).clamp(0.01, 1.0);
+                // AR(1) smoothing of complex Gaussian drive; the stationary
+                // power of `state` is 2*alpha / (2*alpha - alpha^2), which we
+                // divide out so the emitted power matches `received_power`.
+                let stationary_power = 2.0 * alpha / (2.0 * alpha - alpha * alpha);
+                let normalise = 1.0 / stationary_power.sqrt();
+                let mut state = Iq::ZERO;
+                let step = 2.0 * PI * self.offset.value() / sample_rate;
+                (0..len)
+                    .map(|n| {
+                        let w = Iq::new(gaussian(&mut rng), gaussian(&mut rng));
+                        state = state.scale(1.0 - alpha) + w.scale(alpha.sqrt());
+                        state.scale(amplitude * normalise) * Iq::phasor(step * n as f64)
+                    })
+                    .collect()
+            }
+            InterferenceKind::Pulsed { period_s, duty } => {
+                let step = 2.0 * PI * self.offset.value() / sample_rate;
+                let period_samples = (period_s * sample_rate).max(1.0);
+                (0..len)
+                    .map(|n| {
+                        let phase_in_period = (n as f64 % period_samples) / period_samples;
+                        if phase_in_period < duty {
+                            Iq::from_polar(amplitude, step * n as f64)
+                        } else {
+                            Iq::ZERO
+                        }
+                    })
+                    .collect()
+            }
+        };
+        SampleBuffer::new(samples, sample_rate)
+    }
+
+    /// Whether the interference lands inside a victim channel of width
+    /// `victim_bandwidth` centred on a carrier `channel_offset` Hz away from
+    /// the interferer's reference carrier.
+    pub fn hits_channel(&self, channel_offset: Hertz, victim_bandwidth: Hertz) -> bool {
+        let own_bw = match self.kind {
+            InterferenceKind::WidebandNoise { bandwidth } => bandwidth.value(),
+            _ => 0.0,
+        };
+        let separation = (self.offset.value() - channel_offset.value()).abs();
+        separation < (victim_bandwidth.value() + own_bw) / 2.0
+    }
+}
+
+fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cw_jammer_power_matches_request() {
+        let j = Interferer::cw_jammer(Dbm(-40.0));
+        let wave = j.waveform(4096, 2e6);
+        let p_dbm = Dbm::from_milliwatts(wave.mean_power());
+        assert!((p_dbm.value() - (-40.0)).abs() < 0.5, "power {}", p_dbm.value());
+    }
+
+    #[test]
+    fn cw_offset_appears_in_instantaneous_frequency() {
+        let j = Interferer {
+            kind: InterferenceKind::ContinuousWave,
+            received_power: Dbm(-30.0),
+            offset: Hertz::from_khz(100.0),
+            seed: 1,
+        };
+        let wave = j.waveform(2048, 2e6);
+        let f = wave.instantaneous_frequency();
+        let mean = f.iter().sum::<f64>() / f.len() as f64;
+        assert!((mean - 100_000.0).abs() < 2_000.0, "mean {mean}");
+    }
+
+    #[test]
+    fn pulsed_jammer_duty_cycle() {
+        let j = Interferer {
+            kind: InterferenceKind::Pulsed {
+                period_s: 1e-3,
+                duty: 0.25,
+            },
+            received_power: Dbm(-30.0),
+            offset: Hertz(0.0),
+            seed: 2,
+        };
+        let wave = j.waveform(40_000, 1e6);
+        let on = wave.samples.iter().filter(|s| s.abs() > 0.0).count();
+        let frac = on as f64 / wave.len() as f64;
+        assert!((frac - 0.25).abs() < 0.02, "duty {frac}");
+    }
+
+    #[test]
+    fn hits_channel_logic() {
+        let j = Interferer {
+            kind: InterferenceKind::ContinuousWave,
+            received_power: Dbm(-30.0),
+            offset: Hertz::from_khz(0.0),
+            seed: 3,
+        };
+        // Co-channel: hit. Half a MHz away with a 500 kHz victim: miss.
+        assert!(j.hits_channel(Hertz(0.0), Hertz::from_khz(500.0)));
+        assert!(!j.hits_channel(Hertz::from_khz(500.0), Hertz::from_khz(500.0)));
+    }
+
+    #[test]
+    fn wideband_noise_has_requested_power_scale() {
+        let j = Interferer {
+            kind: InterferenceKind::WidebandNoise {
+                bandwidth: Hertz::from_khz(500.0),
+            },
+            received_power: Dbm(-50.0),
+            offset: Hertz(0.0),
+            seed: 4,
+        };
+        let wave = j.waveform(50_000, 4e6);
+        let p_dbm = Dbm::from_milliwatts(wave.mean_power());
+        // Smoothed noise power tracking is approximate; allow a few dB.
+        assert!((p_dbm.value() - (-50.0)).abs() < 4.0, "power {}", p_dbm.value());
+    }
+}

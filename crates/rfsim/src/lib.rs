@@ -1,0 +1,41 @@
+//! # rfsim — RF link-level simulation substrate
+//!
+//! This crate replaces the radio environment of the paper's field studies
+//! with calibrated software models:
+//!
+//! * [`units`] — dBm/dB/Hz/metre newtypes and arithmetic;
+//! * [`noise`] — thermal noise floor, noise figure, seeded AWGN;
+//! * [`pathloss`] — log-distance path loss with outdoor/indoor presets and
+//!   concrete-wall penetration losses;
+//! * [`link`] — one-way link budgets and the two-hop backscatter budget;
+//! * [`channel`] — waveform-level channel applying gain, CFO, interference
+//!   and noise to IQ buffers;
+//! * [`interference`] — CW / wideband / pulsed jammers;
+//! * [`fading`] — optional Rayleigh/Rician/shadowing draws;
+//! * [`spectrum`] — energy-detection spectrum sensing for the channel-hopping
+//!   workflow;
+//! * [`temperature`] — the diurnal temperature schedule of Fig. 24.
+//!
+//! See DESIGN.md §2 for how each model substitutes for the paper's hardware.
+
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod fading;
+pub mod interference;
+pub mod link;
+pub mod noise;
+pub mod pathloss;
+pub mod spectrum;
+pub mod temperature;
+pub mod units;
+
+pub use channel::{buffer_power_dbm, dbm_to_buffer_power, Channel, REFERENCE_POWER_DBM};
+pub use fading::{FadingKind, FadingProcess};
+pub use interference::{InterferenceKind, Interferer};
+pub use link::{paper_downlink, BackscatterLink, BackscatterTagModel, Link, Radio};
+pub use noise::{thermal_noise_floor, AwgnSource, NoiseModel, BOLTZMANN};
+pub use pathloss::{free_space_path_loss, Environment, PathLossModel};
+pub use spectrum::{ChannelMeasurement, SpectrumSensor};
+pub use temperature::TemperatureSchedule;
+pub use units::{sum_dbm, Celsius, Db, Dbm, Hertz, Meters, Watts};

@@ -1,0 +1,212 @@
+//! Link-budget computation for the downlink (AP → tag) and the backscatter
+//! uplink (Tx → tag → Rx).
+//!
+//! The downlink budget determines the signal power arriving at the Saiyan
+//! front end; the backscatter budget determines what the access point sees
+//! from PLoRa/Aloba-style tags (used for Fig. 2 and the case studies).
+
+use crate::pathloss::PathLossModel;
+use crate::units::{Db, Dbm, Meters};
+
+/// Antenna and transmit-power description of a radio.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Radio {
+    /// Transmit power at the antenna port.
+    pub tx_power: Dbm,
+    /// Antenna gain (applies to both transmit and receive).
+    pub antenna_gain: Db,
+}
+
+impl Radio {
+    /// The LoRa transmitter used in the paper: 20 dBm with a 3 dBi antenna.
+    pub fn paper_transmitter() -> Self {
+        Radio {
+            tx_power: Dbm(20.0),
+            antenna_gain: Db(3.0),
+        }
+    }
+
+    /// The Saiyan tag: passive receive chain with a 3 dBi antenna.
+    pub fn paper_tag() -> Self {
+        Radio {
+            tx_power: Dbm(0.0),
+            antenna_gain: Db(3.0),
+        }
+    }
+
+    /// Effective isotropic radiated power.
+    pub fn eirp(&self) -> Dbm {
+        self.tx_power + self.antenna_gain
+    }
+}
+
+/// A one-way link from a transmitter to a receiver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Link {
+    /// Transmitting radio.
+    pub tx: Radio,
+    /// Receiving radio.
+    pub rx: Radio,
+    /// Path-loss model along the link.
+    pub path_loss: PathLossModel,
+    /// Link distance.
+    pub distance: Meters,
+}
+
+impl Link {
+    /// Creates a link.
+    pub fn new(tx: Radio, rx: Radio, path_loss: PathLossModel, distance: Meters) -> Self {
+        Link {
+            tx,
+            rx,
+            path_loss,
+            distance,
+        }
+    }
+
+    /// Received power at the receiver's antenna port.
+    pub fn received_power(&self) -> Dbm {
+        self.tx.eirp() - self.path_loss.loss(self.distance) + self.rx.antenna_gain
+    }
+
+    /// The distance at which the received power equals `threshold`.
+    pub fn range_for_power(&self, threshold: Dbm) -> Meters {
+        let budget = self.tx.eirp() + self.rx.antenna_gain - threshold;
+        self.path_loss.distance_for_loss(Db(budget.value()))
+    }
+}
+
+/// Losses specific to the backscatter reflection at the tag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackscatterTagModel {
+    /// Loss of the reflective modulation (antenna mismatch + modulation depth).
+    pub reflection_loss: Db,
+    /// Antenna gain of the tag.
+    pub antenna_gain: Db,
+}
+
+impl Default for BackscatterTagModel {
+    fn default() -> Self {
+        // PLoRa-class tags reflect with roughly -6 dB efficiency.
+        BackscatterTagModel {
+            reflection_loss: Db(6.0),
+            antenna_gain: Db(3.0),
+        }
+    }
+}
+
+/// A backscatter uplink: carrier source → tag → receiver.
+///
+/// The carrier travels from the transmitter to the tag, is reflected (with
+/// loss), and travels from the tag to the receiver; both hops obey the same
+/// path-loss model. This "twice the link distance" attenuation is what makes
+/// the uplink BER explode with distance in Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackscatterLink {
+    /// The carrier transmitter.
+    pub carrier: Radio,
+    /// The receiving access point.
+    pub receiver: Radio,
+    /// The tag's reflection characteristics.
+    pub tag: BackscatterTagModel,
+    /// Path-loss model (shared by both hops).
+    pub path_loss: PathLossModel,
+    /// Transmitter-to-tag distance.
+    pub tx_to_tag: Meters,
+    /// Tag-to-receiver distance.
+    pub tag_to_rx: Meters,
+}
+
+impl BackscatterLink {
+    /// Excitation power arriving at the tag.
+    pub fn power_at_tag(&self) -> Dbm {
+        self.carrier.eirp() - self.path_loss.loss(self.tx_to_tag) + self.tag.antenna_gain
+    }
+
+    /// Backscattered power arriving at the receiver.
+    pub fn received_power(&self) -> Dbm {
+        self.power_at_tag() - self.tag.reflection_loss + self.tag.antenna_gain
+            - self.path_loss.loss(self.tag_to_rx)
+            + self.receiver.antenna_gain
+    }
+}
+
+/// Convenience constructor for the paper's downlink: AP at 20 dBm/3 dBi,
+/// Saiyan tag at 3 dBi, in the given environment at `carrier` frequency.
+pub fn paper_downlink(path_loss: PathLossModel, distance: Meters) -> Link {
+    Link::new(
+        Radio::paper_transmitter(),
+        Radio::paper_tag(),
+        path_loss,
+        distance,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pathloss::Environment;
+    use crate::units::Hertz;
+
+    fn model() -> PathLossModel {
+        PathLossModel::for_environment(Environment::OutdoorLos, Hertz::from_mhz(434.0))
+    }
+
+    #[test]
+    fn received_power_decreases_with_distance() {
+        let mut prev = f64::INFINITY;
+        for d in [1.0, 10.0, 50.0, 148.6, 180.0] {
+            let link = paper_downlink(model(), Meters(d));
+            let p = link.received_power().value();
+            assert!(p < prev);
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn sensitivity_range_is_close_to_paper_headline() {
+        // With a -85.8 dBm sensitivity the downlink range should be in the
+        // 130–190 m ballpark of the paper's 148.6 m / 180 m observations.
+        let link = paper_downlink(model(), Meters(1.0));
+        let range = link.range_for_power(Dbm(-85.8));
+        assert!(
+            range.value() > 120.0 && range.value() < 220.0,
+            "range {}",
+            range.value()
+        );
+    }
+
+    #[test]
+    fn range_for_power_inverts_received_power() {
+        let link = paper_downlink(model(), Meters(77.0));
+        let p = link.received_power();
+        let r = link.range_for_power(p);
+        assert!((r.value() - 77.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backscatter_link_attenuates_twice() {
+        let bs = BackscatterLink {
+            carrier: Radio::paper_transmitter(),
+            receiver: Radio::paper_transmitter(),
+            tag: BackscatterTagModel::default(),
+            path_loss: model(),
+            tx_to_tag: Meters(10.0),
+            tag_to_rx: Meters(90.0),
+        };
+        let one_way = paper_downlink(model(), Meters(10.0)).received_power();
+        assert!(bs.received_power().value() < one_way.value() - 30.0);
+        // Moving the tag further from the carrier reduces the received power.
+        let bs_far = BackscatterLink {
+            tx_to_tag: Meters(20.0),
+            tag_to_rx: Meters(80.0),
+            ..bs
+        };
+        assert!(bs_far.received_power().value() < bs.received_power().value());
+    }
+
+    #[test]
+    fn eirp_adds_antenna_gain() {
+        assert_eq!(Radio::paper_transmitter().eirp().value(), 23.0);
+    }
+}

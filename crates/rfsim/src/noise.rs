@@ -1,0 +1,159 @@
+//! Thermal noise, noise figure, and AWGN generation.
+//!
+//! The demodulation range experiments all come down to the signal-to-noise
+//! ratio at the tag's antenna and the losses added by the analog front end.
+//! This module provides the thermal-noise floor, receiver noise figure, and a
+//! seeded complex additive white Gaussian noise source.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use lora_phy::iq::{Iq, SampleBuffer};
+
+use crate::units::{Db, Dbm, Hertz};
+
+/// Boltzmann constant in joules per kelvin.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Reference noise temperature (kelvin) used for the thermal floor.
+pub const REFERENCE_TEMPERATURE_K: f64 = 290.0;
+
+/// Thermal noise power over `bandwidth` at the reference temperature:
+/// `kTB`, i.e. −174 dBm/Hz + 10·log10(B).
+pub fn thermal_noise_floor(bandwidth: Hertz) -> Dbm {
+    let watts = BOLTZMANN * REFERENCE_TEMPERATURE_K * bandwidth.value();
+    Dbm::from_milliwatts(watts * 1000.0)
+}
+
+/// Receiver noise description: thermal floor plus a noise figure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Receiver noise figure.
+    pub noise_figure: Db,
+    /// Noise bandwidth.
+    pub bandwidth: Hertz,
+}
+
+impl NoiseModel {
+    /// Creates a noise model with the given noise figure and bandwidth.
+    pub fn new(noise_figure: Db, bandwidth: Hertz) -> Self {
+        NoiseModel {
+            noise_figure,
+            bandwidth,
+        }
+    }
+
+    /// Total noise power referred to the receiver input.
+    pub fn noise_power(&self) -> Dbm {
+        thermal_noise_floor(self.bandwidth) + self.noise_figure
+    }
+
+    /// Signal-to-noise ratio for a given received signal power.
+    pub fn snr(&self, rx_power: Dbm) -> Db {
+        rx_power - self.noise_power()
+    }
+}
+
+/// A seeded complex AWGN source.
+#[derive(Debug, Clone)]
+pub struct AwgnSource {
+    rng: ChaCha8Rng,
+}
+
+impl AwgnSource {
+    /// Creates a noise source from a seed so experiments are reproducible.
+    pub fn new(seed: u64) -> Self {
+        AwgnSource {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draws one complex Gaussian sample with total variance `variance`
+    /// (split evenly between I and Q).
+    pub fn sample(&mut self, variance: f64) -> Iq {
+        let std = (variance / 2.0).sqrt();
+        Iq::new(std * self.gaussian(), std * self.gaussian())
+    }
+
+    /// Draws one real zero-mean unit-variance Gaussian via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = self.rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Adds complex AWGN of the given per-sample variance to a buffer in place.
+    pub fn add_to(&mut self, buffer: &mut SampleBuffer, variance: f64) {
+        for s in &mut buffer.samples {
+            *s += self.sample(variance);
+        }
+    }
+
+    /// Adds noise such that the resulting SNR (relative to `signal_power`,
+    /// linear per-sample power) equals `snr`.
+    pub fn add_for_snr(&mut self, buffer: &mut SampleBuffer, signal_power: f64, snr: Db) {
+        let noise_power = signal_power / snr.linear();
+        self.add_to(buffer, noise_power);
+    }
+
+    /// Generates a buffer of pure noise.
+    pub fn noise_buffer(&mut self, len: usize, sample_rate: f64, variance: f64) -> SampleBuffer {
+        let samples = (0..len).map(|_| self.sample(variance)).collect();
+        SampleBuffer::new(samples, sample_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thermal_floor_known_values() {
+        // kTB at 290 K over 500 kHz ≈ -117 dBm.
+        let floor = thermal_noise_floor(Hertz::from_khz(500.0));
+        assert!((floor.0 - (-117.0)).abs() < 0.3, "floor {}", floor.0);
+        // Over 125 kHz it is 6 dB lower.
+        let floor125 = thermal_noise_floor(Hertz::from_khz(125.0));
+        assert!((floor.0 - floor125.0 - 6.02).abs() < 0.1);
+    }
+
+    #[test]
+    fn noise_model_snr() {
+        let model = NoiseModel::new(Db(6.0), Hertz::from_khz(500.0));
+        let snr = model.snr(Dbm(-85.8));
+        // -85.8 - (-117 + 6) ≈ 25 dB.
+        assert!((snr.0 - 25.2).abs() < 0.5, "snr {}", snr.0);
+    }
+
+    #[test]
+    fn awgn_statistics() {
+        let mut src = AwgnSource::new(42);
+        let n = 20_000;
+        let var_target = 0.25;
+        let samples: Vec<Iq> = (0..n).map(|_| src.sample(var_target)).collect();
+        let mean_re: f64 = samples.iter().map(|s| s.re).sum::<f64>() / n as f64;
+        let power: f64 = samples.iter().map(Iq::norm_sqr).sum::<f64>() / n as f64;
+        assert!(mean_re.abs() < 0.02, "mean {mean_re}");
+        assert!((power - var_target).abs() < 0.02, "power {power}");
+    }
+
+    #[test]
+    fn awgn_is_reproducible_from_seed() {
+        let mut a = AwgnSource::new(7);
+        let mut b = AwgnSource::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.sample(1.0), b.sample(1.0));
+        }
+    }
+
+    #[test]
+    fn add_for_snr_achieves_requested_snr() {
+        let mut src = AwgnSource::new(3);
+        let mut buf = SampleBuffer::new(vec![Iq::ONE; 50_000], 1e6);
+        src.add_for_snr(&mut buf, 1.0, Db(10.0));
+        // Mean power should now be signal (1.0) + noise (0.1).
+        let p = buf.mean_power();
+        assert!((p - 1.1).abs() < 0.01, "power {p}");
+    }
+}

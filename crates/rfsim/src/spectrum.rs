@@ -1,0 +1,194 @@
+//! Spectrum sensing.
+//!
+//! The channel-hopping workflow (§5.3.2) starts with the access point
+//! monitoring the wireless spectrum for in-band interference. This module
+//! provides a simple energy-detection spectrum sensor: it estimates the power
+//! in each channel of a channel plan from captured IQ and flags channels whose
+//! level exceeds a clear-channel-assessment threshold.
+
+use lora_phy::fft::power_spectrum;
+use lora_phy::iq::SampleBuffer;
+
+use crate::units::{Dbm, Hertz};
+
+/// Power measurement for one channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelMeasurement {
+    /// Channel index in the plan.
+    pub channel: usize,
+    /// Centre frequency of the channel.
+    pub center: Hertz,
+    /// Measured in-band power.
+    pub power: Dbm,
+    /// Whether the power exceeds the busy threshold.
+    pub busy: bool,
+}
+
+/// An energy-detection spectrum sensor over a fixed channel plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpectrumSensor {
+    /// Centre frequencies of the monitored channels (absolute Hz).
+    pub channels: Vec<Hertz>,
+    /// Width of each channel (Hz).
+    pub channel_bandwidth: Hertz,
+    /// Power level above which a channel is declared busy.
+    pub busy_threshold: Dbm,
+}
+
+impl SpectrumSensor {
+    /// Creates a sensor for the given channel plan.
+    pub fn new(channels: Vec<Hertz>, channel_bandwidth: Hertz, busy_threshold: Dbm) -> Self {
+        SpectrumSensor {
+            channels,
+            channel_bandwidth,
+            busy_threshold,
+        }
+    }
+
+    /// The 433 MHz five-channel plan used by the channel-hopping case study,
+    /// with 500 kHz channels and a −80 dBm busy threshold.
+    pub fn paper_433mhz() -> Self {
+        SpectrumSensor::new(
+            vec![
+                Hertz::from_mhz(433.0),
+                Hertz::from_mhz(433.5),
+                Hertz::from_mhz(434.0),
+                Hertz::from_mhz(434.5),
+                Hertz::from_mhz(435.0),
+            ],
+            Hertz::from_khz(500.0),
+            Dbm(-80.0),
+        )
+    }
+
+    /// Measures every channel from a wideband capture whose complex baseband
+    /// is referenced to `capture_center` (absolute Hz).
+    ///
+    /// Channels that fall outside the capture's Nyquist span are reported with
+    /// `f64::NEG_INFINITY` power and not busy.
+    pub fn scan(&self, capture: &SampleBuffer, capture_center: Hertz) -> Vec<ChannelMeasurement> {
+        let fs = capture.sample_rate;
+        let spectrum = power_spectrum(&capture.samples);
+        let n = spectrum.len() as f64;
+        let bin_width = fs / n;
+        // Total power normalisation: Parseval with the FFT convention used by
+        // `lora_phy::fft` (unnormalised forward transform).
+        let scale = 1.0 / (n * capture.samples.len() as f64);
+
+        self.channels
+            .iter()
+            .enumerate()
+            .map(|(channel, &center)| {
+                let offset = center.value() - capture_center.value();
+                let half_bw = self.channel_bandwidth.value() / 2.0;
+                if offset.abs() + half_bw > fs / 2.0 {
+                    return ChannelMeasurement {
+                        channel,
+                        center,
+                        power: Dbm(f64::NEG_INFINITY),
+                        busy: false,
+                    };
+                }
+                let mut power = 0.0;
+                let lo = offset - half_bw;
+                let hi = offset + half_bw;
+                for (k, &p) in spectrum.iter().enumerate() {
+                    let f = if (k as f64) < n / 2.0 {
+                        k as f64 * bin_width
+                    } else {
+                        (k as f64 - n) * bin_width
+                    };
+                    if f >= lo && f <= hi {
+                        power += p * scale;
+                    }
+                }
+                let dbm = Dbm(10.0 * power.max(1e-300).log10());
+                ChannelMeasurement {
+                    channel,
+                    center,
+                    power: dbm,
+                    busy: dbm.value() > self.busy_threshold.value(),
+                }
+            })
+            .collect()
+    }
+
+    /// Index of the quietest channel in a scan (ties broken by lowest index).
+    pub fn quietest(measurements: &[ChannelMeasurement]) -> Option<usize> {
+        measurements
+            .iter()
+            .min_by(|a, b| {
+                a.power
+                    .value()
+                    .partial_cmp(&b.power.value())
+                    .expect("finite or -inf power")
+            })
+            .map(|m| m.channel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::Interferer;
+    use crate::noise::AwgnSource;
+    use lora_phy::iq::Iq;
+
+    /// A capture centred on 434 MHz with a CW interferer at the given offset.
+    fn capture_with_tone(offset_hz: f64, power_dbm: f64) -> SampleBuffer {
+        let fs = 8.0e6;
+        let n = 65_536;
+        let jammer = Interferer {
+            kind: crate::interference::InterferenceKind::ContinuousWave,
+            received_power: Dbm(power_dbm),
+            offset: Hertz(offset_hz),
+            seed: 3,
+        };
+        let mut buf = jammer.waveform(n, fs);
+        let mut awgn = AwgnSource::new(9);
+        awgn.add_to(&mut buf, 10f64.powf(-110.0 / 10.0));
+        buf
+    }
+
+    #[test]
+    fn scan_locates_the_jammed_channel() {
+        let sensor = SpectrumSensor::paper_433mhz();
+        // Jammer on 433.0 MHz, capture centred on 434.0 MHz.
+        let capture = capture_with_tone(-1.0e6, -60.0);
+        let scan = sensor.scan(&capture, Hertz::from_mhz(434.0));
+        assert_eq!(scan.len(), 5);
+        assert!(scan[0].busy, "channel 0 should be busy: {:?}", scan[0]);
+        assert!(!scan[2].busy, "channel 2 should be clear: {:?}", scan[2]);
+        assert!((scan[0].power.value() - (-60.0)).abs() < 3.0, "{:?}", scan[0]);
+        // The quietest channel is one of the clear ones, not channel 0.
+        let q = SpectrumSensor::quietest(&scan).unwrap();
+        assert_ne!(q, 0);
+    }
+
+    #[test]
+    fn channels_outside_the_capture_are_not_flagged() {
+        let sensor = SpectrumSensor::paper_433mhz();
+        // A narrowband capture (1 MHz) centred at 434 MHz only covers channel 2.
+        let narrow = SampleBuffer::new(vec![Iq::ONE; 8192], 1.0e6);
+        let scan = sensor.scan(&narrow, Hertz::from_mhz(434.0));
+        assert!(scan[0].power.value().is_infinite() && !scan[0].busy);
+        assert!(scan[4].power.value().is_infinite() && !scan[4].busy);
+        assert!(scan[2].power.value().is_finite());
+    }
+
+    #[test]
+    fn quiet_capture_reports_all_channels_clear() {
+        let sensor = SpectrumSensor::paper_433mhz();
+        let fs = 8.0e6;
+        let mut buf = SampleBuffer::zeros(65_536, fs);
+        let mut awgn = AwgnSource::new(4);
+        awgn.add_to(&mut buf, 10f64.powf(-110.0 / 10.0));
+        let scan = sensor.scan(&buf, Hertz::from_mhz(434.0));
+        assert!(scan.iter().all(|m| !m.busy));
+    }
+
+    #[test]
+    fn quietest_handles_empty_input() {
+        assert_eq!(SpectrumSensor::quietest(&[]), None);
+    }
+}

@@ -1,0 +1,149 @@
+//! Ambient-temperature model.
+//!
+//! Figure 24 of the paper sweeps a full day (8 a.m. – 8 p.m.) on a winter day
+//! where the temperature rises from −8.6 °C to +1.6 °C and back, and shows the
+//! SAW filter's demodulation range is only mildly affected. This module
+//! provides a diurnal temperature schedule with those extremes plus linear
+//! interpolation helpers so the experiment can be replayed.
+
+use crate::units::Celsius;
+
+/// A daily temperature schedule built from (hour-of-day, °C) control points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TemperatureSchedule {
+    points: Vec<(f64, f64)>,
+}
+
+impl TemperatureSchedule {
+    /// Creates a schedule from control points; hours must be strictly increasing.
+    pub fn new(mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite hours"));
+        points.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-9);
+        assert!(
+            points.len() >= 2,
+            "a temperature schedule needs at least two control points"
+        );
+        TemperatureSchedule { points }
+    }
+
+    /// The schedule measured during the paper's Fig. 24 experiment: a sunny
+    /// winter day from 8 a.m. (−8.6 °C) peaking at 2 p.m. (+1.6 °C) and
+    /// cooling towards 8 p.m.
+    pub fn paper_fig24() -> Self {
+        TemperatureSchedule::new(vec![
+            (8.0, -8.6),
+            (10.0, -4.5),
+            (12.0, -0.8),
+            (14.0, 1.6),
+            (16.0, 0.2),
+            (18.0, -3.4),
+            (20.0, -6.2),
+        ])
+    }
+
+    /// Temperature at the given hour of day, clamped to the schedule's span.
+    pub fn at_hour(&self, hour: f64) -> Celsius {
+        let first = self.points[0];
+        let last = *self.points.last().expect("non-empty");
+        if hour <= first.0 {
+            return Celsius(first.1);
+        }
+        if hour >= last.0 {
+            return Celsius(last.1);
+        }
+        for w in self.points.windows(2) {
+            let (h0, t0) = w[0];
+            let (h1, t1) = w[1];
+            if hour >= h0 && hour <= h1 {
+                let frac = (hour - h0) / (h1 - h0);
+                return Celsius(t0 + frac * (t1 - t0));
+            }
+        }
+        Celsius(last.1)
+    }
+
+    /// The hours spanned by the schedule (start, end).
+    pub fn span(&self) -> (f64, f64) {
+        (self.points[0].0, self.points.last().expect("non-empty").0)
+    }
+
+    /// Minimum and maximum temperature over the schedule's control points.
+    pub fn extremes(&self) -> (Celsius, Celsius) {
+        let min = self
+            .points
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(f64::INFINITY, f64::min);
+        let max = self
+            .points
+            .iter()
+            .map(|&(_, t)| t)
+            .fold(f64::NEG_INFINITY, f64::max);
+        (Celsius(min), Celsius(max))
+    }
+
+    /// Samples the schedule at `n` evenly spaced hours across its span.
+    pub fn sample(&self, n: usize) -> Vec<(f64, Celsius)> {
+        let (start, end) = self.span();
+        (0..n)
+            .map(|i| {
+                let hour = start + (end - start) * i as f64 / (n.max(2) - 1) as f64;
+                (hour, self.at_hour(hour))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_extremes() {
+        let s = TemperatureSchedule::paper_fig24();
+        let (min, max) = s.extremes();
+        assert_eq!(min.value(), -8.6);
+        assert_eq!(max.value(), 1.6);
+        assert_eq!(s.span(), (8.0, 20.0));
+    }
+
+    #[test]
+    fn interpolation_is_piecewise_linear() {
+        let s = TemperatureSchedule::new(vec![(0.0, 0.0), (10.0, 10.0)]);
+        assert!((s.at_hour(5.0).value() - 5.0).abs() < 1e-12);
+        assert!((s.at_hour(2.5).value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamping_outside_span() {
+        let s = TemperatureSchedule::paper_fig24();
+        assert_eq!(s.at_hour(0.0).value(), -8.6);
+        assert_eq!(s.at_hour(23.9).value(), -6.2);
+    }
+
+    #[test]
+    fn sampling_covers_span() {
+        let s = TemperatureSchedule::paper_fig24();
+        let samples = s.sample(13);
+        assert_eq!(samples.len(), 13);
+        assert_eq!(samples[0].0, 8.0);
+        assert_eq!(samples[12].0, 20.0);
+        // Peak temperature should occur mid-afternoon.
+        let (peak_hour, _) = samples
+            .iter()
+            .fold((0.0, f64::NEG_INFINITY), |(bh, bt), &(h, t)| {
+                if t.value() > bt {
+                    (h, t.value())
+                } else {
+                    (bh, bt)
+                }
+            });
+        assert!((13.0..=15.0).contains(&peak_hour), "peak at {peak_hour}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_point_schedule_is_rejected() {
+        TemperatureSchedule::new(vec![(8.0, 0.0)]);
+    }
+}

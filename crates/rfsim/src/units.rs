@@ -1,0 +1,291 @@
+//! Radio-engineering unit types.
+//!
+//! Link-budget arithmetic is much easier to get right when powers, gains and
+//! frequencies carry their units in the type. These are thin newtypes over
+//! `f64` with the conversions and arithmetic used throughout the workspace.
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// A power level in dBm (decibels relative to one milliwatt).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Dbm(pub f64);
+
+/// A dimensionless power ratio in decibels (gain when positive, loss when negative).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Db(pub f64);
+
+/// A power in watts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Watts(pub f64);
+
+/// A frequency in hertz.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Hertz(pub f64);
+
+/// A distance in metres.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Meters(pub f64);
+
+/// A temperature in degrees Celsius.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Celsius(pub f64);
+
+impl Dbm {
+    /// Converts to milliwatts.
+    pub fn milliwatts(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Converts to watts.
+    pub fn watts(self) -> Watts {
+        Watts(self.milliwatts() / 1000.0)
+    }
+
+    /// Builds a power level from milliwatts.
+    pub fn from_milliwatts(mw: f64) -> Dbm {
+        Dbm(10.0 * mw.log10())
+    }
+
+    /// Builds a power level from watts.
+    pub fn from_watts(w: Watts) -> Dbm {
+        Dbm::from_milliwatts(w.0 * 1000.0)
+    }
+
+    /// The raw dBm value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Db {
+    /// Converts the ratio to linear scale.
+    pub fn linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Builds a dB ratio from a linear power ratio.
+    pub fn from_linear(lin: f64) -> Db {
+        Db(10.0 * lin.log10())
+    }
+
+    /// The raw dB value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Watts {
+    /// Converts to dBm.
+    pub fn dbm(self) -> Dbm {
+        Dbm::from_watts(self)
+    }
+
+    /// The raw value in watts.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Builds from microwatts (used by the power model; the paper quotes µW).
+    pub fn from_microwatts(uw: f64) -> Watts {
+        Watts(uw * 1e-6)
+    }
+
+    /// Converts to microwatts.
+    pub fn microwatts(self) -> f64 {
+        self.0 * 1e6
+    }
+}
+
+impl Hertz {
+    /// Builds a frequency from megahertz.
+    pub fn from_mhz(mhz: f64) -> Hertz {
+        Hertz(mhz * 1e6)
+    }
+
+    /// Builds a frequency from kilohertz.
+    pub fn from_khz(khz: f64) -> Hertz {
+        Hertz(khz * 1e3)
+    }
+
+    /// The value in megahertz.
+    pub fn mhz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// The value in kilohertz.
+    pub fn khz(self) -> f64 {
+        self.0 / 1e3
+    }
+
+    /// The raw value in hertz.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Wavelength in metres (c / f).
+    pub fn wavelength(self) -> Meters {
+        Meters(299_792_458.0 / self.0)
+    }
+}
+
+impl Meters {
+    /// The raw value in metres.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl Celsius {
+    /// The raw value in °C.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Converts to kelvin.
+    pub fn kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+}
+
+// dBm ± dB arithmetic (applying gains/losses to a power level).
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+// dBm − dBm = dB (ratio between two power levels).
+impl Sub for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dB", self.0)
+    }
+}
+
+impl fmt::Display for Hertz {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} MHz", self.mhz())
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.1} kHz", self.khz())
+        } else {
+            write!(f, "{:.0} Hz", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Meters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} m", self.0)
+    }
+}
+
+/// Sums several power levels expressed in dBm (adds their linear powers).
+pub fn sum_dbm(levels: &[Dbm]) -> Dbm {
+    let total_mw: f64 = levels.iter().map(|l| l.milliwatts()).sum();
+    Dbm::from_milliwatts(total_mw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn dbm_milliwatt_round_trip() {
+        assert!(close(Dbm(0.0).milliwatts(), 1.0, 1e-12));
+        assert!(close(Dbm(20.0).milliwatts(), 100.0, 1e-9));
+        assert!(close(Dbm::from_milliwatts(0.001).0, -30.0, 1e-9));
+        assert!(close(Dbm(10.0).watts().0, 0.01, 1e-12));
+    }
+
+    #[test]
+    fn db_linear_round_trip() {
+        assert!(close(Db(3.0103).linear(), 2.0, 1e-3));
+        assert!(close(Db::from_linear(0.5).0, -3.0103, 1e-3));
+    }
+
+    #[test]
+    fn dbm_db_arithmetic() {
+        let p = Dbm(20.0) + Db(3.0) - Db(10.0);
+        assert!(close(p.0, 13.0, 1e-12));
+        let ratio = Dbm(-60.0) - Dbm(-80.0);
+        assert!(close(ratio.0, 20.0, 1e-12));
+    }
+
+    #[test]
+    fn wavelength_at_434_mhz() {
+        let wl = Hertz::from_mhz(434.0).wavelength();
+        assert!(close(wl.0, 0.6908, 1e-3));
+    }
+
+    #[test]
+    fn watts_microwatts() {
+        let w = Watts::from_microwatts(93.2);
+        assert!(close(w.microwatts(), 93.2, 1e-9));
+        assert!(close(w.dbm().milliwatts(), 0.0932, 1e-6));
+    }
+
+    #[test]
+    fn summing_equal_powers_adds_3db() {
+        let s = sum_dbm(&[Dbm(-50.0), Dbm(-50.0)]);
+        assert!(close(s.0, -46.99, 0.02));
+    }
+
+    #[test]
+    fn celsius_to_kelvin() {
+        assert!(close(Celsius(-8.6).kelvin(), 264.55, 1e-9));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Dbm(-85.8)), "-85.8 dBm");
+        assert_eq!(format!("{}", Hertz::from_mhz(433.5)), "433.500 MHz");
+        assert_eq!(format!("{}", Hertz::from_khz(500.0)), "500.0 kHz");
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: modulate a downlink command at the access point, push it
+//! through the radio channel, and demodulate it on a Saiyan tag.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lora_phy::downlink::{bytes_to_symbols, symbols_for_bytes};
+use lora_phy::modulator::{Alphabet, Modulator};
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use rfsim::channel::Channel;
+use rfsim::link::paper_downlink;
+use rfsim::noise::NoiseModel;
+use rfsim::pathloss::{Environment, PathLossModel};
+use rfsim::units::{Db, Hertz, Meters};
+use saiyan::{SaiyanConfig, SaiyanDemodulator, Variant};
+use saiyan_mac::{Addressing, Command, DownlinkPacket, TagId};
+
+fn main() {
+    // 1. The PHY configuration used throughout the paper's evaluation:
+    //    SF7, 500 kHz, K = 2 bits per chirp, 433.5 MHz.
+    let lora = LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).expect("valid K"),
+    )
+    .with_oversampling(8);
+
+    // 2. The access point wants tag #7 to retransmit packet 42.
+    let command = DownlinkPacket {
+        addressing: Addressing::Unicast(TagId(7)),
+        command: Command::Retransmit { sequence: 42 },
+    };
+    let payload = command.to_bytes();
+    let symbols = bytes_to_symbols(&payload, lora.bits_per_chirp);
+    println!(
+        "Downlink command: {:?} -> {} bytes -> {} chirp symbols",
+        command.command,
+        payload.len(),
+        symbols_for_bytes(payload.len(), lora.bits_per_chirp)
+    );
+
+    // 3. Modulate and send over a 40 m outdoor link. (The waveform-level
+    //    receive chain demonstrates the mechanism at comfortable signal
+    //    levels; the calibrated link-abstraction model in `netsim` covers the
+    //    full 148.6 m evaluation range — see EXPERIMENTS.md.)
+    let modulator = Modulator::new(lora);
+    let (wave, layout) = modulator
+        .packet_with_guard(&symbols, Alphabet::Downlink, 4)
+        .expect("valid symbols");
+    let path_loss = PathLossModel::for_environment(Environment::OutdoorLos, Hertz(lora.carrier_hz));
+    let link = paper_downlink(path_loss, Meters(40.0));
+    let channel = Channel::new(link, NoiseModel::new(Db(6.0), Hertz(lora.bw.hz())));
+    println!(
+        "Link: 40 m outdoors, RSS {} (sensitivity {} dBm), SNR {}",
+        channel.received_power(),
+        saiyan::SUPER_SAIYAN_SENSITIVITY_DBM,
+        channel.snr()
+    );
+    let rx = channel.propagate(&wave);
+
+    // 4. The tag demodulates with the full (Super Saiyan) receive chain.
+    let config = SaiyanConfig::paper_default(lora, Variant::Super);
+    let demod = SaiyanDemodulator::new(config);
+    let result = demod
+        .demodulate_aligned(&rx, layout.payload_start, symbols.len())
+        .expect("demodulation succeeds at 40 m");
+    let decoded_bytes = result.to_bytes(lora.bits_per_chirp, payload.len());
+    let decoded = DownlinkPacket::from_bytes(&decoded_bytes).expect("valid packet");
+
+    println!("Decoded command: {:?}", decoded.command);
+    assert_eq!(decoded, command);
+    println!("Round trip OK: the tag knows it must retransmit packet 42.");
+}

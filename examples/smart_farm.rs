@@ -1,0 +1,37 @@
+//! Smart-farm scenario (the paper's motivating deployment): backscatter soil
+//! sensors deliver readings to a remote access point; lost packets are
+//! recovered through Saiyan-enabled reactive retransmissions, and the access
+//! point remotely disables a sensor, with the tags acknowledging over slotted
+//! ALOHA.
+//!
+//! Run with: `cargo run --release --example smart_farm`
+
+use netsim::{multi_tag_acknowledgement, RetransmissionStudy, Scenario, UplinkSystem};
+use rfsim::units::Meters;
+
+fn main() {
+    println!("=== Smart farm: reactive retransmission ===");
+    for system in [UplinkSystem::PLoRa, UplinkSystem::Aloba] {
+        let study = RetransmissionStudy::paper(system);
+        print!("{:>6}: PRR", system.name());
+        for n in 0..=3u32 {
+            print!("  {} retx: {:5.1}%", n, study.prr(n) * 100.0);
+        }
+        println!();
+    }
+    println!("Without the Saiyan downlink the tags would have to repeat every packet");
+    println!("blindly; with it, only lost packets are retransmitted.\n");
+
+    println!("=== Smart farm: remote sensor control with multi-tag ACK ===");
+    for &distance in &[50.0, 100.0, 140.0] {
+        let downlink = Scenario::outdoor_default(Meters(distance));
+        let round = multi_tag_acknowledgement(20, &downlink, 32, 7);
+        println!(
+            "broadcast 'humidity sensor off' at {distance:>5.1} m: {} of 20 tags demodulated, \
+             {} ACKs delivered, {} lost to collisions",
+            round.demodulated, round.acked, round.collided
+        );
+    }
+    println!("\nEach tag picks a random ALOHA slot for its acknowledgement, so most");
+    println!("ACKs get through even for a broadcast command (paper §4.4, Fig. 15).");
+}

@@ -1,0 +1,114 @@
+//! Integration test: the MAC-layer feedback loop built on top of Saiyan
+//! (retransmission, channel hopping, rate adaptation, multi-tag ACK).
+
+use lora_phy::params::BitsPerChirp;
+use netsim::{
+    multi_tag_acknowledgement, ChannelHoppingStudy, RetransmissionStudy, Scenario, UplinkSystem,
+};
+use rfsim::units::Meters;
+use saiyan_mac::{
+    apply_rate_command, ChannelTable, Command, HoppingController, RateAdapter, TagChannelState,
+    TagId,
+};
+
+#[test]
+fn retransmissions_recover_most_losses() {
+    for system in [UplinkSystem::PLoRa, UplinkSystem::Aloba] {
+        let study = RetransmissionStudy::paper(system);
+        let base = study.prr(0);
+        let with3 = study.prr(3);
+        assert!(with3 > base, "{system:?}");
+        assert!(with3 > 0.9, "{system:?} PRR after 3 retransmissions: {with3}");
+    }
+}
+
+#[test]
+fn hopping_controller_and_tag_agree_on_the_new_channel() {
+    let table = ChannelTable::paper_433mhz();
+    let mut controller = HoppingController::new(table.clone(), 1, -70.0).unwrap();
+    let mut tags: Vec<TagChannelState> = (0..5)
+        .map(|i| TagChannelState::new(TagId(i), table.clone(), 1).unwrap())
+        .collect();
+    for ch in 0..5u8 {
+        controller.record_interference(ch, -90.0).unwrap();
+    }
+    controller.record_interference(1, -30.0).unwrap();
+    let packet = controller.maybe_hop().expect("controller hops");
+    for tag in &mut tags {
+        assert!(tag.apply(&packet).unwrap());
+        assert_eq!(tag.current, controller.current);
+    }
+}
+
+#[test]
+fn channel_hopping_case_study_recovers_prr() {
+    let windows = ChannelHoppingStudy::paper().run();
+    let jammed: Vec<f64> = windows.iter().filter(|w| !w.hopped).map(|w| w.prr).collect();
+    let clean: Vec<f64> = windows.iter().filter(|w| w.hopped).map(|w| w.prr).collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    assert!(mean(&clean) > mean(&jammed) + 0.3);
+}
+
+#[test]
+fn rate_adaptation_tracks_link_margin_end_to_end() {
+    let mut adapter = RateAdapter::default();
+    let tag = TagId(8);
+    let mut commanded = Vec::new();
+    for distance in [20.0, 80.0, 140.0, 170.0] {
+        let scenario = Scenario::outdoor_default(Meters(distance));
+        let k1_sensitivity = scenario
+            .clone()
+            .with_bits_per_chirp(BitsPerChirp::new(1).unwrap())
+            .sensitivity_config()
+            .sensitivity();
+        let margin = scenario.effective_rss().value() - k1_sensitivity.value();
+        if let Some(packet) = adapter.update(tag, margin) {
+            let k = apply_rate_command(&packet, tag).unwrap().unwrap();
+            commanded.push(k.bits());
+        } else {
+            commanded.push(adapter.current_rate(tag).bits());
+        }
+        // The commanded rate must keep the BER at or below ~1e-3.
+        let at_rate = scenario
+            .clone()
+            .with_bits_per_chirp(adapter.current_rate(tag));
+        assert!(
+            at_rate.ber() < 3e-3,
+            "BER {} too high at {distance} m with K={}",
+            at_rate.ber(),
+            adapter.current_rate(tag).bits()
+        );
+    }
+    // Rates must be non-increasing as the tag moves away.
+    for w in commanded.windows(2) {
+        assert!(w[1] <= w[0], "rates {commanded:?} not non-increasing");
+    }
+    assert!(commanded[0] >= 4, "close-in rate should be high: {commanded:?}");
+    assert!(*commanded.last().unwrap() <= 2, "far-out rate should be low");
+}
+
+#[test]
+fn broadcast_acknowledgement_scales_with_slot_count() {
+    let downlink = Scenario::outdoor_default(Meters(60.0));
+    let few = multi_tag_acknowledgement(16, &downlink, 8, 11);
+    let many = multi_tag_acknowledgement(16, &downlink, 64, 11);
+    assert!(many.acked >= few.acked);
+    assert!(few.acked + few.collided == few.demodulated);
+}
+
+#[test]
+fn downlink_commands_fit_in_a_handful_of_symbols() {
+    // The whole point of the tiny MAC format: a command is only a few chirps
+    // long even at K=1, so demodulating it costs the tag almost nothing.
+    let cmd = saiyan_mac::DownlinkPacket {
+        addressing: saiyan_mac::Addressing::Unicast(TagId(1)),
+        command: Command::Retransmit { sequence: 3 },
+    };
+    let bytes = cmd.to_bytes();
+    let symbols_k1 =
+        lora_phy::downlink::symbols_for_bytes(bytes.len(), BitsPerChirp::new(1).unwrap());
+    assert!(symbols_k1 <= 40);
+    let symbols_k5 =
+        lora_phy::downlink::symbols_for_bytes(bytes.len(), BitsPerChirp::new(5).unwrap());
+    assert!(symbols_k5 <= 8);
+}

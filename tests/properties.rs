@@ -1,0 +1,279 @@
+//! Property-based tests spanning the workspace's core invariants.
+
+use lora_phy::downlink::{bytes_to_symbols, symbols_to_bytes};
+use lora_phy::fec::{decode_payload, encode_payload};
+use lora_phy::frame::{crc16, Frame, FrameFlags};
+use lora_phy::params::{Bandwidth, BitsPerChirp, CodeRate, LoraParams, SpreadingFactor};
+use proptest::prelude::*;
+use rfsim::units::{Db, Dbm, Meters};
+
+fn spreading_factor() -> impl Strategy<Value = SpreadingFactor> {
+    prop_oneof![
+        Just(SpreadingFactor::Sf7),
+        Just(SpreadingFactor::Sf8),
+        Just(SpreadingFactor::Sf9),
+        Just(SpreadingFactor::Sf10),
+        Just(SpreadingFactor::Sf11),
+        Just(SpreadingFactor::Sf12),
+    ]
+}
+
+fn code_rate() -> impl Strategy<Value = CodeRate> {
+    prop_oneof![
+        Just(CodeRate::Cr45),
+        Just(CodeRate::Cr46),
+        Just(CodeRate::Cr47),
+        Just(CodeRate::Cr48),
+    ]
+}
+
+fn bandwidth() -> impl Strategy<Value = Bandwidth> {
+    prop_oneof![
+        Just(Bandwidth::Khz125),
+        Just(Bandwidth::Khz250),
+        Just(Bandwidth::Khz500),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fec_chain_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 1..80),
+        sf in spreading_factor(),
+        cr in code_rate(),
+    ) {
+        let symbols = encode_payload(&data, sf, cr).unwrap();
+        prop_assert!(symbols.iter().all(|&s| s < sf.chips_per_symbol()));
+        let (decoded, stats) = decode_payload(&symbols, sf, cr, data.len()).unwrap();
+        prop_assert_eq!(decoded, data);
+        prop_assert_eq!(stats.detected, 0);
+    }
+
+    #[test]
+    fn downlink_symbol_packing_round_trips(
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        k in 1u8..=8,
+    ) {
+        let k = BitsPerChirp::new(k).unwrap();
+        let symbols = bytes_to_symbols(&data, k);
+        prop_assert!(symbols.iter().all(|&s| s < k.alphabet_size()));
+        let back = symbols_to_bytes(&symbols, k, data.len());
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn frame_serialisation_round_trips(
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+        cr in code_rate(),
+        ack in any::<bool>(),
+        ack_request in any::<bool>(),
+    ) {
+        let frame = Frame::new(
+            payload,
+            cr,
+            FrameFlags { ack, ack_request, downlink: true },
+        ).unwrap();
+        let bytes = frame.to_bytes();
+        let back = Frame::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn crc_detects_single_byte_corruption(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        idx in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let mut corrupted = payload.clone();
+        let i = idx.index(corrupted.len());
+        corrupted[i] ^= flip;
+        prop_assert_ne!(crc16(&payload), crc16(&corrupted));
+    }
+
+    #[test]
+    fn dbm_conversions_round_trip(power in -150.0f64..30.0) {
+        let dbm = Dbm(power);
+        let back = Dbm::from_milliwatts(dbm.milliwatts());
+        prop_assert!((back.value() - power).abs() < 1e-9);
+    }
+
+    #[test]
+    fn path_loss_is_monotone(
+        d1 in 1.0f64..500.0,
+        delta in 1.0f64..500.0,
+        walls in 0u8..3,
+    ) {
+        let pl = rfsim::pathloss::PathLossModel::for_environment(
+            rfsim::pathloss::Environment::Indoor { walls },
+            rfsim::units::Hertz::from_mhz(434.0),
+        );
+        let near = pl.loss(Meters(d1)).value();
+        let far = pl.loss(Meters(d1 + delta)).value();
+        prop_assert!(far > near);
+    }
+
+    #[test]
+    fn comparator_hysteresis_never_chatters_within_the_band(
+        samples in proptest::collection::vec(0.45f64..0.55, 10..200),
+    ) {
+        // All samples strictly between U_L = 0.4 and U_H = 0.6: the output
+        // must never change state.
+        let cmp = analog::comparator::DoubleThresholdComparator::new(0.6, 0.4);
+        let buf = analog::signal::RealBuffer::new(samples, 1000.0);
+        let out = cmp.compare(&buf);
+        prop_assert_eq!(out.transitions(), 0);
+    }
+
+    #[test]
+    fn ber_model_is_monotone_in_rss(
+        rss_lo in -120.0f64..-40.0,
+        delta in 0.1f64..40.0,
+        k in 1u8..=5,
+    ) {
+        let cfg = saiyan::SensitivityConfig {
+            variant: saiyan::Variant::Super,
+            sf: SpreadingFactor::Sf7,
+            bw: Bandwidth::Khz500,
+            k: BitsPerChirp::new(k).unwrap(),
+        };
+        let worse = cfg.ber(Dbm(rss_lo));
+        let better = cfg.ber(Dbm(rss_lo + delta));
+        prop_assert!(better <= worse + 1e-12);
+    }
+
+    #[test]
+    fn sampling_rate_rule_always_exceeds_nyquist(
+        sf in spreading_factor(),
+        bw in bandwidth(),
+        k in 1u8..=5,
+    ) {
+        let params = LoraParams::new(sf, bw, BitsPerChirp::new(k).unwrap());
+        prop_assert!(params.practical_sampling_rate() > params.nyquist_sampling_rate());
+        prop_assert!(params.nyquist_sampling_rate() > 0.0);
+    }
+
+    #[test]
+    fn prr_with_retransmissions_is_monotone(
+        p in 0.0f64..1.0,
+        downlink in 0.5f64..1.0,
+        n in 0u32..5,
+    ) {
+        let base = saiyan_mac::prr_with_retransmissions(p, n, downlink);
+        let more = saiyan_mac::prr_with_retransmissions(p, n + 1, downlink);
+        prop_assert!(more >= base - 1e-12);
+        prop_assert!((0.0..=1.0).contains(&base));
+    }
+
+    #[test]
+    fn aloha_success_probability_bounds(tags in 1u32..50, slots in 1u32..128) {
+        let p = saiyan_mac::analytic_success_probability(tags, slots);
+        prop_assert!((0.0..=1.0).contains(&p));
+        // More slots never hurt.
+        let p_more = saiyan_mac::analytic_success_probability(tags, slots + 1);
+        prop_assert!(p_more >= p - 1e-12);
+    }
+
+    #[test]
+    fn db_dbm_arithmetic_is_consistent(p in -100.0f64..20.0, g in -30.0f64..30.0) {
+        let power = Dbm(p);
+        let gain = Db(g);
+        let through = power + gain - gain;
+        prop_assert!((through.value() - p).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn saw_gain_is_monotone_across_the_critical_band(
+        f1 in 433_500_000.0f64..434_000_000.0,
+        delta in 1_000.0f64..400_000.0,
+    ) {
+        let saw = analog::saw::SawFilter::paper_b3790();
+        let f2 = (f1 + delta).min(434_000_000.0);
+        let g1 = saw.gain_at(rfsim::units::Hertz(f1)).value();
+        let g2 = saw.gain_at(rfsim::units::Hertz(f2)).value();
+        prop_assert!(g2 >= g1 - 1e-9, "gain fell from {g1} to {g2}");
+    }
+
+    #[test]
+    fn downlink_peak_time_inversion_is_exact(
+        k in 1u8..=5,
+        sf in spreading_factor(),
+        bw in bandwidth(),
+        symbol_seed in any::<u32>(),
+    ) {
+        let k = BitsPerChirp::new(k).unwrap();
+        let params = LoraParams::new(sf, bw, k);
+        let symbol = symbol_seed % k.alphabet_size();
+        let gen = lora_phy::ChirpGenerator::new(params);
+        let peak = gen.downlink_peak_time(symbol).unwrap();
+        prop_assert_eq!(
+            lora_phy::downlink::symbol_from_peak_time(peak, &params),
+            symbol
+        );
+    }
+
+    #[test]
+    fn interleaver_round_trips_for_any_geometry(
+        rows in 1usize..=16,
+        cols in 1usize..=16,
+        seed in any::<u64>(),
+    ) {
+        use lora_phy::fec::interleaver::Interleaver;
+        let il = Interleaver::new(rows, cols).unwrap();
+        let mask = if cols == 16 { u16::MAX } else { (1u16 << cols) - 1 };
+        let words: Vec<u16> = (0..rows * 3)
+            .map(|i| ((seed >> (i % 48)) as u16 ^ (i as u16).wrapping_mul(2654)) & mask)
+            .collect();
+        let inter = il.interleave(&words);
+        let back = il.deinterleave(&inter, words.len());
+        prop_assert_eq!(back, words);
+    }
+
+    #[test]
+    fn ideal_envelope_detector_is_scale_consistent(
+        amp in 1e-6f64..1e-1,
+        scale in 1.1f64..10.0,
+    ) {
+        use lora_phy::iq::{Iq, SampleBuffer};
+        let det = analog::envelope::EnvelopeDetector::ideal();
+        let small = det.detect(&SampleBuffer::new(vec![Iq::new(amp, 0.0); 4], 1e6));
+        let big = det.detect(&SampleBuffer::new(vec![Iq::new(amp * scale, 0.0); 4], 1e6));
+        // Square-law: output scales with the square of the amplitude ratio.
+        let ratio = big.samples[0] / small.samples[0];
+        prop_assert!((ratio - scale * scale).abs() / (scale * scale) < 1e-9);
+    }
+
+    #[test]
+    fn scenario_ber_is_monotone_in_distance(
+        d in 5.0f64..300.0,
+        delta in 1.0f64..100.0,
+        k in 1u8..=5,
+    ) {
+        use netsim::Scenario;
+        use rfsim::units::Meters;
+        let near = Scenario::outdoor_default(Meters(d))
+            .with_bits_per_chirp(BitsPerChirp::new(k).unwrap());
+        let far = Scenario::outdoor_default(Meters(d + delta))
+            .with_bits_per_chirp(BitsPerChirp::new(k).unwrap());
+        prop_assert!(far.ber() >= near.ber() - 1e-12);
+    }
+
+    #[test]
+    fn gray_coded_downlink_symbols_differ_by_one_bit_for_adjacent_peaks(
+        k in 2u8..=5,
+        base in any::<u32>(),
+    ) {
+        // Adjacent peak positions map to Gray-adjacent symbol codes, so a
+        // one-slot peak error costs exactly one bit.
+        let k = BitsPerChirp::new(k).unwrap();
+        let a = base % (k.alphabet_size() - 1);
+        let ga = lora_phy::fec::gray_encode(a);
+        let gb = lora_phy::fec::gray_encode(a + 1);
+        prop_assert_eq!((ga ^ gb).count_ones(), 1);
+    }
+}

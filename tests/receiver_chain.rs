@@ -1,0 +1,149 @@
+//! Integration tests of the waveform-level receive chain's qualitative
+//! properties: the correlator's low-SNR advantage, AGC-driven thresholding,
+//! spectrum-sensing-driven hopping, and duty-cycle arithmetic.
+
+use lora_phy::modulator::{Alphabet, Modulator};
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use rfsim::channel::dbm_to_buffer_power;
+use rfsim::interference::Interferer;
+use rfsim::noise::AwgnSource;
+use rfsim::spectrum::SpectrumSensor;
+use rfsim::units::{Dbm, Hertz};
+use saiyan::metrics::ErrorCounts;
+use saiyan::{Agc, AgcConfig, DutyCycleSchedule, SaiyanConfig, SaiyanDemodulator, Variant};
+
+fn lora() -> LoraParams {
+    LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).unwrap(),
+    )
+    .with_oversampling(8)
+}
+
+/// Builds a noisy received packet at the given signal and noise powers.
+fn noisy_packet(
+    symbols: &[u32],
+    signal_dbm: f64,
+    noise_dbm: f64,
+    seed: u64,
+) -> (lora_phy::SampleBuffer, usize) {
+    let (wave, layout) = Modulator::new(lora())
+        .packet_with_guard(symbols, Alphabet::Downlink, 2)
+        .unwrap();
+    let target = dbm_to_buffer_power(Dbm(signal_dbm));
+    let tx_power = wave.mean_power();
+    let mut rx = wave.scaled((target / tx_power).sqrt());
+    let mut awgn = AwgnSource::new(seed);
+    awgn.add_to(&mut rx, dbm_to_buffer_power(Dbm(noise_dbm)));
+    (rx, layout.payload_start)
+}
+
+#[test]
+fn correlation_decoding_beats_peak_decoding_at_low_snr() {
+    // At a marginal SNR the correlator (Super Saiyan) should make fewer symbol
+    // errors than the comparator-only chain (shifting variant), which is the
+    // mechanism behind the Fig. 25 correlation gain.
+    let symbols: Vec<u32> = (0..24).map(|i| (i * 7 + 3) % 4).collect();
+    let super_demod = SaiyanDemodulator::new(SaiyanConfig::paper_default(lora(), Variant::Super));
+    let shifting_demod =
+        SaiyanDemodulator::new(SaiyanConfig::paper_default(lora(), Variant::WithShifting));
+
+    let mut super_counts = ErrorCounts::default();
+    let mut shifting_counts = ErrorCounts::default();
+    for seed in 0..6u64 {
+        // -62 dBm signal with -70 dBm noise: only ~8 dB of SNR at the antenna.
+        let (rx, payload_start) = noisy_packet(&symbols, -62.0, -70.0, 1000 + seed);
+        let s = super_demod
+            .demodulate_aligned(&rx, payload_start, symbols.len())
+            .unwrap();
+        let p = shifting_demod
+            .demodulate_aligned(&rx, payload_start, symbols.len())
+            .unwrap();
+        super_counts.add_packet(&symbols, &s.symbols, 2);
+        shifting_counts.add_packet(&symbols, &p.symbols, 2);
+    }
+    assert!(
+        super_counts.ser() <= shifting_counts.ser(),
+        "correlator SER {} vs peak-decoder SER {}",
+        super_counts.ser(),
+        shifting_counts.ser()
+    );
+    // And the correlator should still be mostly correct at this operating point.
+    assert!(super_counts.ser() < 0.25, "correlator SER {}", super_counts.ser());
+}
+
+#[test]
+fn agc_thresholds_track_a_weakening_link() {
+    // Feed the AGC envelopes from progressively weaker packets: the derived
+    // comparator must keep producing one clean burst per preamble chirp.
+    let demod = SaiyanDemodulator::new(SaiyanConfig::paper_default(lora(), Variant::Vanilla));
+    let mut agc = Agc::new(AgcConfig::default());
+    for (i, power) in [-45.0, -50.0, -55.0].into_iter().enumerate() {
+        let (rx, _) = noisy_packet(&[0, 1, 2, 3], power, -100.0, 2000 + i as u64);
+        let envelope = demod.process_envelope(&rx);
+        agc.update(&envelope);
+        let thresholds = agc.thresholds(&envelope);
+        let stream = thresholds.comparator().compare(&agc.apply(&envelope));
+        // At least the ten preamble peaks (plus possibly sync/payload bursts)
+        // must be separable; chattering would produce hundreds of runs.
+        let runs = stream.high_runs().len();
+        assert!(
+            (4..60).contains(&runs),
+            "power {power}: {runs} high runs"
+        );
+    }
+}
+
+#[test]
+fn spectrum_sensor_feeds_the_hopping_controller() {
+    // A jammer on channel 0 of the 433 MHz plan is detected by the sensor and
+    // the hopping controller moves the network off the jammed channel.
+    let sensor = SpectrumSensor::paper_433mhz();
+    let fs = 8.0e6;
+    let jammer = Interferer {
+        kind: rfsim::interference::InterferenceKind::ContinuousWave,
+        received_power: Dbm(-55.0),
+        offset: Hertz(-1.0e6), // 433.0 MHz when the capture is centred at 434.0 MHz
+        seed: 7,
+    };
+    let mut capture = jammer.waveform(65_536, fs);
+    let mut awgn = AwgnSource::new(8);
+    awgn.add_to(&mut capture, dbm_to_buffer_power(Dbm(-110.0)));
+    let scan = sensor.scan(&capture, Hertz::from_mhz(434.0));
+
+    let mut controller = saiyan_mac::HoppingController::new(
+        saiyan_mac::ChannelTable::paper_433mhz(),
+        0,
+        sensor.busy_threshold.value(),
+    )
+    .unwrap();
+    for m in &scan {
+        controller
+            .record_interference(m.channel as u8, m.power.value().max(-200.0))
+            .unwrap();
+    }
+    assert!(controller.current_channel_jammed());
+    let hop = controller.maybe_hop().expect("controller should hop");
+    match hop.command {
+        saiyan_mac::Command::ChannelHop { channel } => assert_ne!(channel, 0),
+        other => panic!("unexpected command {other:?}"),
+    }
+}
+
+#[test]
+fn duty_cycle_bounds_feedback_latency_and_power() {
+    let params = lora();
+    let schedule = DutyCycleSchedule::one_percent(&params);
+    // The worst-case wait for a feedback window must still allow the Fig. 26
+    // retransmission loop to finish within a few seconds.
+    assert!(schedule.worst_case_latency() < 10.0);
+    // A retransmission command packet fits in the listening window.
+    assert!(schedule.window_s >= params.packet_duration(20));
+    // And the schedule indeed spends ~1 % of the time listening.
+    let listening: usize = (0..10_000)
+        .filter(|i| schedule.is_listening(*i as f64 * schedule.period_s / 1000.0))
+        .count();
+    let fraction = listening as f64 / 10_000.0;
+    assert!((fraction - 0.01).abs() < 0.005, "listening fraction {fraction}");
+}
