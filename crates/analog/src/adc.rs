@@ -88,7 +88,11 @@ mod tests {
         let codes = adc.convert(&input);
         let recon = adc.reconstruct(&codes);
         for (orig, rec) in input.samples.iter().zip(&recon) {
-            assert!((orig - rec).abs() <= adc.lsb(), "error {}", (orig - rec).abs());
+            assert!(
+                (orig - rec).abs() <= adc.lsb(),
+                "error {}",
+                (orig - rec).abs()
+            );
         }
     }
 

@@ -137,7 +137,9 @@ mod tests {
 
     fn tone(f: f64, fs: f64, n: usize) -> RealBuffer {
         RealBuffer::new(
-            (0..n).map(|i| (2.0 * PI * f * i as f64 / fs).sin()).collect(),
+            (0..n)
+                .map(|i| (2.0 * PI * f * i as f64 / fs).sin())
+                .collect(),
             fs,
         )
     }

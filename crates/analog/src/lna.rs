@@ -7,8 +7,8 @@
 //! compression point so strong inputs do not produce unphysical voltages.
 
 use lora_phy::iq::SampleBuffer;
-use rfsim::noise::AwgnSource;
 use rfsim::channel::dbm_to_buffer_power;
+use rfsim::noise::AwgnSource;
 use rfsim::units::{Db, Dbm, Hertz};
 
 /// A low-noise amplifier.
@@ -54,8 +54,7 @@ impl Lna {
         let mut out = input.clone().scaled(gain_amp);
 
         // Add the LNA's own noise, referred to the output (input noise * gain).
-        let noise_power_out =
-            dbm_to_buffer_power(self.added_noise_power() + self.gain);
+        let noise_power_out = dbm_to_buffer_power(self.added_noise_power() + self.gain);
         let mut awgn = AwgnSource::new(self.seed);
         awgn.add_to(&mut out, noise_power_out);
 

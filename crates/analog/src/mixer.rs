@@ -105,7 +105,11 @@ mod tests {
         assert!(upper > 100.0 * away.max(1e-12));
         assert!(lower > 100.0 * away.max(1e-12));
         // Sidebands carry conversion_gain/2 of the voltage = 1/4 each.
-        assert!((upper / dc - 1.0 / 16.0).abs() < 0.02, "ratio {}", upper / dc);
+        assert!(
+            (upper / dc - 1.0 / 16.0).abs() < 0.02,
+            "ratio {}",
+            upper / dc
+        );
     }
 
     #[test]
@@ -132,7 +136,9 @@ mod tests {
         let fs = 2e6;
         let n = 40_000;
         let input = RealBuffer::new(
-            (0..n).map(|i| (2.0 * PI * 200_000.0 * i as f64 / fs).cos()).collect(),
+            (0..n)
+                .map(|i| (2.0 * PI * 200_000.0 * i as f64 / fs).cos())
+                .collect(),
             fs,
         );
         let out = BasebandMixer::default().mix(&input, &Oscillator::new(200_000.0));
@@ -150,7 +156,9 @@ mod tests {
         let fs = 2e6;
         let n = 40_000;
         let input = RealBuffer::new(
-            (0..n).map(|i| (2.0 * PI * 200_000.0 * i as f64 / fs).cos()).collect(),
+            (0..n)
+                .map(|i| (2.0 * PI * 200_000.0 * i as f64 / fs).cos())
+                .collect(),
             fs,
         );
         let clock = Oscillator::new(200_000.0).with_phase(PI / 2.0);

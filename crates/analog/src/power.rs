@@ -254,7 +254,11 @@ mod tests {
     #[test]
     fn pcb_totals_match_table2() {
         let b = PowerBudget::paper_pcb();
-        assert!((b.total_uw() - 369.35).abs() < 0.1, "total {}", b.total_uw());
+        assert!(
+            (b.total_uw() - 369.35).abs() < 0.1,
+            "total {}",
+            b.total_uw()
+        );
         assert!((b.total_cost_usd() - 27.16).abs() < 0.1);
         // LNA ≈ 67.3 %, oscillator ≈ 23.5 %.
         assert!((b.share(Component::Lna) - 0.673).abs() < 0.005);
@@ -292,6 +296,9 @@ mod tests {
     fn duty_cycle_scales_power() {
         let one = EnergyLedger::new(PowerBudget::paper_pcb(), 0.01);
         let ten = EnergyLedger::new(PowerBudget::paper_pcb(), 0.10);
-        assert!((ten.average_power().microwatts() / one.average_power().microwatts() - 10.0).abs() < 1e-9);
+        assert!(
+            (ten.average_power().microwatts() / one.average_power().microwatts() - 10.0).abs()
+                < 1e-9
+        );
     }
 }

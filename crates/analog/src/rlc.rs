@@ -103,7 +103,10 @@ mod tests {
         // A Bluetooth-wide (80 MHz) pass band, by contrast, needs ~1.4 pF,
         // which is perfectly buildable.
         let c_wide = required_capacitance(Hertz::from_mhz(433.0), Hertz::from_mhz(80.0), 50.0);
-        assert!(is_realisable_capacitance(c_wide), "wideband C {c_wide:.3e} F");
+        assert!(
+            is_realisable_capacitance(c_wide),
+            "wideband C {c_wide:.3e} F"
+        );
     }
 
     #[test]
@@ -131,6 +134,10 @@ mod tests {
         let res = RlcResonator::new(r, l, c);
         let low = res.gain_at(Hertz::from_mhz(433.5)).value();
         let high = res.gain_at(Hertz::from_mhz(434.0)).value();
-        assert!((high - low).abs() < 3.0, "RLC gap {} dB", (high - low).abs());
+        assert!(
+            (high - low).abs() < 3.0,
+            "RLC gap {} dB",
+            (high - low).abs()
+        );
     }
 }

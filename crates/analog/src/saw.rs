@@ -216,8 +216,8 @@ impl SawFilter {
         let steps = steps.max(2);
         (0..steps)
             .map(|i| {
-                let f = start.value()
-                    + (stop.value() - start.value()) * i as f64 / (steps - 1) as f64;
+                let f =
+                    start.value() + (stop.value() - start.value()) * i as f64 / (steps - 1) as f64;
                 ResponsePoint {
                     frequency: Hertz(f),
                     gain: self.gain_at(Hertz(f)),
@@ -238,7 +238,11 @@ mod tests {
         let saw = SawFilter::paper_b3790();
         // 25 dB variation over the top 500 kHz below 434 MHz.
         let gap500 = saw.amplitude_gap(Hertz::from_mhz(434.0), Hertz::from_khz(500.0));
-        assert!((gap500.value() - 25.0).abs() < 0.1, "gap {}", gap500.value());
+        assert!(
+            (gap500.value() - 25.0).abs() < 0.1,
+            "gap {}",
+            gap500.value()
+        );
         // 9.5 dB over 250 kHz and 7.2 dB over 125 kHz.
         let gap250 = saw.amplitude_gap(Hertz::from_mhz(434.0), Hertz::from_khz(250.0));
         assert!((gap250.value() - 9.5).abs() < 0.1);
@@ -329,7 +333,10 @@ mod tests {
         let shift = saw_cold.temperature_shift().value();
         // -4 ppm/°C over the 33.6 °C difference from the 25 °C reference is
         // roughly 58 kHz.
-        assert!(shift.abs() > 20.0e3 && shift.abs() < 120.0e3, "shift {shift}");
+        assert!(
+            shift.abs() > 20.0e3 && shift.abs() < 120.0e3,
+            "shift {shift}"
+        );
     }
 
     #[test]

@@ -133,12 +133,7 @@ pub fn envelope_snr_db(received: &RealBuffer, reference: &RealBuffer) -> f64 {
     if rr <= 0.0 {
         return f64::NEG_INFINITY;
     }
-    let xr: f64 = rx
-        .samples
-        .iter()
-        .zip(&rf.samples)
-        .map(|(x, r)| x * r)
-        .sum();
+    let xr: f64 = rx.samples.iter().zip(&rf.samples).map(|(x, r)| x * r).sum();
     let a = xr / rr;
     let signal_power = a * a * rr;
     let residual: f64 = rx

@@ -161,9 +161,7 @@ mod tests {
         let plora = PLoRaDetector::new(params());
         // Fig. 21: PLoRa detects further than Aloba, i.e. its sensitivity is
         // lower (more negative).
-        assert!(
-            aloba.detection_sensitivity().value() > plora.detection_sensitivity().value()
-        );
+        assert!(aloba.detection_sensitivity().value() > plora.detection_sensitivity().value());
         // Both detectors miss a packet buried well below the noise.
         let buried = packet_at(-118.0, -95.0, 3);
         assert!(!plora.detect(&buried));

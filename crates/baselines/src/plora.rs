@@ -98,11 +98,7 @@ impl PacketDetector for PLoRaDetector {
 /// [`PLORA_UPLINK_SNR_THRESHOLD_DB`], reflecting the fading-limited behaviour
 /// of reflected links.
 pub fn plora_uplink_ber(snr: Db) -> f64 {
-    uplink_ber(
-        snr,
-        PLORA_UPLINK_SNR_THRESHOLD_DB,
-        PLORA_UPLINK_BER_FLOOR,
-    )
+    uplink_ber(snr, PLORA_UPLINK_SNR_THRESHOLD_DB, PLORA_UPLINK_BER_FLOOR)
 }
 
 /// Shared gentle-waterfall uplink BER model.

@@ -32,7 +32,9 @@ fn bench_detectors(c: &mut Criterion) {
     c.bench_function("detect/plora_cross_correlation", |b| {
         b.iter(|| plora.detect(&rx))
     });
-    c.bench_function("detect/aloba_rssi_pattern", |b| b.iter(|| aloba.detect(&rx)));
+    c.bench_function("detect/aloba_rssi_pattern", |b| {
+        b.iter(|| aloba.detect(&rx))
+    });
     c.bench_function("detect/conventional_envelope", |b| {
         b.iter(|| envelope.detect(&rx))
     });

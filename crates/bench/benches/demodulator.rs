@@ -29,7 +29,7 @@ fn setup(variant: Variant) -> (SaiyanDemodulator, lora_phy::SampleBuffer, usize,
 fn bench_demodulator(c: &mut Criterion) {
     for variant in [Variant::Vanilla, Variant::WithShifting, Variant::Super] {
         let (demod, rx, payload_start, symbols) = setup(variant);
-        c.bench_function(&format!("saiyan/demod_aligned_16sym_{variant:?}"), |b| {
+        c.bench_function(format!("saiyan/demod_aligned_16sym_{variant:?}"), |b| {
             b.iter(|| {
                 demod
                     .demodulate_aligned(&rx, payload_start, symbols.len())

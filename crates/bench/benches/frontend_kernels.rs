@@ -60,5 +60,10 @@ fn bench_comparator(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_saw, bench_envelope_and_shifting, bench_comparator);
+criterion_group!(
+    benches,
+    bench_saw,
+    bench_envelope_and_shifting,
+    bench_comparator
+);
 criterion_main!(benches);

@@ -62,7 +62,10 @@ fn main() {
         }));
     }
     table.print();
-    println!("Symbol duration: {:.0} us. Paper: the output amplitude scales with", t_sym_us);
+    println!(
+        "Symbol duration: {:.0} us. Paper: the output amplitude scales with",
+        t_sym_us
+    );
     println!("the input frequency and each symbol peaks at a distinct time.");
     saiyan_bench::write_json("fig06_saw_symbols", &serde_json::json!(json_rows));
 }

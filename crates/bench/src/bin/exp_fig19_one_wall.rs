@@ -19,8 +19,8 @@ pub fn run_wall_study(walls: u8, figure: &str, paper_range_cr1: f64, paper_range
     );
     let mut json_rows = Vec::new();
     for k in 1..=5u8 {
-        let template = Scenario::indoor(Meters(1.0), walls)
-            .with_bits_per_chirp(BitsPerChirp::new(k).unwrap());
+        let template =
+            Scenario::indoor(Meters(1.0), walls).with_bits_per_chirp(BitsPerChirp::new(k).unwrap());
         let range = paper_demodulation_range(&template).value();
         let at_20m = template.clone().with_distance(Meters(20.0));
         let counts = run_link_trials(
@@ -46,7 +46,10 @@ pub fn run_wall_study(walls: u8, figure: &str, paper_range_cr1: f64, paper_range
     );
     println!("throughput still grows with CR as long as the link holds.");
     saiyan_bench::write_json(
-        &format!("{}_walls{walls}", figure.to_lowercase().replace([' ', '.'], "")),
+        &format!(
+            "{}_walls{walls}",
+            figure.to_lowercase().replace([' ', '.'], "")
+        ),
         &serde_json::json!(json_rows),
     );
 }

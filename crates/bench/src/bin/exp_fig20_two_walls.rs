@@ -14,8 +14,8 @@ fn main() {
     );
     let mut json_rows = Vec::new();
     for k in 1..=5u8 {
-        let template = Scenario::indoor(Meters(1.0), walls)
-            .with_bits_per_chirp(BitsPerChirp::new(k).unwrap());
+        let template =
+            Scenario::indoor(Meters(1.0), walls).with_bits_per_chirp(BitsPerChirp::new(k).unwrap());
         let range = paper_demodulation_range(&template).value();
         let at_10m = template.clone().with_distance(Meters(10.0));
         let counts = run_link_trials(
@@ -36,14 +36,19 @@ fn main() {
         }));
 
         // Also report the ratio against the one-wall case for the same CR.
-        let one_wall = Scenario::indoor(Meters(1.0), 1)
-            .with_bits_per_chirp(BitsPerChirp::new(k).unwrap());
+        let one_wall =
+            Scenario::indoor(Meters(1.0), 1).with_bits_per_chirp(BitsPerChirp::new(k).unwrap());
         let ratio = paper_demodulation_range(&one_wall).value() / range.max(1e-9);
         if k == 1 {
-            println!("Range ratio one wall / two walls at CR1: {:.2} (paper: 2.09-2.21x)", ratio);
+            println!(
+                "Range ratio one wall / two walls at CR1: {:.2} (paper: 2.09-2.21x)",
+                ratio
+            );
         }
     }
     table.print();
-    println!("Paper: the second wall costs another ~2.1x of range and a few percent of throughput.");
+    println!(
+        "Paper: the second wall costs another ~2.1x of range and a few percent of throughput."
+    );
     saiyan_bench::write_json("fig20_two_walls", &serde_json::json!(json_rows));
 }

@@ -31,8 +31,7 @@ fn main() {
             let scenario = Scenario::outdoor_default(Meters(d));
             let envelope_floor_dbm = -107.0;
             let insertion_loss_db = 10.0;
-            let headroom =
-                scenario.rss().value() - insertion_loss_db - envelope_floor_dbm;
+            let headroom = scenario.rss().value() - insertion_loss_db - envelope_floor_dbm;
             let observable = intrinsic.min(headroom.max(0.0));
             cells.push(fmt(observable, 1));
             json_rows.push(serde_json::json!({

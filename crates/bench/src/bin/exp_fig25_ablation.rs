@@ -11,7 +11,14 @@ use saiyan_bench::{fmt, Table};
 fn main() {
     let mut table = Table::new(
         "Fig. 25: ablation — demodulation range (m) vs coding rate",
-        &["CR (K)", "vanilla", "+ shifting", "+ correlation", "shift gain", "corr gain"],
+        &[
+            "CR (K)",
+            "vanilla",
+            "+ shifting",
+            "+ correlation",
+            "shift gain",
+            "corr gain",
+        ],
     );
     let mut json_rows = Vec::new();
     for k in 1..=5u8 {

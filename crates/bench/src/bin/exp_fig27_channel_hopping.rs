@@ -7,7 +7,11 @@ use saiyan_bench::{fmt, Table};
 fn main() {
     let study = ChannelHoppingStudy::paper();
     let windows = study.run();
-    let before: Vec<f64> = windows.iter().filter(|w| !w.hopped).map(|w| w.prr).collect();
+    let before: Vec<f64> = windows
+        .iter()
+        .filter(|w| !w.hopped)
+        .map(|w| w.prr)
+        .collect();
     let after: Vec<f64> = windows.iter().filter(|w| w.hopped).map(|w| w.prr).collect();
 
     let mut table = Table::new(

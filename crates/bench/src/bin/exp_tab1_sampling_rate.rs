@@ -35,6 +35,8 @@ fn main() {
     }
     table.print();
     println!("Paper Table 1 (theory): 15.6 kHz at SF7/K=1 down to 0.49 kHz at SF12/K=1,");
-    println!("with the practical requirement a factor ~1.3-1.6 higher; Saiyan adopts 3.2*BW/2^(SF-K).");
+    println!(
+        "with the practical requirement a factor ~1.3-1.6 higher; Saiyan adopts 3.2*BW/2^(SF-K)."
+    );
     saiyan_bench::write_json("tab1_sampling_rate", &serde_json::json!(json_rows));
 }

@@ -12,7 +12,12 @@ fn main() {
 
     let mut table = Table::new(
         "Table 2: per-component power (uW, 1% duty cycle) and cost (USD)",
-        &["component", "PCB power (uW)", "PCB cost ($)", "ASIC power (uW)"],
+        &[
+            "component",
+            "PCB power (uW)",
+            "PCB cost ($)",
+            "ASIC power (uW)",
+        ],
     );
     let mut json_rows = Vec::new();
     for component in Component::ALL {

@@ -131,7 +131,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(fmt(3.14159, 2), "3.14");
+        assert_eq!(fmt(1.23456, 2), "1.23");
         assert_eq!(fmt_ber(0.0004), "0.40‰");
         assert_eq!(fmt_ber(0.25), "25.0%");
     }

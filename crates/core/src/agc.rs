@@ -78,8 +78,8 @@ impl Agc {
             return self.gain;
         }
         self.last_peak = peak;
-        let desired = (self.config.target_peak / peak)
-            .clamp(self.config.min_gain, self.config.max_gain);
+        let desired =
+            (self.config.target_peak / peak).clamp(self.config.min_gain, self.config.max_gain);
         let f = self.config.settle_fraction.clamp(0.0, 1.0);
         // Multiplicative (log-domain) interpolation towards the desired gain.
         self.gain = (self.gain.ln() * (1.0 - f) + desired.ln() * f).exp();
@@ -150,7 +150,11 @@ mod tests {
         });
         agc.update(&window_with_peak(1.0e-6));
         // Half of the (log-domain) step towards 1000x.
-        assert!(agc.gain() > 20.0 && agc.gain() < 1000.0, "gain {}", agc.gain());
+        assert!(
+            agc.gain() > 20.0 && agc.gain() < 1000.0,
+            "gain {}",
+            agc.gain()
+        );
         agc.update(&window_with_peak(1.0e-6));
         assert!(agc.gain() > 100.0, "gain {}", agc.gain());
     }

@@ -126,8 +126,7 @@ impl PeakDecoder {
         // up-chirp, which lands at the end of that symbol.
         let first_peak = edges[start_idx];
         let preamble_start = first_peak - t_sym;
-        let payload_start =
-            preamble_start + (PREAMBLE_UPCHIRPS as f64 + SYNC_SYMBOLS) * t_sym;
+        let payload_start = preamble_start + (PREAMBLE_UPCHIRPS as f64 + SYNC_SYMBOLS) * t_sym;
         Ok(PreambleTiming {
             preamble_start,
             payload_start,

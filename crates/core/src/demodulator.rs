@@ -158,8 +158,7 @@ impl SaiyanDemodulator {
         // Super Saiyan can additionally fall back to the correlator.
         if let Some(correlator) = &self.correlator {
             let env_sampled = self.sampler.sample_envelope(&envelope);
-            let score =
-                correlator.detect_score(&env_sampled, self.config.lora.symbol_duration());
+            let score = correlator.detect_score(&env_sampled, self.config.lora.symbol_duration());
             return score > 0.85;
         }
         false
@@ -239,9 +238,7 @@ mod tests {
         noise_power_dbm: Option<f64>,
     ) -> (SampleBuffer, usize) {
         let m = Modulator::new(cfg.lora);
-        let (wave, layout) = m
-            .packet_with_guard(symbols, Alphabet::Downlink, 2)
-            .unwrap();
+        let (wave, layout) = m.packet_with_guard(symbols, Alphabet::Downlink, 2).unwrap();
         let target = dbm_to_buffer_power(Dbm(rx_power_dbm));
         let mut rx = wave.scaled((target / 1.0).sqrt());
         if let Some(np) = noise_power_dbm {

@@ -141,7 +141,11 @@ mod tests {
         // …but listening ten times less often brings it under budget, while
         // the PCB prototype stays above it (the paper's argument for the ASIC).
         let sparse = DutyCycleSchedule::new(one_percent.period_s * 10.0, one_percent.window_s);
-        assert!(sparse.sustainable(&asic), "power {}", sparse.average_power_uw(&asic));
+        assert!(
+            sparse.sustainable(&asic),
+            "power {}",
+            sparse.average_power_uw(&asic)
+        );
         assert!(!sparse.sustainable(&pcb));
         // Duty cycling always helps: power is monotone in the duty cycle.
         assert!(sparse.average_power_uw(&asic) < p1);

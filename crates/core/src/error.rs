@@ -58,7 +58,9 @@ mod tests {
 
     #[test]
     fn display_and_conversion() {
-        assert!(SaiyanError::PreambleNotFound.to_string().contains("preamble"));
+        assert!(SaiyanError::PreambleNotFound
+            .to_string()
+            .contains("preamble"));
         let e: SaiyanError = lora_phy::PhyError::PreambleNotFound.into();
         assert!(matches!(e, SaiyanError::Phy(_)));
         let b: Box<dyn std::error::Error> = Box::new(e);

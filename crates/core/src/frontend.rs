@@ -142,6 +142,9 @@ mod tests {
         let rf = chirp_at(-50.0, 0, &cfg);
         let a = fe_ref.process(&rf).max();
         let b = fe_cold.process(&rf).max();
-        assert!((a - b).abs() / a > 0.01, "temperature had no visible effect");
+        assert!(
+            (a - b).abs() / a > 0.01,
+            "temperature had no visible effect"
+        );
     }
 }

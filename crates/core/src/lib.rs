@@ -38,17 +38,15 @@ pub use calibration::{auto_calibrate, CalibrationEntry, CalibrationTable, Thresh
 pub use config::{SaiyanConfig, Variant};
 pub use correlator::Correlator;
 pub use decoder::{PeakDecoder, PreambleTiming, SymbolPeak};
-pub use duty::DutyCycleSchedule;
 pub use demodulator::{DemodResult, SaiyanDemodulator};
+pub use duty::DutyCycleSchedule;
 pub use error::SaiyanError;
 pub use frontend::Frontend;
 pub use metrics::{
-    packet_error_rate, throughput_bps, throughput_from_ber, ErrorCounts,
-    DEMODULATION_BER_THRESHOLD,
+    packet_error_rate, throughput_bps, throughput_from_ber, ErrorCounts, DEMODULATION_BER_THRESHOLD,
 };
 pub use power::{TagPowerModel, HARVESTER_AVERAGE_UW, STANDARD_LORA_RECEIVER_MW};
 pub use sampler::{table1_sampling_rates, SampledStream, SamplingRateEntry, VoltageSampler};
 pub use sensitivity::{
-    SensitivityConfig, CONVENTIONAL_ENVELOPE_DETECTOR_SENSITIVITY_DBM,
-    SUPER_SAIYAN_SENSITIVITY_DBM,
+    SensitivityConfig, CONVENTIONAL_ENVELOPE_DETECTOR_SENSITIVITY_DBM, SUPER_SAIYAN_SENSITIVITY_DBM,
 };

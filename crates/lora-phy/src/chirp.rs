@@ -9,9 +9,9 @@
 
 use std::f64::consts::PI;
 
+use crate::error::PhyError;
 use crate::iq::{Iq, SampleBuffer};
 use crate::params::LoraParams;
-use crate::error::PhyError;
 
 /// Chirp direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,7 +47,11 @@ impl ChirpGenerator {
     ///
     /// `symbol` selects the initial frequency offset `f0 = symbol / 2^SF * BW`
     /// for a standard LoRa symbol (`symbol` in `0..2^SF`).
-    pub fn symbol_chirp(&self, symbol: u32, direction: ChirpDirection) -> Result<SampleBuffer, PhyError> {
+    pub fn symbol_chirp(
+        &self,
+        symbol: u32,
+        direction: ChirpDirection,
+    ) -> Result<SampleBuffer, PhyError> {
         let chips = self.params.chips_per_symbol();
         if symbol >= chips {
             return Err(PhyError::SymbolOutOfRange {
@@ -228,7 +232,7 @@ mod tests {
         let traj = gen.frequency_trajectory(f0);
         assert!((traj[0] - f0).abs() < 1.0);
         // Must wrap below BW at some point and never exceed it.
-        assert!(traj.iter().all(|&f| f >= 0.0 && f < 500_000.0 + 1.0));
+        assert!(traj.iter().all(|&f| (0.0..500_000.0 + 1.0).contains(&f)));
         assert!(traj.iter().any(|&f| f < f0));
     }
 

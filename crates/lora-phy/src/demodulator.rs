@@ -108,8 +108,7 @@ impl StandardDemodulator {
             Alphabet::Standard => self.params.chips_per_symbol(),
             Alphabet::Downlink => self.params.bits_per_chirp.alphabet_size(),
         };
-        let symbol =
-            ((freq / bw * alphabet_size as f64).round() as u32).rem_euclid(alphabet_size);
+        let symbol = ((freq / bw * alphabet_size as f64).round() as u32).rem_euclid(alphabet_size);
         Ok(SymbolDecision {
             symbol,
             confidence_db,
@@ -205,11 +204,7 @@ impl StandardDemodulator {
 
 /// Counts the number of differing symbols between two slices (for SER metrics).
 pub fn symbol_errors(sent: &[u32], received: &[u32]) -> usize {
-    sent.iter()
-        .zip(received)
-        .filter(|(a, b)| a != b)
-        .count()
-        + sent.len().abs_diff(received.len())
+    sent.iter().zip(received).filter(|(a, b)| a != b).count() + sent.len().abs_diff(received.len())
 }
 
 /// Counts bit errors between two symbol streams given `bits_per_symbol`.
@@ -245,7 +240,12 @@ mod tests {
         let symbols = vec![0, 5, 7, 1, 3, 6, 2, 4];
         let (wave, layout) = m.packet(&symbols, Alphabet::Downlink).unwrap();
         let decision = d
-            .demodulate_payload(&wave, layout.payload_start, symbols.len(), Alphabet::Downlink)
+            .demodulate_payload(
+                &wave,
+                layout.payload_start,
+                symbols.len(),
+                Alphabet::Downlink,
+            )
             .unwrap();
         assert_eq!(decision.symbols, symbols);
         assert!(decision.confidences_db.iter().all(|&c| c > 20.0));
@@ -259,7 +259,12 @@ mod tests {
         let symbols = vec![0, 17, 64, 127, 90, 33];
         let (wave, layout) = m.packet(&symbols, Alphabet::Standard).unwrap();
         let decision = d
-            .demodulate_payload(&wave, layout.payload_start, symbols.len(), Alphabet::Standard)
+            .demodulate_payload(
+                &wave,
+                layout.payload_start,
+                symbols.len(),
+                Alphabet::Standard,
+            )
             .unwrap();
         assert_eq!(decision.symbols, symbols);
     }

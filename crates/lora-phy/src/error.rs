@@ -60,13 +60,19 @@ impl fmt::Display for PhyError {
                 write!(f, "invalid bits-per-chirp {v}, expected 1..=8")
             }
             PhyError::SymbolOutOfRange { symbol, alphabet } => {
-                write!(f, "symbol {symbol} out of range for alphabet size {alphabet}")
+                write!(
+                    f,
+                    "symbol {symbol} out of range for alphabet size {alphabet}"
+                )
             }
             PhyError::BufferTooShort { needed, got } => {
                 write!(f, "buffer too short: needed {needed} samples, got {got}")
             }
             PhyError::CrcMismatch { computed, expected } => {
-                write!(f, "CRC mismatch: computed {computed:#06x}, expected {expected:#06x}")
+                write!(
+                    f,
+                    "CRC mismatch: computed {computed:#06x}, expected {expected:#06x}"
+                )
             }
             PhyError::MalformedFrame(msg) => write!(f, "malformed frame: {msg}"),
             PhyError::PreambleNotFound => write!(f, "no LoRa preamble found in samples"),

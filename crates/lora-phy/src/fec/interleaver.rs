@@ -27,10 +27,10 @@ pub fn interleave_block(words: &[u16], cols: usize) -> Result<Vec<u16>, PhyError
     }
     let mut out = vec![0u16; cols];
     for (i, &word) in words.iter().enumerate() {
-        for j in 0..cols {
+        for (j, slot) in out.iter_mut().enumerate() {
             let src_bit = (i + j) % cols;
             let bit = (word >> src_bit) & 1;
-            out[j] |= bit << i;
+            *slot |= bit << i;
         }
     }
     Ok(out)
@@ -51,10 +51,10 @@ pub fn deinterleave_block(symbols: &[u16], rows: usize) -> Result<Vec<u16>, PhyE
     }
     let mut out = vec![0u16; rows];
     for (j, &sym) in symbols.iter().enumerate() {
-        for i in 0..rows {
+        for (i, slot) in out.iter_mut().enumerate() {
             let bit = (sym >> i) & 1;
             let dst_bit = (i + j) % cols;
-            out[i] |= bit << dst_bit;
+            *slot |= bit << dst_bit;
         }
     }
     Ok(out)

@@ -11,7 +11,9 @@ pub mod interleaver;
 pub mod whitening;
 
 pub use gray::{gray_decode, gray_encode, hamming_distance};
-pub use hamming::{decode_bytes, decode_nibble, encode_bytes, encode_nibble, DecodeStats, NibbleDecode};
+pub use hamming::{
+    decode_bytes, decode_nibble, encode_bytes, encode_nibble, DecodeStats, NibbleDecode,
+};
 pub use interleaver::{deinterleave_block, interleave_block, Interleaver};
 pub use whitening::{dewhiten, whiten, Whitener};
 
@@ -73,7 +75,9 @@ mod tests {
 
     #[test]
     fn payload_round_trip_all_sf_cr() {
-        let data: Vec<u8> = (0..40u8).map(|i| i.wrapping_mul(19).wrapping_add(3)).collect();
+        let data: Vec<u8> = (0..40u8)
+            .map(|i| i.wrapping_mul(19).wrapping_add(3))
+            .collect();
         for sf in SpreadingFactor::ALL {
             for cr in CodeRate::ALL {
                 let symbols = encode_payload(&data, sf, cr).unwrap();

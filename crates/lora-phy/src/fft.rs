@@ -67,7 +67,7 @@ fn fft_in_place(data: &mut [Iq], inverse: bool) -> Result<(), PhyError> {
                 let v = data[i + j + len / 2] * w;
                 data[i + j] = u + v;
                 data[i + j + len / 2] = u - v;
-                w = w * wlen;
+                w *= wlen;
             }
             i += len;
         }
@@ -246,9 +246,7 @@ mod tests {
     #[test]
     fn correlation_peaks_at_lag_zero_for_identical_inputs() {
         let n = 128;
-        let sig: Vec<Iq> = (0..n)
-            .map(|i| Iq::phasor(0.05 * (i * i) as f64))
-            .collect();
+        let sig: Vec<Iq> = (0..n).map(|i| Iq::phasor(0.05 * (i * i) as f64)).collect();
         let corr = circular_cross_correlation(&sig, &sig).unwrap();
         let mags: Vec<f64> = corr.iter().map(Iq::abs).collect();
         assert_eq!(argmax_bin(&mags), 0);

@@ -241,7 +241,7 @@ impl SampleBuffer {
     pub fn frequency_shifted(mut self, freq_hz: f64) -> Self {
         let step = 2.0 * PI * freq_hz / self.sample_rate;
         for (n, s) in self.samples.iter_mut().enumerate() {
-            *s = *s * Iq::phasor(step * n as f64);
+            *s *= Iq::phasor(step * n as f64);
         }
         self
     }

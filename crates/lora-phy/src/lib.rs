@@ -35,13 +35,15 @@ pub mod params;
 pub mod sync;
 
 pub use chirp::{ChirpDirection, ChirpGenerator};
-pub use demodulator::{bit_errors, symbol_errors, PacketDecision, StandardDemodulator, SymbolDecision};
+pub use demodulator::{
+    bit_errors, symbol_errors, PacketDecision, StandardDemodulator, SymbolDecision,
+};
 pub use error::PhyError;
 pub use frame::{crc16, Frame, FrameFlags};
 pub use iq::{db_to_lin, lin_to_db, Iq, SampleBuffer};
 pub use modulator::{Alphabet, Modulator, PacketLayout};
-pub use sync::{CfoEstimate, Synchronizer};
 pub use params::{
     Bandwidth, BitsPerChirp, CodeRate, LoraParams, SpreadingFactor, DEFAULT_CARRIER_HZ,
     DEFAULT_PAYLOAD_SYMBOLS, PREAMBLE_UPCHIRPS, SYNC_SYMBOLS,
 };
+pub use sync::{CfoEstimate, Synchronizer};

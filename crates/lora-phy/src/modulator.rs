@@ -81,8 +81,8 @@ impl Modulator {
         out.append(&down);
         out.append(&down);
         let quarter = down.samples.len() / 4;
-        let mut q = SampleBuffer::new(down.samples[..quarter].to_vec(), down.sample_rate);
-        out.append(&mut q);
+        let q = SampleBuffer::new(down.samples[..quarter].to_vec(), down.sample_rate);
+        out.append(&q);
         out
     }
 
@@ -186,15 +186,16 @@ mod tests {
         );
         assert_eq!(layout.payload_symbols, 4);
         let expected_payload = 4 * params().samples_per_symbol();
-        assert_eq!(layout.total_samples - layout.payload_start, expected_payload);
+        assert_eq!(
+            layout.total_samples - layout.payload_start,
+            expected_payload
+        );
     }
 
     #[test]
     fn guard_offsets_payload_start() {
         let m = Modulator::new(params());
-        let (wave, layout) = m
-            .packet_with_guard(&[0, 1], Alphabet::Downlink, 3)
-            .unwrap();
+        let (wave, layout) = m.packet_with_guard(&[0, 1], Alphabet::Downlink, 3).unwrap();
         let guard = 3 * params().samples_per_symbol();
         assert_eq!(wave.len(), layout.total_samples);
         assert!(layout.payload_start > guard);

@@ -282,13 +282,15 @@ impl LoraParams {
     /// Theoretical minimum (Nyquist) sampling rate of the Saiyan voltage
     /// sampler: `2 * BW / 2^(SF - K)` (paper §2.3).
     pub fn nyquist_sampling_rate(&self) -> f64 {
-        2.0 * self.bw.hz() / 2.0_f64.powi(self.sf.value() as i32 - self.bits_per_chirp.bits() as i32)
+        2.0 * self.bw.hz()
+            / 2.0_f64.powi(self.sf.value() as i32 - self.bits_per_chirp.bits() as i32)
     }
 
     /// Practical sampling rate adopted by Saiyan: `3.2 * BW / 2^(SF - K)`
     /// (paper §2.3, chosen to guarantee 99.9 % decoding accuracy).
     pub fn practical_sampling_rate(&self) -> f64 {
-        3.2 * self.bw.hz() / 2.0_f64.powi(self.sf.value() as i32 - self.bits_per_chirp.bits() as i32)
+        3.2 * self.bw.hz()
+            / 2.0_f64.powi(self.sf.value() as i32 - self.bits_per_chirp.bits() as i32)
     }
 
     /// Duration of a full downlink packet (preamble + sync + payload) in seconds.
@@ -317,7 +319,10 @@ mod tests {
     fn sf_values_and_chips() {
         assert_eq!(SpreadingFactor::Sf7.chips_per_symbol(), 128);
         assert_eq!(SpreadingFactor::Sf12.chips_per_symbol(), 4096);
-        assert_eq!(SpreadingFactor::from_value(9).unwrap(), SpreadingFactor::Sf9);
+        assert_eq!(
+            SpreadingFactor::from_value(9).unwrap(),
+            SpreadingFactor::Sf9
+        );
         assert!(SpreadingFactor::from_value(6).is_err());
     }
 

@@ -45,7 +45,11 @@ impl Synchronizer {
 
     /// Dechirps one symbol starting at `start` and returns the complex value
     /// of the strongest FFT bin together with its index.
-    fn dominant_bin(&self, buffer: &SampleBuffer, start: usize) -> Result<(usize, Iq, usize), PhyError> {
+    fn dominant_bin(
+        &self,
+        buffer: &SampleBuffer,
+        start: usize,
+    ) -> Result<(usize, Iq, usize), PhyError> {
         let sps = self.params.samples_per_symbol();
         if buffer.len() < start + sps {
             return Err(PhyError::BufferTooShort {
@@ -77,8 +81,7 @@ impl Synchronizer {
         preamble_start: usize,
     ) -> Result<CfoEstimate, PhyError> {
         let sps = self.params.samples_per_symbol();
-        let usable = ((buffer.len().saturating_sub(preamble_start)) / sps)
-            .min(PREAMBLE_UPCHIRPS);
+        let usable = ((buffer.len().saturating_sub(preamble_start)) / sps).min(PREAMBLE_UPCHIRPS);
         if usable < 2 {
             return Err(PhyError::BufferTooShort {
                 needed: preamble_start + 2 * sps,
@@ -90,8 +93,7 @@ impl Synchronizer {
         // perfectly aligned preamble up-chirp dechirps to a tone at a multiple
         // of the bandwidth (0 or BW depending on the wrap), so the CFO is the
         // deviation from the nearest multiple of BW.
-        let (bin0, mut prev_phasor, fft_len) =
-            self.dominant_bin(buffer, preamble_start)?;
+        let (bin0, mut prev_phasor, fft_len) = self.dominant_bin(buffer, preamble_start)?;
         let fs = self.params.sample_rate();
         let raw_freq = if (bin0 as f64) < fft_len as f64 / 2.0 {
             bin0 as f64 * fs / fft_len as f64
@@ -106,8 +108,7 @@ impl Synchronizer {
         let mut rotation_sum = 0.0;
         let mut rotations = 0usize;
         for symbol in 1..usable {
-            let (bin, phasor, _) =
-                self.dominant_bin(buffer, preamble_start + symbol * sps)?;
+            let (bin, phasor, _) = self.dominant_bin(buffer, preamble_start + symbol * sps)?;
             // Only use symbols whose tone landed in (nearly) the same bin.
             if bin.abs_diff(bin0) <= 1 || bin.abs_diff(bin0) >= fft_len - 1 {
                 let rotation = (phasor * prev_phasor.conj()).arg();
@@ -195,7 +196,12 @@ mod tests {
 
         let rx = crate::demodulator::StandardDemodulator::new(p);
         let decoded = rx
-            .demodulate_payload(&corrected, layout.payload_start, symbols.len(), Alphabet::Downlink)
+            .demodulate_payload(
+                &corrected,
+                layout.payload_start,
+                symbols.len(),
+                Alphabet::Downlink,
+            )
             .unwrap();
         assert_eq!(decoded.symbols, symbols);
     }

@@ -38,7 +38,11 @@ pub struct AccessPoint {
 
 impl AccessPoint {
     /// Creates an access point on the given channel table.
-    pub fn new(table: ChannelTable, initial_channel: u8, max_retries: u32) -> Result<Self, MacError> {
+    pub fn new(
+        table: ChannelTable,
+        initial_channel: u8,
+        max_retries: u32,
+    ) -> Result<Self, MacError> {
         Ok(AccessPoint {
             tags: Vec::new(),
             hopping: HoppingController::new(table, initial_channel, -70.0)?,
@@ -62,7 +66,10 @@ impl AccessPoint {
     }
 
     fn record(&mut self, tag: TagId) -> Option<&mut TagRecord> {
-        self.tags.iter_mut().find(|(t, _)| *t == tag).map(|(_, r)| r)
+        self.tags
+            .iter_mut()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, r)| r)
     }
 
     /// Number of registered tags.
@@ -91,7 +98,9 @@ impl AccessPoint {
                 .iter()
                 .any(|(seq, _)| *seq == packet.sequence)
         {
-            record.received.push((packet.sequence, packet.payload.clone()));
+            record
+                .received
+                .push((packet.sequence, packet.payload.clone()));
         }
     }
 
@@ -102,26 +111,36 @@ impl AccessPoint {
         self.register_tag(tag);
         let record = self.record(tag).expect("registered above");
         record.tracker.record_loss(seq);
-        record.tracker.next_request().map(|sequence| DownlinkPacket {
-            addressing: Addressing::Unicast(tag),
-            command: Command::Retransmit { sequence },
-        })
+        record
+            .tracker
+            .next_request()
+            .map(|sequence| DownlinkPacket {
+                addressing: Addressing::Unicast(tag),
+                command: Command::Retransmit { sequence },
+            })
     }
 
     /// Issues a follow-up retransmission request for a tag, if any packet is
     /// still missing and within budget.
     pub fn next_retransmission_request(&mut self, tag: TagId) -> Option<DownlinkPacket> {
         let record = self.record(tag)?;
-        record.tracker.next_request().map(|sequence| DownlinkPacket {
-            addressing: Addressing::Unicast(tag),
-            command: Command::Retransmit { sequence },
-        })
+        record
+            .tracker
+            .next_request()
+            .map(|sequence| DownlinkPacket {
+                addressing: Addressing::Unicast(tag),
+                command: Command::Retransmit { sequence },
+            })
     }
 
     /// Records a spectrum measurement and returns the hop command to broadcast
     /// if the current channel is jammed.
     pub fn on_spectrum_scan(&mut self, channel: u8, level_dbm: f64) -> Option<DownlinkPacket> {
-        if self.hopping.record_interference(channel, level_dbm).is_err() {
+        if self
+            .hopping
+            .record_interference(channel, level_dbm)
+            .is_err()
+        {
             return None;
         }
         self.hopping.maybe_hop()
@@ -165,10 +184,7 @@ mod tests {
         let mut ap = ap();
         let tag = TagId(3);
         let req = ap.on_uplink_loss(tag, 7).expect("first request");
-        assert!(matches!(
-            req.command,
-            Command::Retransmit { sequence: 7 }
-        ));
+        assert!(matches!(req.command, Command::Retransmit { sequence: 7 }));
         // One more request allowed, then the budget (2) is exhausted.
         assert!(ap.next_retransmission_request(tag).is_some());
         assert!(ap.next_retransmission_request(tag).is_none());
@@ -214,7 +230,10 @@ mod tests {
         let mut ap = ap();
         let tag = TagId(9);
         let cmd = ap.on_link_measurement(tag, 14.0).expect("rate upgrade");
-        assert!(matches!(cmd.command, Command::SetRate { bits_per_chirp: 5 }));
+        assert!(matches!(
+            cmd.command,
+            Command::SetRate { bits_per_chirp: 5 }
+        ));
         assert_eq!(ap.commanded_rate(tag).bits(), 5);
         // No change on a repeat measurement.
         assert!(ap.on_link_measurement(tag, 14.0).is_none());

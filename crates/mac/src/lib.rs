@@ -25,9 +25,9 @@ pub mod tag;
 
 pub use aloha::{analytic_success_probability, simulate_round, AlohaRound, AlohaState};
 pub use ap::AccessPoint;
-pub use tag::{TagAction, TagSession};
 pub use error::MacError;
 pub use hopping::{ChannelTable, HoppingController, TagChannelState};
 pub use packet::{Addressing, Command, DownlinkPacket, TagId, UplinkPacket};
 pub use rate::{apply_rate_command, RateAdapter};
 pub use retransmission::{prr_with_retransmissions, ArqTracker, RetransmissionBuffer};
+pub use tag::{TagAction, TagSession};

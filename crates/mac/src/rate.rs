@@ -101,7 +101,10 @@ impl RateAdapter {
 }
 
 /// Tag-side application of a rate command.
-pub fn apply_rate_command(packet: &DownlinkPacket, tag: TagId) -> Result<Option<BitsPerChirp>, MacError> {
+pub fn apply_rate_command(
+    packet: &DownlinkPacket,
+    tag: TagId,
+) -> Result<Option<BitsPerChirp>, MacError> {
     let addressed = match packet.addressing {
         Addressing::Unicast(id) => id == tag,
         Addressing::Multicast { .. } | Addressing::Broadcast => true,
@@ -110,7 +113,8 @@ pub fn apply_rate_command(packet: &DownlinkPacket, tag: TagId) -> Result<Option<
         return Ok(None);
     }
     if let Command::SetRate { bits_per_chirp } = packet.command {
-        let k = BitsPerChirp::new(bits_per_chirp).map_err(|_| MacError::InvalidRate(bits_per_chirp))?;
+        let k =
+            BitsPerChirp::new(bits_per_chirp).map_err(|_| MacError::InvalidRate(bits_per_chirp))?;
         return Ok(Some(k));
     }
     Ok(None)
@@ -159,7 +163,10 @@ mod tests {
         assert_eq!(adapter.current_rate(tag).bits(), 3);
         // A deep dip forces the downgrade.
         let cmd = adapter.update(tag, 1.0).expect("should downgrade");
-        assert!(matches!(cmd.command, Command::SetRate { bits_per_chirp: 1 }));
+        assert!(matches!(
+            cmd.command,
+            Command::SetRate { bits_per_chirp: 1 }
+        ));
     }
 
     #[test]

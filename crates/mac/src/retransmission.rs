@@ -135,11 +135,7 @@ impl ArqTracker {
 /// and each retransmission round is independent. Every retransmission also
 /// requires the downlink request to get through, with probability
 /// `downlink_success`.
-pub fn prr_with_retransmissions(
-    p: f64,
-    max_retransmissions: u32,
-    downlink_success: f64,
-) -> f64 {
+pub fn prr_with_retransmissions(p: f64, max_retransmissions: u32, downlink_success: f64) -> f64 {
     let p = p.clamp(0.0, 1.0);
     let d = downlink_success.clamp(0.0, 1.0);
     let mut missing = 1.0 - p;
@@ -221,6 +217,9 @@ mod tests {
     #[test]
     fn prr_is_clamped() {
         assert_eq!(prr_with_retransmissions(1.5, 2, 1.0), 1.0);
-        assert_eq!(prr_with_retransmissions(-0.2, 2, 1.0), prr_with_retransmissions(0.0, 2, 1.0));
+        assert_eq!(
+            prr_with_retransmissions(-0.2, 2, 1.0),
+            prr_with_retransmissions(0.0, 2, 1.0)
+        );
     }
 }

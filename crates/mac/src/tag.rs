@@ -136,9 +136,7 @@ impl TagSession {
             }
             Command::ChannelHop { channel } => {
                 if self.channel.apply(packet)? {
-                    actions.push(TagAction::SwitchChannel(
-                        self.channel.frequency() as u64,
-                    ));
+                    actions.push(TagAction::SwitchChannel(self.channel.frequency() as u64));
                 }
                 let _ = channel;
             }
@@ -176,7 +174,10 @@ impl TagSession {
             };
             self.aloha = Some((AlohaState::new(self.id, self.aloha_slots, rng), ack));
         } else if matches!(packet.addressing, Addressing::Unicast(_))
-            && !matches!(packet.command, Command::Ack { .. } | Command::Retransmit { .. })
+            && !matches!(
+                packet.command,
+                Command::Ack { .. } | Command::Retransmit { .. }
+            )
         {
             actions.push(TagAction::Transmit(UplinkPacket {
                 source: self.id,
@@ -283,7 +284,9 @@ mod tests {
             command: Command::ChannelHop { channel: 4 },
         };
         let actions = tag.on_downlink(&hop, &mut rng()).unwrap();
-        assert!(actions.iter().any(|a| matches!(a, TagAction::SwitchChannel(_))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, TagAction::SwitchChannel(_))));
         assert_eq!(tag.frequency(), 435.0e6);
 
         let rate = DownlinkPacket {
@@ -291,7 +294,9 @@ mod tests {
             command: Command::SetRate { bits_per_chirp: 4 },
         };
         let actions = tag.on_downlink(&rate, &mut rng()).unwrap();
-        assert!(actions.iter().any(|a| matches!(a, TagAction::ChangeRate(4))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, TagAction::ChangeRate(4))));
         assert_eq!(tag.rate().bits(), 4);
 
         let sensor = DownlinkPacket {

@@ -39,7 +39,7 @@ impl RetransmissionStudy {
             downlink: Scenario::outdoor_default(Meters(100.0)),
             payload_bits: 256,
             packets: 1000,
-            seed: 0xF16_26,
+            seed: 0xF1626,
         }
     }
 
@@ -48,8 +48,7 @@ impl RetransmissionStudy {
     pub fn prr(&self, max_retransmissions: u32) -> f64 {
         let uplink_success = self.uplink.prr(self.system, self.payload_bits);
         // The feedback request is a short downlink command (≈ 40 bits).
-        let downlink_success =
-            1.0 - saiyan::metrics::packet_error_rate(self.downlink.ber(), 40);
+        let downlink_success = 1.0 - saiyan::metrics::packet_error_rate(self.downlink.ber(), 40);
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ max_retransmissions as u64);
 
         let mut delivered = 0usize;
@@ -149,7 +148,7 @@ impl ChannelHoppingStudy {
             total_windows: 50,
             packets_per_window: 40,
             payload_bits: 256,
-            seed: 0xF16_27,
+            seed: 0xF1627,
         }
     }
 
@@ -173,8 +172,7 @@ impl ChannelHoppingStudy {
                 self.payload_bits,
             );
         // The hop command itself must be demodulated by the tag.
-        let downlink_success =
-            1.0 - saiyan::metrics::packet_error_rate(self.downlink.ber(), 40);
+        let downlink_success = 1.0 - saiyan::metrics::packet_error_rate(self.downlink.ber(), 40);
 
         let mut hopped = false;
         let mut windows = Vec::with_capacity(self.total_windows);

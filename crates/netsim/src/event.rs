@@ -338,7 +338,11 @@ mod tests {
         })
         .run();
         assert_eq!(stats.readings_generated, 120);
-        assert!(stats.delivery_ratio() > 0.95, "delivery {}", stats.delivery_ratio());
+        assert!(
+            stats.delivery_ratio() > 0.95,
+            "delivery {}",
+            stats.delivery_ratio()
+        );
         assert!(stats.transmissions_per_delivery() < 1.5);
         assert!(stats.tag_demodulation_energy_j >= 0.0);
     }
@@ -379,7 +383,11 @@ mod tests {
         assert!(stats.channel_hops >= 1, "no hop happened");
         // Despite the jamming window, most readings still make it through
         // because the deployment hops away.
-        assert!(stats.delivery_ratio() > 0.7, "delivery {}", stats.delivery_ratio());
+        assert!(
+            stats.delivery_ratio() > 0.7,
+            "delivery {}",
+            stats.delivery_ratio()
+        );
     }
 
     #[test]

@@ -95,8 +95,14 @@ mod tests {
         // Fig. 25: shifting buys 1.56-1.73x, correlation another 1.94-2.25x.
         let shift_gain = shifting / vanilla;
         let corr_gain = full / shifting;
-        assert!(shift_gain > 1.4 && shift_gain < 1.9, "shifting gain {shift_gain}");
-        assert!(corr_gain > 1.8 && corr_gain < 2.4, "correlation gain {corr_gain}");
+        assert!(
+            shift_gain > 1.4 && shift_gain < 1.9,
+            "shifting gain {shift_gain}"
+        );
+        assert!(
+            corr_gain > 1.8 && corr_gain < 2.4,
+            "correlation gain {corr_gain}"
+        );
     }
 
     #[test]
@@ -135,8 +141,16 @@ mod tests {
             detection_range(&template, Dbm(baselines::ALOBA_DETECTION_SENSITIVITY_DBM)).value();
         assert!(saiyan > plora && plora > aloba);
         // Fig. 21: Saiyan 148.6 m vs PLoRa 42.4 m (3.26x) and Aloba 30.6 m (4.52x).
-        assert!((saiyan / plora - 3.26).abs() < 0.8, "ratio {}", saiyan / plora);
-        assert!((saiyan / aloba - 4.52).abs() < 1.1, "ratio {}", saiyan / aloba);
+        assert!(
+            (saiyan / plora - 3.26).abs() < 0.8,
+            "ratio {}",
+            saiyan / plora
+        );
+        assert!(
+            (saiyan / aloba - 4.52).abs() < 1.1,
+            "ratio {}",
+            saiyan / aloba
+        );
     }
 
     #[test]

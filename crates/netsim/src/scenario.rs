@@ -209,11 +209,15 @@ mod tests {
     #[test]
     fn variant_ordering_in_ber() {
         let d = Meters(80.0);
-        let vanilla = Scenario::outdoor_default(d).with_variant(Variant::Vanilla).ber();
+        let vanilla = Scenario::outdoor_default(d)
+            .with_variant(Variant::Vanilla)
+            .ber();
         let shifting = Scenario::outdoor_default(d)
             .with_variant(Variant::WithShifting)
             .ber();
-        let full = Scenario::outdoor_default(d).with_variant(Variant::Super).ber();
+        let full = Scenario::outdoor_default(d)
+            .with_variant(Variant::Super)
+            .ber();
         assert!(vanilla >= shifting);
         assert!(shifting >= full);
     }

@@ -136,7 +136,11 @@ mod tests {
         let j = Interferer::cw_jammer(Dbm(-40.0));
         let wave = j.waveform(4096, 2e6);
         let p_dbm = Dbm::from_milliwatts(wave.mean_power());
-        assert!((p_dbm.value() - (-40.0)).abs() < 0.5, "power {}", p_dbm.value());
+        assert!(
+            (p_dbm.value() - (-40.0)).abs() < 0.5,
+            "power {}",
+            p_dbm.value()
+        );
     }
 
     #[test]
@@ -196,6 +200,10 @@ mod tests {
         let wave = j.waveform(50_000, 4e6);
         let p_dbm = Dbm::from_milliwatts(wave.mean_power());
         // Smoothed noise power tracking is approximate; allow a few dB.
-        assert!((p_dbm.value() - (-50.0)).abs() < 4.0, "power {}", p_dbm.value());
+        assert!(
+            (p_dbm.value() - (-50.0)).abs() < 4.0,
+            "power {}",
+            p_dbm.value()
+        );
     }
 }

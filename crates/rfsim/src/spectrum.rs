@@ -159,7 +159,11 @@ mod tests {
         assert_eq!(scan.len(), 5);
         assert!(scan[0].busy, "channel 0 should be busy: {:?}", scan[0]);
         assert!(!scan[2].busy, "channel 2 should be clear: {:?}", scan[2]);
-        assert!((scan[0].power.value() - (-60.0)).abs() < 3.0, "{:?}", scan[0]);
+        assert!(
+            (scan[0].power.value() - (-60.0)).abs() < 3.0,
+            "{:?}",
+            scan[0]
+        );
         // The quietest channel is one of the clear ones, not channel 0.
         let q = SpectrumSensor::quietest(&scan).unwrap();
         assert_ne!(q, 0);

@@ -30,7 +30,11 @@ fn main() {
     // Link-level view: the PRR trace of the Fig. 27 case study.
     let study = ChannelHoppingStudy::paper();
     let windows = study.run();
-    let before: Vec<f64> = windows.iter().filter(|w| !w.hopped).map(|w| w.prr).collect();
+    let before: Vec<f64> = windows
+        .iter()
+        .filter(|w| !w.hopped)
+        .map(|w| w.prr)
+        .collect();
     let after: Vec<f64> = windows.iter().filter(|w| w.hopped).map(|w| w.prr).collect();
     println!(
         "PRR while jammed: median {:4.1}% over {} windows",

@@ -56,7 +56,10 @@ fn main() {
         ..Default::default()
     })
     .run();
-    report("PLoRa uplink, jammer at t=20 s (with channel hopping)", &jammed);
+    report(
+        "PLoRa uplink, jammer at t=20 s (with channel hopping)",
+        &jammed,
+    );
 
     println!("Takeaway: with Saiyan the tags can hear the access point, so lost packets");
     println!("are recovered on demand and the whole network escapes a jammed channel.");

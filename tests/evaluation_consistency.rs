@@ -13,7 +13,10 @@ use saiyan::{SaiyanConfig, Variant};
 fn headline_numbers_are_within_fifteen_percent_of_the_paper() {
     // Outdoor demodulation range of the full design (paper: 148.6 m).
     let outdoor = paper_demodulation_range(&Scenario::outdoor_default(Meters(1.0))).value();
-    assert!((outdoor - 148.6).abs() / 148.6 < 0.15, "outdoor range {outdoor}");
+    assert!(
+        (outdoor - 148.6).abs() / 148.6 < 0.15,
+        "outdoor range {outdoor}"
+    );
 
     // Indoor NLOS detection range (paper: 44.2 m behind one wall).
     let indoor = detection_range(
@@ -109,16 +112,13 @@ fn range_scales_with_environment_bandwidth_and_variant_in_the_right_order() {
     let base = Scenario::outdoor_default(Meters(1.0));
     let outdoor = paper_demodulation_range(&base).value();
     let wall = paper_demodulation_range(&Scenario::indoor(Meters(1.0), 1)).value();
-    let narrow = paper_demodulation_range(
-        &base.clone().with_lora(LoraParams::new(
-            SpreadingFactor::Sf7,
-            Bandwidth::Khz125,
-            BitsPerChirp::new(2).unwrap(),
-        )),
-    )
+    let narrow = paper_demodulation_range(&base.clone().with_lora(LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz125,
+        BitsPerChirp::new(2).unwrap(),
+    )))
     .value();
-    let vanilla =
-        paper_demodulation_range(&base.clone().with_variant(Variant::Vanilla)).value();
+    let vanilla = paper_demodulation_range(&base.clone().with_variant(Variant::Vanilla)).value();
     assert!(outdoor > wall);
     assert!(outdoor > narrow);
     assert!(outdoor > vanilla);

@@ -18,7 +18,10 @@ fn retransmissions_recover_most_losses() {
         let base = study.prr(0);
         let with3 = study.prr(3);
         assert!(with3 > base, "{system:?}");
-        assert!(with3 > 0.9, "{system:?} PRR after 3 retransmissions: {with3}");
+        assert!(
+            with3 > 0.9,
+            "{system:?} PRR after 3 retransmissions: {with3}"
+        );
     }
 }
 
@@ -43,7 +46,11 @@ fn hopping_controller_and_tag_agree_on_the_new_channel() {
 #[test]
 fn channel_hopping_case_study_recovers_prr() {
     let windows = ChannelHoppingStudy::paper().run();
-    let jammed: Vec<f64> = windows.iter().filter(|w| !w.hopped).map(|w| w.prr).collect();
+    let jammed: Vec<f64> = windows
+        .iter()
+        .filter(|w| !w.hopped)
+        .map(|w| w.prr)
+        .collect();
     let clean: Vec<f64> = windows.iter().filter(|w| w.hopped).map(|w| w.prr).collect();
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
     assert!(mean(&clean) > mean(&jammed) + 0.3);
@@ -83,8 +90,14 @@ fn rate_adaptation_tracks_link_margin_end_to_end() {
     for w in commanded.windows(2) {
         assert!(w[1] <= w[0], "rates {commanded:?} not non-increasing");
     }
-    assert!(commanded[0] >= 4, "close-in rate should be high: {commanded:?}");
-    assert!(*commanded.last().unwrap() <= 2, "far-out rate should be low");
+    assert!(
+        commanded[0] >= 4,
+        "close-in rate should be high: {commanded:?}"
+    );
+    assert!(
+        *commanded.last().unwrap() <= 2,
+        "far-out rate should be low"
+    );
 }
 
 #[test]

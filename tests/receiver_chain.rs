@@ -70,7 +70,11 @@ fn correlation_decoding_beats_peak_decoding_at_low_snr() {
         shifting_counts.ser()
     );
     // And the correlator should still be mostly correct at this operating point.
-    assert!(super_counts.ser() < 0.25, "correlator SER {}", super_counts.ser());
+    assert!(
+        super_counts.ser() < 0.25,
+        "correlator SER {}",
+        super_counts.ser()
+    );
 }
 
 #[test]
@@ -88,10 +92,7 @@ fn agc_thresholds_track_a_weakening_link() {
         // At least the ten preamble peaks (plus possibly sync/payload bursts)
         // must be separable; chattering would produce hundreds of runs.
         let runs = stream.high_runs().len();
-        assert!(
-            (4..60).contains(&runs),
-            "power {power}: {runs} high runs"
-        );
+        assert!((4..60).contains(&runs), "power {power}: {runs} high runs");
     }
 }
 
@@ -145,5 +146,8 @@ fn duty_cycle_bounds_feedback_latency_and_power() {
         .filter(|i| schedule.is_listening(*i as f64 * schedule.period_s / 1000.0))
         .count();
     let fraction = listening as f64 / 10_000.0;
-    assert!((fraction - 0.01).abs() < 0.005, "listening fraction {fraction}");
+    assert!(
+        (fraction - 0.01).abs() < 0.005,
+        "listening fraction {fraction}"
+    );
 }

@@ -1,0 +1,219 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal, API-compatible subset of criterion 0.5: [`Criterion`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], [`BatchSize`], [`black_box`]
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Timing is real (monotonic-clock wall time with warm-up and an adaptive
+//! iteration count) but there is no statistical analysis, plotting, or saved
+//! baselines — each benchmark prints its mean time per iteration. The numbers
+//! are honest enough to compare hot-path changes within one machine.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost. The stub accepts every variant
+/// criterion defines and treats them identically (one setup per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: criterion would batch many per allocation.
+    SmallInput,
+    /// Large inputs: criterion would batch few per allocation.
+    LargeInput,
+    /// One setup per measured iteration.
+    PerIteration,
+}
+
+/// Target accumulated measurement time per benchmark.
+const TARGET_TIME: Duration = Duration::from_millis(200);
+/// Warm-up time before measurement starts.
+const WARM_UP_TIME: Duration = Duration::from_millis(50);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; the stub has no CLI options.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iterations: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        self.benchmarks_run += 1;
+        let per_iter = if bencher.iterations == 0 {
+            Duration::ZERO
+        } else {
+            bencher.elapsed / bencher.iterations.max(1) as u32
+        };
+        println!(
+            "bench: {:<50} {:>12} /iter ({} iters)",
+            id.as_ref(),
+            format_duration(per_iter),
+            bencher.iterations,
+        );
+        self
+    }
+}
+
+/// Measures closures; handed to the closure given to
+/// [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the accumulated
+    /// measurement reaches the target time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP_TIME {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+        let chunk = chunk_size(per_iter);
+
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < TARGET_TIME {
+            for _ in 0..chunk {
+                black_box(routine());
+            }
+            iters += chunk;
+        }
+        self.iterations = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on inputs produced by `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm up with a handful of runs.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP_TIME {
+            let input = setup();
+            black_box(routine(black_box(input)));
+            warm_iters += 1;
+        }
+
+        let target = TARGET_TIME;
+        let mut measured = Duration::ZERO;
+        let mut iters: u64 = 0;
+        while measured < target && iters < warm_iters.max(1).saturating_mul(64) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(black_box(input)));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.iterations = iters;
+        self.elapsed = measured;
+    }
+}
+
+/// Picks how many calls to batch between clock reads so that cheap routines
+/// are not dominated by timer overhead.
+fn chunk_size(per_iter: Duration) -> u64 {
+    let nanos = per_iter.as_nanos().max(1);
+    (Duration::from_micros(50).as_nanos() / nanos).clamp(1, 10_000) as u64
+}
+
+/// Formats a duration with the precision benchmarks care about.
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function that runs each listed target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8; 64],
+                |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5 ns");
+        assert_eq!(format_duration(Duration::from_micros(2)), "2.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(3)), "3.00 ms");
+    }
+}

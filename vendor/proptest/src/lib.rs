@@ -1,0 +1,473 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal, API-compatible subset of proptest 1.x:
+//!
+//! * the [`strategy::Strategy`] trait with range strategies, [`strategy::Just`],
+//!   [`prop_oneof!`] unions and [`collection::vec`];
+//! * [`arbitrary::any`] for primitives and [`sample::Index`];
+//! * the [`proptest!`] macro with `#![proptest_config(...)]` support;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`.
+//!
+//! Differences from real proptest: cases are drawn from a fixed deterministic
+//! seed (reproducible in CI by construction), there is **no shrinking** — a
+//! failing case panics with the values visible via the assertion message —
+//! and strategies are simple samplers rather than value trees.
+
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! The deterministic RNG driving every generated case.
+
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// Seed for the deterministic test RNG. Changing it reshuffles every
+    /// property-test corpus, so treat it as part of the test suite.
+    pub const TEST_RNG_SEED: u64 = 0x005a_19a9_2022;
+
+    /// The random source handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub ChaCha8Rng);
+
+    impl TestRng {
+        /// A deterministic generator, optionally perturbed per test via
+        /// `stream` (the hash of the test name keeps corpora independent).
+        pub fn deterministic(stream: u64) -> Self {
+            TestRng(ChaCha8Rng::seed_from_u64(TEST_RNG_SEED ^ stream))
+        }
+    }
+
+    /// FNV-1a — used to derive a per-test RNG stream from the test name.
+    pub fn hash_name(name: &str) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        hash
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Value`.
+    ///
+    /// Unlike real proptest there is no value tree or shrinking: a strategy
+    /// is just a sampler.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for core::ops::Range<$t> {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.0.gen_range(self.clone())
+                    }
+                }
+
+                impl Strategy for core::ops::RangeInclusive<$t> {
+                    type Value = $t;
+
+                    fn sample(&self, rng: &mut TestRng) -> $t {
+                        rng.0.gen_range(self.clone())
+                    }
+                }
+            )*
+        };
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// A uniform choice between boxed strategies; built by [`prop_oneof!`].
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Creates a union over the given options. Panics if empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.0.gen_range(0..self.options.len());
+            self.options[idx].sample(rng)
+        }
+    }
+
+    /// Boxes a strategy, erasing its concrete type (helper for
+    /// [`prop_oneof!`]).
+    pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(strategy)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — strategies for "any value of `T`".
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use core::marker::PhantomData;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {
+            $(
+                impl Arbitrary for $t {
+                    fn arbitrary(rng: &mut TestRng) -> $t {
+                        rng.0.gen()
+                    }
+                }
+            )*
+        };
+    }
+
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.0.gen()
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            rng.0.gen()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy producing any value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`prop::sample::Index`).
+
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An index into a collection whose length is only known at use time.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// Projects the index into `0..len`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.0.gen())
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// An inclusive length range for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Minimum length (inclusive).
+        pub min: usize,
+        /// Maximum length (inclusive).
+        pub max: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.0.gen_range(self.size.min..=self.size.max);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// A strategy for vectors whose elements come from `element` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Test-run configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+pub mod prop {
+    //! Namespace mirror so `prop::sample::Index` resolves like upstream.
+
+    pub use crate::sample;
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::collection;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy, Union};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Builds a strategy choosing uniformly between the given strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::boxed($strategy) ),+
+        ])
+    };
+}
+
+/// Asserts a property holds; panics with the formatted message otherwise.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts two values are not equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Binds `pat in strategy` parameters sequentially (internal helper for
+/// [`proptest!`]).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $arg:pat in $strategy:expr) => {
+        let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut $rng);
+    };
+    ($rng:ident; $arg:pat in $strategy:expr, $($rest:tt)*) => {
+        let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Declares property tests. Each `#[test] fn name(pat in strategy, ...)`
+/// block becomes a `#[test]` that draws `cases` inputs from a deterministic
+/// RNG stream (derived from the test name) and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $(
+        $(#[$meta:meta])+
+        fn $name:ident($($params:tt)*) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let stream = $crate::test_runner::hash_name(stringify!($name));
+                let mut rng = $crate::test_runner::TestRng::deterministic(stream);
+                for _case in 0..config.cases {
+                    $crate::__proptest_bind!(rng; $($params)*);
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut rng = crate::test_runner::TestRng::deterministic(0);
+        for _ in 0..500 {
+            let v = (3u32..10).sample(&mut rng);
+            assert!((3..10).contains(&v));
+            let f = (0.25f64..0.75).sample(&mut rng);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_every_arm() {
+        let strat = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut rng = crate::test_runner::TestRng::deterministic(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[strat.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn vec_strategy_respects_size_range() {
+        let strat = collection::vec(any::<u8>(), 2..5);
+        let mut rng = crate::test_runner::TestRng::deterministic(2);
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn index_projects_into_len() {
+        let mut rng = crate::test_runner::TestRng::deterministic(3);
+        for _ in 0..100 {
+            let idx = crate::sample::Index::arbitrary(&mut rng);
+            assert!(idx.index(7) < 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn proptest_macro_draws_cases(
+            x in 1u8..=8,
+            data in collection::vec(any::<u8>(), 0..4),
+        ) {
+            prop_assert!((1..=8).contains(&x));
+            prop_assert!(data.len() < 4);
+        }
+    }
+}

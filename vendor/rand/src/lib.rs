@@ -1,0 +1,250 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal, API-compatible subset of the `rand` 0.8 surface that the Saiyan
+//! reproduction actually uses: the [`Rng`] extension trait with `gen`,
+//! `gen_range` and `gen_bool`, backed by the [`distributions`] module.
+//!
+//! Uniform integer sampling uses Lemire's widening-multiply rejection method
+//! so small ranges are unbiased; floats use the standard 53-bit mantissa
+//! construction for `[0, 1)`.
+
+#![warn(missing_docs)]
+// The stub keeps the rand 0.8 method names (`gen`), which is a reserved
+// keyword in edition 2024; this crate stays on edition 2021.
+
+pub use rand_core::{RngCore, SeedableRng};
+
+pub mod distributions {
+    //! The subset of `rand::distributions` the workspace uses: the
+    //! [`Standard`] distribution and the [`Distribution`] trait.
+
+    use crate::RngCore;
+
+    /// A distribution over a type `T`, sampleable from any [`RngCore`].
+    pub trait Distribution<T> {
+        /// Draws one value from the distribution.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "standard" distribution: full range for integers, `[0, 1)` for
+    /// floats, fair coin for `bool`.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    macro_rules! standard_int {
+        ($($t:ty),*) => {
+            $(
+                impl Distribution<$t> for Standard {
+                    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                        rng.next_u64() as $t
+                    }
+                }
+            )*
+        };
+    }
+
+    standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // 53 random mantissa bits scaled into [0, 1).
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+}
+
+use distributions::{Distribution, Standard};
+
+/// Types that can be drawn uniformly from a half-open or inclusive range.
+pub trait SampleUniform: PartialOrd + Sized {
+    /// Draws uniformly from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Draws uniformly from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Draws a `u64` below `span` without modulo bias (Lemire's method).
+fn uniform_u64_below<R: RngCore + ?Sized>(span: u64, rng: &mut R) -> u64 {
+    debug_assert!(span > 0);
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let word = rng.next_u64();
+        let (hi, lo) = {
+            let wide = (word as u128) * (span as u128);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        if lo >= threshold {
+            return hi;
+        }
+    }
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                    assert!(low < high, "gen_range called with empty range");
+                    let span = (high as i128 - low as i128) as u64;
+                    (low as i128 + uniform_u64_below(span, rng) as i128) as $t
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                    assert!(low <= high, "gen_range called with empty range");
+                    let span = (high as i128 - low as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (low as i128 + uniform_u64_below(span + 1, rng) as i128) as $t
+                }
+            }
+        )*
+    };
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {
+        $(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                    assert!(low < high, "gen_range called with empty range");
+                    let unit: $t = Standard.sample(rng);
+                    let value = low + unit * (high - low);
+                    // Guard against rounding up to the excluded endpoint.
+                    if value < high { value } else { low }
+                }
+
+                fn sample_inclusive<R: RngCore + ?Sized>(low: $t, high: $t, rng: &mut R) -> $t {
+                    assert!(low <= high, "gen_range called with empty range");
+                    let unit: $t = Standard.sample(rng);
+                    low + unit * (high - low)
+                }
+            }
+        )*
+    };
+}
+
+uniform_float!(f32, f64);
+
+/// A range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_inclusive(low, high, rng)
+    }
+}
+
+/// Extension methods for random number generators, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value from the [`Standard`] distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Ra>(&mut self, range: Ra) -> T
+    where
+        T: SampleUniform,
+        Ra: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        self.gen::<f64>() < p
+    }
+
+    /// Draws a value from an explicit distribution.
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A weak but adequate xorshift generator for testing the trait plumbing.
+    struct XorShift(u64);
+
+    impl RngCore for XorShift {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = XorShift(0x1234_5678_9abc_def0);
+        for _ in 0..2000 {
+            let v: u32 = rng.gen_range(0..7);
+            assert!(v < 7);
+            let w: u8 = rng.gen_range(1..=255);
+            assert!(w >= 1);
+            let f: f64 = rng.gen_range(-2.5..3.5);
+            assert!((-2.5..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn standard_f64_is_in_unit_interval() {
+        let mut rng = XorShift(99);
+        for _ in 0..2000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_edge_probabilities() {
+        let mut rng = XorShift(7);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

@@ -1,0 +1,119 @@
+//! Offline stand-in for the `rand_core` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a minimal, API-compatible subset of the `rand_core` 0.6 surface that the
+//! Saiyan reproduction actually uses: the [`RngCore`] and [`SeedableRng`]
+//! traits. Generators are deterministic and seeded explicitly everywhere in
+//! the workspace, so no OS entropy source is required (or provided).
+
+#![warn(missing_docs)]
+
+/// The core of a random number generator: a source of random `u32`/`u64`
+/// words and raw bytes.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A random number generator that can be constructed from a fixed-size seed.
+pub trait SeedableRng: Sized {
+    /// The seed type, e.g. `[u8; 32]`.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it into a full seed with
+    /// SplitMix64 (the same scheme real `rand_core` uses).
+    fn seed_from_u64(state: u64) -> Self {
+        let mut state = state;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut state).to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// One step of the SplitMix64 sequence, used to expand `u64` seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_words() {
+        let mut rng = Counter(0);
+        let mut buf = [0u8; 11];
+        rng.fill_bytes(&mut buf);
+        assert_eq!(&buf[..8], &1u64.to_le_bytes());
+        assert_eq!(&buf[8..], &2u64.to_le_bytes()[..3]);
+    }
+
+    #[test]
+    fn splitmix_expansion_is_deterministic() {
+        struct Probe([u8; 32]);
+        impl SeedableRng for Probe {
+            type Seed = [u8; 32];
+            fn from_seed(seed: [u8; 32]) -> Self {
+                Probe(seed)
+            }
+        }
+        let a = Probe::seed_from_u64(42);
+        let b = Probe::seed_from_u64(42);
+        let c = Probe::seed_from_u64(43);
+        assert_eq!(a.0, b.0);
+        assert_ne!(a.0, c.0);
+    }
+}

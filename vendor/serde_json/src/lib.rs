@@ -1,0 +1,321 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! the tiny subset of serde_json the experiment binaries use: the [`Value`]
+//! tree, the [`json!`] constructor macro (flat objects, arrays, scalars), and
+//! [`to_string_pretty`]. There is no serde integration and no parser — the
+//! experiment harness only ever *writes* JSON result files.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// A JSON value tree. Object keys keep insertion order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as the originating Rust type's widening).
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// A JSON number: integer or finite float.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Signed integers (covers all unsigned sources the workspace uses).
+    Int(i64),
+    /// Floating-point numbers.
+    Float(f64),
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::Int(i) => write!(f, "{i}"),
+            Number::Float(x) if x.is_finite() => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            // JSON has no Inf/NaN; serialise as null like serde_json does.
+            Number::Float(_) => write!(f, "null"),
+        }
+    }
+}
+
+macro_rules! from_int {
+    ($($t:ty),*) => {
+        $(
+            impl From<$t> for Value {
+                fn from(v: $t) -> Value {
+                    Value::Number(Number::Int(v as i64))
+                }
+            }
+        )*
+    };
+}
+
+from_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+/// Serialisation error. The stub's writer cannot actually fail; the type
+/// exists so call sites match serde_json's `Result`-returning signature.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises a [`Value`] as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, value, 0);
+    Ok(out)
+}
+
+/// Serialises a [`Value`] as compact single-line JSON.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value_compact(&mut out, value);
+    Ok(out)
+}
+
+fn write_value_compact(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value_compact(out, item);
+            }
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_escaped(out, key);
+                out.push(':');
+                write_value_compact(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('\n');
+                push_indent(out, indent + 1);
+                write_escaped(out, key);
+                out.push_str(": ");
+                write_value(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from a JSON-shaped literal: `json!({"k": v, ...})`,
+/// `json!([a, b])`, `json!(null)`, or `json!(expr)` for any `Into<Value>`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (($key).to_string(), $crate::Value::from($val)) ),*
+        ])
+    };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::Value::from($item) ),* ])
+    };
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_round_trips_through_pretty_printer() {
+        let v = json!({
+            "name": "saiyan",
+            "k": 3u8,
+            "ber": 0.0125f64,
+            "ok": true,
+        });
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\"name\": \"saiyan\""));
+        assert!(text.contains("\"k\": 3"));
+        assert!(text.contains("\"ber\": 0.0125"));
+        assert!(text.contains("\"ok\": true"));
+    }
+
+    #[test]
+    fn array_of_objects_nests() {
+        let rows = vec![json!({"a": 1}), json!({"a": 2})];
+        let v = json!(rows);
+        match &v {
+            Value::Array(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected array, got {other:?}"),
+        }
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = json!({"msg": "line\n\"quote\""});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("line\\n\\\"quote\\\""));
+    }
+
+    #[test]
+    fn to_string_is_compact_single_line() {
+        let v = json!({"a": 1, "b": json!([true, Value::Null]), "c": "x"});
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, r#"{"a":1,"b":[true,null],"c":"x"}"#);
+        assert!(!text.contains('\n'));
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(Number::Float(5.0).to_string(), "5.0");
+        assert_eq!(Number::Int(5).to_string(), "5");
+    }
+}
