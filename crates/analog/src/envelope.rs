@@ -8,7 +8,7 @@
 //! exactly the SNR loss the cyclic-frequency-shifting circuit of §3.1 works
 //! around.
 
-use lora_phy::iq::SampleBuffer;
+use lora_phy::iq::{Iq, SampleBuffer};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -102,25 +102,58 @@ impl EnvelopeDetector {
     /// Squaring the *complete* input (signal + channel noise) reproduces the
     /// self-mixing products of Eq. 4 without any special casing.
     pub fn detect(&self, input: &SampleBuffer) -> RealBuffer {
-        let n = input.len();
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let mut flicker_state = 0.0_f64;
+        let mut state = self.streaming(input.sample_rate);
+        let out = state.detect_chunk(&input.samples);
+        RealBuffer::new(out, input.sample_rate)
+    }
+
+    /// Creates a streaming detector state at the given sample rate. The RNG
+    /// and the flicker integrator are seeded once and then carried across
+    /// chunks, so chunked detection of a stream equals [`Self::detect`] on the
+    /// concatenated buffer bit-exactly, wherever the chunk boundaries fall.
+    pub fn streaming(&self, sample_rate: f64) -> EnvelopeDetectorState {
         // First-order low-pass of white noise whose cut-off is the flicker
         // corner; rescaled to the requested flicker standard deviation.
-        let alpha = (self.noise.flicker_corner_hz / input.sample_rate).clamp(1e-6, 1.0);
+        let alpha = (self.noise.flicker_corner_hz / sample_rate).clamp(1e-6, 1.0);
         // Stationary std of the AR(1) process x[n] = (1-a)x[n-1] + sqrt(a)w[n]
         // with unit-variance drive: Var = a / (1 - (1-a)^2) = 1 / (2 - a).
         let ar_std = (1.0 / (2.0 - alpha)).sqrt().max(1e-12);
+        EnvelopeDetectorState {
+            conversion_gain: self.conversion_gain,
+            noise: self.noise,
+            rng: ChaCha8Rng::seed_from_u64(self.seed),
+            flicker_state: 0.0,
+            alpha,
+            ar_std,
+        }
+    }
+}
 
-        let mut out = Vec::with_capacity(n);
-        for s in &input.samples {
+/// Carried state of a streaming [`EnvelopeDetector`]: the noise RNG and the
+/// flicker (AR(1)) integrator survive across chunk boundaries.
+#[derive(Debug, Clone)]
+pub struct EnvelopeDetectorState {
+    conversion_gain: f64,
+    noise: DetectorNoise,
+    rng: ChaCha8Rng,
+    flicker_state: f64,
+    alpha: f64,
+    ar_std: f64,
+}
+
+impl EnvelopeDetectorState {
+    /// Detects the envelope of one chunk, advancing the carried noise state.
+    pub fn detect_chunk(&mut self, chunk: &[Iq]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(chunk.len());
+        for s in chunk {
             let envelope = self.conversion_gain * s.norm_sqr();
-            let white = self.noise.white_sigma * gaussian(&mut rng);
-            flicker_state = (1.0 - alpha) * flicker_state + alpha.sqrt() * gaussian(&mut rng);
-            let flicker = self.noise.flicker_sigma * flicker_state / ar_std;
+            let white = self.noise.white_sigma * gaussian(&mut self.rng);
+            self.flicker_state = (1.0 - self.alpha) * self.flicker_state
+                + self.alpha.sqrt() * gaussian(&mut self.rng);
+            let flicker = self.noise.flicker_sigma * self.flicker_state / self.ar_std;
             out.push(envelope + self.noise.dc_offset + white + flicker);
         }
-        RealBuffer::new(out, input.sample_rate)
+        out
     }
 }
 
@@ -133,7 +166,27 @@ fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lora_phy::iq::Iq;
+
+    #[test]
+    fn streaming_detector_is_chunk_invariant() {
+        let det = EnvelopeDetector::default().with_seed(0x51AE);
+        let fs = 2e6;
+        let input = SampleBuffer::new(
+            (0..5_003)
+                .map(|i| Iq::from_polar(1e-4 * (1.0 + (i % 97) as f64 / 97.0), 0.01 * i as f64))
+                .collect(),
+            fs,
+        );
+        let batch = det.detect(&input);
+        for chunk_size in [1usize, 7, 64, 4_096, 5_003] {
+            let mut state = det.streaming(fs);
+            let mut out = Vec::new();
+            for chunk in input.samples.chunks(chunk_size) {
+                out.extend(state.detect_chunk(chunk));
+            }
+            assert_eq!(out, batch.samples, "chunk size {chunk_size}");
+        }
+    }
 
     #[test]
     fn ideal_detector_squares_amplitude() {

@@ -50,6 +50,40 @@ impl LowPassFilter {
         let single = 1.0 / (1.0 + (f / self.cutoff_hz).powi(2)).sqrt();
         single.powi(self.order as i32)
     }
+
+    /// Creates a streaming state for this filter at the given sample rate.
+    pub fn streaming(&self, sample_rate: f64) -> LowPassState {
+        let dt = 1.0 / sample_rate;
+        let rc = 1.0 / (2.0 * PI * self.cutoff_hz);
+        LowPassState {
+            alpha: dt / (rc + dt),
+            states: vec![0.0; self.order.max(1)],
+        }
+    }
+}
+
+/// Carried state of a [`LowPassFilter`] cascade, for chunked processing.
+///
+/// Feeding the concatenation of any chunk sequence through `process_chunk`
+/// produces exactly the samples [`LowPassFilter::filter`] produces on the
+/// whole buffer at once, independent of where the chunk boundaries fall.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowPassState {
+    alpha: f64,
+    /// One integrator state per cascaded section.
+    states: Vec<f64>,
+}
+
+impl LowPassState {
+    /// Filters one chunk in place, carrying the section states across calls.
+    pub fn process_chunk(&mut self, chunk: &mut [f64]) {
+        for state in &mut self.states {
+            for v in chunk.iter_mut() {
+                *state += self.alpha * (*v - *state);
+                *v = *state;
+            }
+        }
+    }
 }
 
 /// A band-pass IF amplifier: a cascade of constant-peak-gain band-pass biquads
@@ -116,6 +150,22 @@ impl IfAmplifier {
         RealBuffer::new(data, fs).scaled(self.gain)
     }
 
+    /// Creates a streaming state for this amplifier at the given sample rate.
+    pub fn streaming(&self, sample_rate: f64) -> IfAmplifierState {
+        let w0 = 2.0 * PI * self.center_hz / sample_rate;
+        let q = self.q();
+        let alpha = w0.sin() / (2.0 * q);
+        IfAmplifierState {
+            b0: alpha,
+            b2: -alpha,
+            a0: 1.0 + alpha,
+            a1: -2.0 * w0.cos(),
+            a2: 1.0 - alpha,
+            gain: self.gain,
+            sections: vec![BiquadState::default(); self.order.max(1)],
+        }
+    }
+
     /// Approximate magnitude response at frequency `f` (linear, including
     /// gain), using the analog band-pass prototype of each section.
     pub fn magnitude_at(&self, f: f64) -> f64 {
@@ -128,6 +178,51 @@ impl IfAmplifier {
         let den = ((1.0 - w * w).powi(2) + (w / q).powi(2)).sqrt();
         let single = num / den;
         self.gain * single.powi(self.order.max(1) as i32)
+    }
+}
+
+/// Delay memory of one direct-form-I biquad section.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct BiquadState {
+    x1: f64,
+    x2: f64,
+    y1: f64,
+    y2: f64,
+}
+
+/// Carried state of an [`IfAmplifier`] biquad cascade, for chunked processing.
+///
+/// `process_chunk` over any chunking of a buffer reproduces
+/// [`IfAmplifier::amplify`] on the whole buffer bit-exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IfAmplifierState {
+    b0: f64,
+    b2: f64,
+    a0: f64,
+    a1: f64,
+    a2: f64,
+    gain: f64,
+    sections: Vec<BiquadState>,
+}
+
+impl IfAmplifierState {
+    /// Filters and amplifies one chunk in place, carrying section memories.
+    pub fn process_chunk(&mut self, chunk: &mut [f64]) {
+        for s in &mut self.sections {
+            for v in chunk.iter_mut() {
+                let x0 = *v;
+                let y0 =
+                    (self.b0 * x0 + self.b2 * s.x2 - self.a1 * s.y1 - self.a2 * s.y2) / self.a0;
+                s.x2 = s.x1;
+                s.x1 = x0;
+                s.y2 = s.y1;
+                s.y1 = y0;
+                *v = y0;
+            }
+        }
+        for v in chunk.iter_mut() {
+            *v *= self.gain;
+        }
     }
 }
 
@@ -199,6 +294,42 @@ mod tests {
         let amp = IfAmplifier::paper_2n222(500_000.0, 100_000.0);
         assert_eq!(amp.magnitude_at(0.0), 0.0);
         assert!(amp.magnitude_at(10_000.0) < 0.05 * amp.gain);
+    }
+
+    #[test]
+    fn streaming_lowpass_is_chunk_invariant() {
+        let fs = 1e6;
+        let lpf = LowPassFilter::new(20_000.0, 3);
+        let input = tone(5_000.0, fs, 4_001);
+        let batch = lpf.filter(&input);
+        for chunk_size in [1usize, 7, 64, 1000, 4_001] {
+            let mut state = lpf.streaming(fs);
+            let mut out = Vec::new();
+            for chunk in input.samples.chunks(chunk_size) {
+                let mut c = chunk.to_vec();
+                state.process_chunk(&mut c);
+                out.extend_from_slice(&c);
+            }
+            assert_eq!(out, batch.samples, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn streaming_if_amplifier_is_chunk_invariant() {
+        let fs = 4e6;
+        let amp = IfAmplifier::paper_2n222(500_000.0, 100_000.0);
+        let input = tone(480_000.0, fs, 3_037);
+        let batch = amp.amplify(&input);
+        for chunk_size in [1usize, 13, 512, 3_037] {
+            let mut state = amp.streaming(fs);
+            let mut out = Vec::new();
+            for chunk in input.samples.chunks(chunk_size) {
+                let mut c = chunk.to_vec();
+                state.process_chunk(&mut c);
+                out.extend_from_slice(&c);
+            }
+            assert_eq!(out, batch.samples, "chunk size {chunk_size}");
+        }
     }
 
     #[test]

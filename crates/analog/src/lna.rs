@@ -6,7 +6,7 @@
 //! gain, input-referred noise via a noise figure, and a soft output
 //! compression point so strong inputs do not produce unphysical voltages.
 
-use lora_phy::iq::SampleBuffer;
+use lora_phy::iq::{Iq, SampleBuffer};
 use rfsim::channel::dbm_to_buffer_power;
 use rfsim::noise::AwgnSource;
 use rfsim::units::{Db, Dbm, Hertz};
@@ -50,23 +50,48 @@ impl Lna {
     /// Amplifies the buffer: applies gain, adds the amplifier's own noise, and
     /// soft-limits around the compression point.
     pub fn amplify(&self, input: &SampleBuffer) -> SampleBuffer {
-        let gain_amp = 10f64.powf(self.gain.value() / 20.0);
-        let mut out = input.clone().scaled(gain_amp);
+        let mut state = self.streaming();
+        let samples = state.amplify_chunk(&input.samples);
+        SampleBuffer::new(samples, input.sample_rate)
+    }
 
-        // Add the LNA's own noise, referred to the output (input noise * gain).
-        let noise_power_out = dbm_to_buffer_power(self.added_noise_power() + self.gain);
-        let mut awgn = AwgnSource::new(self.seed);
-        awgn.add_to(&mut out, noise_power_out);
+    /// Creates a streaming amplifier state. The noise source is seeded once
+    /// and carried across chunks, so chunked amplification of a stream equals
+    /// [`Self::amplify`] on the concatenated buffer bit-exactly.
+    pub fn streaming(&self) -> LnaState {
+        LnaState {
+            gain_amp: 10f64.powf(self.gain.value() / 20.0),
+            noise_power_out: dbm_to_buffer_power(self.added_noise_power() + self.gain),
+            comp_amp: dbm_to_buffer_power(self.output_compression).sqrt(),
+            awgn: AwgnSource::new(self.seed),
+        }
+    }
+}
 
-        // Soft compression: scale down samples whose instantaneous amplitude
-        // exceeds the compression amplitude using a tanh-style limiter.
-        let comp_amp = dbm_to_buffer_power(self.output_compression).sqrt();
-        for s in &mut out.samples {
-            let a = s.abs();
-            if a > comp_amp {
-                let limited = comp_amp * (1.0 + (a / comp_amp - 1.0).tanh());
-                *s = s.scale(limited / a);
+/// Carried state of a streaming [`Lna`]: the AWGN source the amplifier mixes
+/// into its output keeps drawing from the same sequence across chunks.
+#[derive(Debug, Clone)]
+pub struct LnaState {
+    gain_amp: f64,
+    noise_power_out: f64,
+    comp_amp: f64,
+    awgn: AwgnSource,
+}
+
+impl LnaState {
+    /// Amplifies one chunk: gain, the LNA's own output-referred noise, and the
+    /// tanh-style soft limiter around the compression point.
+    pub fn amplify_chunk(&mut self, chunk: &[Iq]) -> Vec<Iq> {
+        let mut out = Vec::with_capacity(chunk.len());
+        for s in chunk {
+            let mut v = s.scale(self.gain_amp);
+            v += self.awgn.sample(self.noise_power_out);
+            let a = v.abs();
+            if a > self.comp_amp {
+                let limited = self.comp_amp * (1.0 + (a / self.comp_amp - 1.0).tanh());
+                v = v.scale(limited / a);
             }
+            out.push(v);
         }
         out
     }
@@ -75,8 +100,27 @@ impl Lna {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lora_phy::iq::Iq;
     use rfsim::channel::buffer_power_dbm;
+
+    #[test]
+    fn streaming_lna_is_chunk_invariant() {
+        let lna = Lna::paper_cglna(Hertz::from_khz(500.0));
+        let input = SampleBuffer::new(
+            (0..3_001)
+                .map(|i| Iq::from_polar(1e-5 + 1e-3 * (i % 13) as f64, 0.1 * i as f64))
+                .collect(),
+            2e6,
+        );
+        let batch = lna.amplify(&input);
+        for chunk_size in [1usize, 11, 256, 3_001] {
+            let mut state = lna.streaming();
+            let mut out = Vec::new();
+            for chunk in input.samples.chunks(chunk_size) {
+                out.extend(state.amplify_chunk(chunk));
+            }
+            assert_eq!(out, batch.samples, "chunk size {chunk_size}");
+        }
+    }
 
     fn tone(power_dbm: f64, len: usize) -> SampleBuffer {
         let amp = dbm_to_buffer_power(Dbm(power_dbm)).sqrt();

@@ -37,14 +37,29 @@ impl RfMixer {
     /// Mixes the complex-baseband input with the clock: the output contains
     /// the fed-through original plus the product with the clock waveform.
     pub fn mix(&self, input: &SampleBuffer, clock: &Oscillator) -> SampleBuffer {
-        let clk = clock.generate(input.len(), input.sample_rate);
-        let samples = input
-            .samples
-            .iter()
-            .zip(&clk.samples)
-            .map(|(s, c)| s.scale(self.feedthrough) + s.scale(self.conversion_gain * c))
-            .collect();
+        let samples = self.mix_chunk(&input.samples, clock, input.sample_rate, 0);
         SampleBuffer::new(samples, input.sample_rate)
+    }
+
+    /// Mixes one chunk of a stream whose first sample sits at absolute index
+    /// `start_index`. The clock phase follows the absolute position, so
+    /// chunked mixing equals [`Self::mix`] on the concatenated stream
+    /// bit-exactly, wherever the chunk boundaries fall.
+    pub fn mix_chunk(
+        &self,
+        chunk: &[lora_phy::iq::Iq],
+        clock: &Oscillator,
+        sample_rate: f64,
+        start_index: u64,
+    ) -> Vec<lora_phy::iq::Iq> {
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let c = clock.value_at(start_index + i as u64, sample_rate);
+                s.scale(self.feedthrough) + s.scale(self.conversion_gain * c)
+            })
+            .collect()
     }
 }
 
@@ -66,16 +81,28 @@ impl Default for BasebandMixer {
 impl BasebandMixer {
     /// Multiplies the real input with the clock waveform.
     pub fn mix(&self, input: &RealBuffer, clock: &Oscillator) -> RealBuffer {
-        let clk = clock.generate(input.len(), input.sample_rate);
         RealBuffer::new(
-            input
-                .samples
-                .iter()
-                .zip(&clk.samples)
-                .map(|(s, c)| self.conversion_gain * s * c)
-                .collect(),
+            self.mix_chunk(&input.samples, clock, input.sample_rate, 0),
             input.sample_rate,
         )
+    }
+
+    /// Mixes one chunk of a stream whose first sample sits at absolute index
+    /// `start_index` (see [`RfMixer::mix_chunk`]).
+    pub fn mix_chunk(
+        &self,
+        chunk: &[f64],
+        clock: &Oscillator,
+        sample_rate: f64,
+        start_index: u64,
+    ) -> Vec<f64> {
+        chunk
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                self.conversion_gain * s * clock.value_at(start_index + i as u64, sample_rate)
+            })
+            .collect()
     }
 }
 

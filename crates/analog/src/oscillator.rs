@@ -70,6 +70,16 @@ impl Oscillator {
             .collect();
         RealBuffer::new(samples, sample_rate)
     }
+
+    /// The clock value at absolute sample index `n` of a stream running at
+    /// `sample_rate`. Streaming stages use this so the clock phase is a
+    /// function of the global sample position, not of chunk boundaries:
+    /// `value_at(n, fs)` equals `generate(len, fs).samples[n]` for any
+    /// `len > n`.
+    pub fn value_at(&self, n: u64, sample_rate: f64) -> f64 {
+        let w = 2.0 * PI * self.actual_frequency() / sample_rate;
+        self.amplitude * (w * n as f64 + self.phase).cos()
+    }
 }
 
 /// A transmission-line delay that copies `CLK_in` into `CLK_out` with a phase
@@ -142,6 +152,18 @@ mod tests {
     fn tuned_line_loses_almost_nothing() {
         let line = DelayLine::tuned();
         assert!(line.amplitude_factor() > 0.99);
+    }
+
+    #[test]
+    fn value_at_matches_generate_regardless_of_chunking() {
+        let osc = Oscillator::new(123_456.0)
+            .with_phase(0.3)
+            .with_ppm_error(40.0);
+        let fs = 2.0e6;
+        let batch = osc.generate(500, fs);
+        for n in [0u64, 1, 7, 63, 499] {
+            assert_eq!(osc.value_at(n, fs), batch.samples[n as usize]);
+        }
     }
 
     #[test]

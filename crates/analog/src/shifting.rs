@@ -113,6 +113,78 @@ impl CyclicFrequencyShifter {
         let lpf = LowPassFilter::new(self.config.lpf_cutoff, 2);
         lpf.filter(&envelope)
     }
+
+    /// Creates a streaming state for the full shifting chain at the given
+    /// waveform sample rate. Every stateful element — the clock phase (tracked
+    /// as the absolute sample index), the detector's noise RNG and flicker
+    /// integrator, the IF-amplifier biquads and the low-pass sections — is
+    /// carried across chunk boundaries, so chunked processing equals
+    /// [`Self::process`] (or [`Self::process_without_shifting`] when
+    /// `use_shifting` is false) on the concatenated stream bit-exactly.
+    pub fn streaming(&self, sample_rate: f64, use_shifting: bool) -> ShifterState {
+        let delta_f = self.config.intermediate_frequency;
+        if use_shifting {
+            assert!(
+                delta_f < sample_rate / 2.0,
+                "intermediate frequency {delta_f} Hz exceeds Nyquist for fs {sample_rate}"
+            );
+        }
+        let clk_in = Oscillator::ltc6907(delta_f);
+        let clk_out = DelayLine::new(self.config.delay_phase_error).derive(&clk_in);
+        ShifterState {
+            use_shifting,
+            input_mixer: self.input_mixer,
+            output_mixer: self.output_mixer,
+            clk_in,
+            clk_out,
+            sample_rate,
+            index: 0,
+            detector: self.detector.streaming(sample_rate),
+            if_amp: IfAmplifier::paper_2n222(delta_f, self.config.if_half_bandwidth)
+                .streaming(sample_rate),
+            lpf: LowPassFilter::new(self.config.lpf_cutoff, 2).streaming(sample_rate),
+        }
+    }
+}
+
+/// Carried state of a streaming [`CyclicFrequencyShifter`] chain.
+#[derive(Debug, Clone)]
+pub struct ShifterState {
+    use_shifting: bool,
+    input_mixer: RfMixer,
+    output_mixer: BasebandMixer,
+    clk_in: Oscillator,
+    clk_out: Oscillator,
+    sample_rate: f64,
+    /// Absolute index of the next input sample (drives the clock phase).
+    index: u64,
+    detector: crate::envelope::EnvelopeDetectorState,
+    if_amp: crate::filters::IfAmplifierState,
+    lpf: crate::filters::LowPassState,
+}
+
+impl ShifterState {
+    /// Processes one chunk of RF (complex-baseband) input into the recovered
+    /// baseband envelope, advancing every carried state.
+    pub fn process_chunk(&mut self, chunk: &[lora_phy::iq::Iq]) -> Vec<f64> {
+        let start = self.index;
+        self.index += chunk.len() as u64;
+        if !self.use_shifting {
+            let mut envelope = self.detector.detect_chunk(chunk);
+            self.lpf.process_chunk(&mut envelope);
+            return envelope;
+        }
+        let mixed = self
+            .input_mixer
+            .mix_chunk(chunk, &self.clk_in, self.sample_rate, start);
+        let mut envelope = self.detector.detect_chunk(&mixed);
+        self.if_amp.process_chunk(&mut envelope);
+        let mut back =
+            self.output_mixer
+                .mix_chunk(&envelope, &self.clk_out, self.sample_rate, start);
+        self.lpf.process_chunk(&mut back);
+        back
+    }
 }
 
 /// Measures the SNR (dB) of a recovered envelope against a known clean
@@ -196,6 +268,34 @@ mod tests {
         let current = out.mean_power();
         let target = dbm_to_buffer_power(Dbm(power_dbm));
         out.scaled((target / current).sqrt())
+    }
+
+    #[test]
+    fn streaming_shifter_reproduces_batch_and_is_chunk_invariant() {
+        let input = saw_chirp(-45.0);
+        let fs = input.sample_rate;
+        for use_shifting in [true, false] {
+            let shifter = CyclicFrequencyShifter::new(
+                ShiftingConfig::for_bandwidth(500_000.0),
+                EnvelopeDetector::default(),
+            );
+            let batch = if use_shifting {
+                shifter.process(&input)
+            } else {
+                shifter.process_without_shifting(&input)
+            };
+            for chunk_size in [1usize, 13, 512, input.len()] {
+                let mut state = shifter.streaming(fs, use_shifting);
+                let mut out = Vec::new();
+                for chunk in input.samples.chunks(chunk_size) {
+                    out.extend(state.process_chunk(chunk));
+                }
+                assert_eq!(
+                    out, batch.samples,
+                    "shifting={use_shifting} chunk size {chunk_size}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Criterion benchmarks of the streaming receive chain: whole-pipeline
+//! samples/sec and the per-stage cost of the analog front end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use netsim::longtrace::{generate_long_trace, random_payloads, LongTraceConfig, TracePacket};
+use saiyan::config::{SaiyanConfig, Variant};
+use saiyan::{Frontend, StreamingDemodulator};
+
+fn lora() -> LoraParams {
+    LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).unwrap(),
+    )
+}
+
+fn trace(packets: usize) -> lora_phy::SampleBuffer {
+    let payloads = random_payloads(packets, 8, lora().bits_per_chirp, 0xBE7C);
+    let specs: Vec<TracePacket> = payloads
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| TracePacket::new(p, -50.0, if i == 0 { 3.0 } else { 14.0 }))
+        .collect();
+    generate_long_trace(&LongTraceConfig::new(lora()).with_noise(-82.0), &specs).0
+}
+
+fn bench_streaming_demodulator(c: &mut Criterion) {
+    let rx = trace(3);
+    for variant in [Variant::Vanilla, Variant::Super] {
+        let cfg = SaiyanConfig::paper_default(lora(), variant);
+        c.bench_function(format!("streaming/demod_3pkt_{variant:?}"), |b| {
+            b.iter(|| {
+                let mut demod = StreamingDemodulator::new(cfg.clone(), 8);
+                let mut out = Vec::new();
+                for chunk in rx.samples.chunks(4096) {
+                    out.extend(demod.push_samples(chunk));
+                }
+                out.extend(demod.finish());
+                out
+            })
+        });
+    }
+}
+
+fn bench_streaming_frontend(c: &mut Criterion) {
+    let rx = trace(1);
+    let cfg = SaiyanConfig::paper_default(lora(), Variant::WithShifting);
+    c.bench_function("streaming/frontend_chunked_4096", |b| {
+        b.iter(|| {
+            let mut fe = Frontend::paper(&cfg).streaming(lora().sample_rate());
+            let mut n = 0usize;
+            for chunk in rx.samples.chunks(4096) {
+                n += fe.process_chunk(chunk).len();
+            }
+            n
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_streaming_demodulator,
+    bench_streaming_frontend
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Streaming-demodulator throughput: sustained samples/sec over a long
+//! multi-packet trace, per receive-chain variant.
+//!
+//! This is the scale-readiness number behind the ROADMAP's "as fast as the
+//! hardware allows" goal: how quickly the software receive chain chews
+//! through an unbounded IQ stream fed in hardware-realistic chunks. For
+//! reference, real-time operation at the paper's SF7/500 kHz setup with 4x
+//! oversampling needs 2 Msps sustained.
+
+use std::time::Instant;
+
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use netsim::longtrace::{generate_long_trace, random_payloads, LongTraceConfig, TracePacket};
+use saiyan::config::{SaiyanConfig, Variant};
+use saiyan::StreamingDemodulator;
+use saiyan_bench::{fmt, Table};
+
+const PACKETS: usize = 12;
+const PAYLOAD_SYMBOLS: usize = 16;
+const CHUNK_SAMPLES: usize = 4096;
+
+fn main() {
+    let lora = LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).expect("valid"),
+    );
+    let k = lora.bits_per_chirp;
+    let payloads = random_payloads(PACKETS, PAYLOAD_SYMBOLS, k, 0x57_87A7);
+    let config = LongTraceConfig::new(lora).with_noise(-82.0);
+    let packets: Vec<TracePacket> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            TracePacket::new(
+                p.clone(),
+                -48.0 - (i % 3) as f64 * 2.0,
+                if i == 0 { 4.0 } else { 16.0 },
+            )
+        })
+        .collect();
+    let (trace, truth) = generate_long_trace(&config, &packets);
+    println!(
+        "trace: {} packets x {} symbols, {} samples ({:.1} ms of air time) at {:.0} sps",
+        truth.len(),
+        PAYLOAD_SYMBOLS,
+        trace.len(),
+        trace.duration() * 1e3,
+        trace.sample_rate
+    );
+
+    let mut table = Table::new(
+        "Streaming demodulation throughput (chunked, 4096-sample chunks)",
+        &[
+            "variant",
+            "decoded",
+            "symbol errors",
+            "Msamples/s",
+            "x realtime",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    for variant in Variant::ALL {
+        let cfg = SaiyanConfig::paper_default(lora, variant);
+        let mut demod = StreamingDemodulator::new(cfg, PAYLOAD_SYMBOLS);
+        let start = Instant::now();
+        let mut results = Vec::new();
+        for chunk in trace.samples.chunks(CHUNK_SAMPLES) {
+            results.extend(demod.push_samples(chunk));
+        }
+        results.extend(demod.finish());
+        let elapsed = start.elapsed().as_secs_f64();
+        let samples_per_sec = trace.len() as f64 / elapsed;
+        // Match decoded packets to ground truth by payload time.
+        let mut symbol_errors = 0usize;
+        let mut decoded = 0usize;
+        for t in &truth {
+            let t_payload = t.payload_start_sample as f64 / trace.sample_rate;
+            if let Some(r) = results
+                .iter()
+                .find(|r| (r.payload_start_time - t_payload).abs() < lora.symbol_duration())
+            {
+                decoded += 1;
+                symbol_errors += r
+                    .symbols
+                    .iter()
+                    .zip(&t.symbols)
+                    .filter(|(a, b)| a != b)
+                    .count();
+            }
+        }
+        let realtime = samples_per_sec / trace.sample_rate;
+        table.add_row(vec![
+            variant.label().to_string(),
+            format!("{decoded}/{}", truth.len()),
+            symbol_errors.to_string(),
+            fmt(samples_per_sec / 1e6, 2),
+            fmt(realtime, 1),
+        ]);
+        json_rows.push(serde_json::json!({
+            "variant": variant.label(),
+            "decoded": decoded,
+            "packets": truth.len(),
+            "symbol_errors": symbol_errors,
+            "samples_per_sec": samples_per_sec,
+            "realtime_factor": realtime,
+        }));
+    }
+    table.print();
+    println!(
+        "Sustained rate is per single core; 1x realtime = {:.1} Msps (SF7, 500 kHz, 4x oversampling).",
+        trace.sample_rate / 1e6
+    );
+    saiyan_bench::write_json("stream_throughput", &serde_json::json!(json_rows));
+}

@@ -82,19 +82,21 @@ impl PeakDecoder {
         edges
     }
 
-    /// Detects the preamble: the longest train of falling edges spaced one
-    /// symbol time apart (within tolerance). Returns the recovered timing.
-    pub fn detect_preamble(&self, stream: &SampledStream) -> Result<PreambleTiming, SaiyanError> {
+    /// The minimum number of regularly spaced peaks required to declare a
+    /// preamble.
+    pub fn min_preamble_peaks(&self) -> usize {
+        self.min_preamble_peaks
+    }
+
+    /// Finds the longest train of edges spaced one symbol time apart (within
+    /// tolerance) in a pre-extracted, ascending edge-time list. Returns the
+    /// `(start index, count)` of the best train, or `None` for an empty list.
+    /// Noise edges *inside* a symbol period do not break a train; they are
+    /// skipped. Shared by the batch preamble detector and the streaming
+    /// demodulator's per-edge candidate search.
+    pub fn longest_regular_train(&self, edges: &[f64]) -> Option<(usize, usize)> {
         let t_sym = self.params.symbol_duration();
         let tol = self.spacing_tolerance * t_sym;
-        let edges = self.falling_edges(stream);
-        if edges.len() < self.min_preamble_peaks {
-            return Err(SaiyanError::PreambleNotFound);
-        }
-
-        // Longest run of consecutive edges with spacing ~ t_sym. Edges caused
-        // by noise in between break the run only if they are not part of a
-        // regular continuation, so we greedily extend from each start.
         let mut best: Option<(usize, usize)> = None; // (start index, count)
         for start in 0..edges.len() {
             let mut count = 1usize;
@@ -117,21 +119,41 @@ impl PeakDecoder {
                 best = Some((start, count));
             }
         }
-        let (start_idx, count) = best.expect("edges is non-empty");
+        best
+    }
+
+    /// Builds the recovered timing from the first peak of a preamble train.
+    /// The first edge of the train is the peak of the first preamble up-chirp,
+    /// which lands at the end of that symbol.
+    pub fn timing_from_first_peak(
+        &self,
+        first_peak: f64,
+        supporting_peaks: usize,
+    ) -> PreambleTiming {
+        let t_sym = self.params.symbol_duration();
+        let preamble_start = first_peak - t_sym;
+        let payload_start = preamble_start + (PREAMBLE_UPCHIRPS as f64 + SYNC_SYMBOLS) * t_sym;
+        PreambleTiming {
+            preamble_start,
+            payload_start,
+            supporting_peaks,
+        }
+    }
+
+    /// Detects the preamble: the longest train of falling edges spaced one
+    /// symbol time apart (within tolerance). Returns the recovered timing.
+    pub fn detect_preamble(&self, stream: &SampledStream) -> Result<PreambleTiming, SaiyanError> {
+        let edges = self.falling_edges(stream);
+        if edges.len() < self.min_preamble_peaks {
+            return Err(SaiyanError::PreambleNotFound);
+        }
+        let (start_idx, count) = self
+            .longest_regular_train(&edges)
+            .expect("edges is non-empty");
         if count < self.min_preamble_peaks {
             return Err(SaiyanError::PreambleNotFound);
         }
-
-        // The first edge of the train is the peak of the first preamble
-        // up-chirp, which lands at the end of that symbol.
-        let first_peak = edges[start_idx];
-        let preamble_start = first_peak - t_sym;
-        let payload_start = preamble_start + (PREAMBLE_UPCHIRPS as f64 + SYNC_SYMBOLS) * t_sym;
-        Ok(PreambleTiming {
-            preamble_start,
-            payload_start,
-            supporting_peaks: count,
-        })
+        Ok(self.timing_from_first_peak(edges[start_idx], count))
     }
 
     /// Decodes one symbol whose window starts at `window_start` (seconds from

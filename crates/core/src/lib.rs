@@ -13,6 +13,8 @@
 //! * [`decoder`] — preamble detection and peak-position symbol decoding;
 //! * [`correlator`] — the Super Saiyan correlation decoder;
 //! * [`demodulator`] — the assembled end-to-end receiver;
+//! * [`streaming`] — the chunked streaming receiver for unbounded,
+//!   multi-packet sample streams;
 //! * [`sensitivity`] — calibrated RSS→BER link-abstraction models;
 //! * [`metrics`] — BER / throughput / PRR counting;
 //! * [`power`] — tag-level power accounting (PCB and ASIC budgets).
@@ -32,6 +34,7 @@ pub mod metrics;
 pub mod power;
 pub mod sampler;
 pub mod sensitivity;
+pub mod streaming;
 
 pub use agc::{Agc, AgcConfig};
 pub use calibration::{auto_calibrate, CalibrationEntry, CalibrationTable, Thresholds};
@@ -41,7 +44,7 @@ pub use decoder::{PeakDecoder, PreambleTiming, SymbolPeak};
 pub use demodulator::{DemodResult, SaiyanDemodulator};
 pub use duty::DutyCycleSchedule;
 pub use error::SaiyanError;
-pub use frontend::Frontend;
+pub use frontend::{Frontend, StreamingFrontend};
 pub use metrics::{
     packet_error_rate, throughput_bps, throughput_from_ber, ErrorCounts, DEMODULATION_BER_THRESHOLD,
 };
@@ -50,3 +53,4 @@ pub use sampler::{table1_sampling_rates, SampledStream, SamplingRateEntry, Volta
 pub use sensitivity::{
     SensitivityConfig, CONVENTIONAL_ENVELOPE_DETECTOR_SENSITIVITY_DBM, SUPER_SAIYAN_SENSITIVITY_DBM,
 };
+pub use streaming::StreamingDemodulator;

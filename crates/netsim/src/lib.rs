@@ -7,6 +7,8 @@
 //! * [`range`] — demodulation-range and detection-range searches;
 //! * [`trial`] — Monte-Carlo packet trials (link abstraction and full
 //!   waveform);
+//! * [`longtrace`] — long multi-packet IQ traces for the streaming receiver
+//!   and the golden-fixture serialisation behind `tests/golden_traces.rs`;
 //! * [`backscatter`] — the two-hop backscatter uplink (Fig. 2);
 //! * [`casestudy`] — retransmission, channel hopping and multi-tag ALOHA
 //!   case studies (Figs. 26/27, §4.4);
@@ -21,6 +23,7 @@
 pub mod backscatter;
 pub mod casestudy;
 pub mod event;
+pub mod longtrace;
 pub mod range;
 pub mod scenario;
 pub mod trial;
@@ -31,6 +34,10 @@ pub use casestudy::{
     MultiTagRound, RetransmissionStudy,
 };
 pub use event::{DeploymentConfig, DeploymentSim, DeploymentStats};
+pub use longtrace::{
+    generate_long_trace, golden_fixture_set, random_payloads, GoldenFixture, LongTraceConfig,
+    TraceGroundTruth, TracePacket,
+};
 pub use range::{demodulation_range, detection_range, paper_demodulation_range};
 pub use scenario::Scenario;
 pub use trial::{run_link_trials, run_waveform_trials, TrialConfig};
