@@ -1,0 +1,316 @@
+//! Wideband channelizer: per-channel down-conversion and decimation.
+//!
+//! A multi-channel gateway front end digitises one *wideband* IQ stream
+//! covering several LoRa channels at once. For each channel the channelizer
+//! recovers the channel's own complex baseband — the stream a single-channel
+//! receiver would have captured — in three steps:
+//!
+//! 1. **band-select FIR**: a causal complex band-pass FIR passing
+//!    `[offset - guard, offset + passband + guard]` Hz, designed by frequency
+//!    sampling exactly like [`crate::saw::SawFilter::streaming_fir`]
+//!    (Hann-windowed inverse FFT of the desired response, rotated to linear
+//!    phase) — it rejects the neighbouring channels that would otherwise
+//!    alias into the decimated stream;
+//! 2. **decimation**: keep every `D`-th filtered sample, dropping the rate
+//!    from the wideband rate to the per-channel rate (the convolution is only
+//!    evaluated at the kept samples);
+//! 3. **frequency shift**: multiply each kept sample by
+//!    `e^{-j 2π f_off n / f_s}` (with `n` the absolute *wideband* index of
+//!    that sample), so the channel's lower band edge — where the Saiyan chirp
+//!    sweep starts — lands at 0 Hz. Shifting after decimation is legitimate
+//!    because the complex spectrum is circular modulo the output rate, and it
+//!    prices the oscillator at the channel rate instead of the wideband rate.
+//!
+//! Like every streaming stage in this workspace the channelizer is *chunk
+//! invariant*: the oscillator phase is a function of the absolute wideband
+//! sample index, the FIR carries its delay line
+//! ([`crate::fir::ComplexFirState`]), and the decimation phase is carried —
+//! so outputs are bit-identical however the input stream is chunked.
+
+use std::f64::consts::PI;
+
+use lora_phy::fft::ifft;
+use lora_phy::iq::Iq;
+
+use crate::fir::ComplexFirState;
+
+/// Static description of one channel extracted from a wideband stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelizerSpec {
+    /// Offset (Hz) of the channel's lower band edge from the wideband centre
+    /// frequency. The shift stage moves this offset to 0 Hz.
+    pub offset_hz: f64,
+    /// Decimation factor `D`: wideband rate / channel rate. Must be ≥ 1.
+    pub decimation: usize,
+    /// FIR length (power of two ≥ 8). Ignored for a passthrough spec.
+    pub n_taps: usize,
+    /// Width (Hz) of the wanted channel content above the band edge — the
+    /// LoRa bandwidth for a Saiyan channel.
+    pub passband_hz: f64,
+    /// Extra passband margin (Hz) kept on both sides of the content so the
+    /// FIR's transition band does not eat into it.
+    pub guard_hz: f64,
+}
+
+impl ChannelizerSpec {
+    /// Default FIR length: at the gateway's wideband rates this puts the
+    /// design grid's bin spacing well inside the inter-channel guard bands
+    /// while the per-output cost stays far below the SAW FIR's.
+    pub const DEFAULT_TAPS: usize = 128;
+
+    /// A spec for a channel whose content spans `[offset_hz, offset_hz +
+    /// passband_hz]` relative to the wideband centre, decimated by
+    /// `decimation`, with default FIR length and a quarter-bandwidth guard.
+    pub fn for_channel(offset_hz: f64, passband_hz: f64, decimation: usize) -> Self {
+        ChannelizerSpec {
+            offset_hz,
+            decimation,
+            n_taps: Self::DEFAULT_TAPS,
+            passband_hz,
+            guard_hz: passband_hz / 4.0,
+        }
+    }
+
+    /// The identity spec: no shift, no filtering, no decimation. A gateway
+    /// channel built from it sees the raw wideband samples bit-for-bit.
+    pub fn passthrough() -> Self {
+        ChannelizerSpec {
+            offset_hz: 0.0,
+            decimation: 1,
+            n_taps: 0,
+            passband_hz: 0.0,
+            guard_hz: 0.0,
+        }
+    }
+
+    /// Whether this spec is the identity (zero offset, no decimation): the
+    /// streaming state then forwards samples untouched.
+    pub fn is_passthrough(&self) -> bool {
+        self.offset_hz == 0.0 && self.decimation == 1
+    }
+
+    /// Returns a copy with a different FIR length.
+    pub fn with_taps(mut self, n_taps: usize) -> Self {
+        self.n_taps = n_taps;
+        self
+    }
+
+    /// Creates the streaming channelizer state for a wideband stream at
+    /// `wideband_rate` Hz.
+    pub fn streaming(&self, wideband_rate: f64) -> ChannelizerState {
+        assert!(wideband_rate > 0.0, "wideband rate must be positive");
+        assert!(self.decimation >= 1, "decimation must be at least 1");
+        if self.is_passthrough() {
+            return ChannelizerState {
+                passthrough: true,
+                phase_step: 0.0,
+                index: 0,
+                decimation: 1,
+                phase: 0,
+                fir: None,
+            };
+        }
+        assert!(
+            self.n_taps >= 8 && self.n_taps.is_power_of_two(),
+            "n_taps must be a power of two >= 8, got {}",
+            self.n_taps
+        );
+        let l = self.n_taps;
+        // Desired response on the design grid: unit gain over the channel's
+        // own band [offset - guard, offset + passband + guard], zero
+        // elsewhere (the same frequency-sampling design as the streaming SAW
+        // FIR, but band-pass at the channel offset — the shift to baseband
+        // happens after decimation).
+        let lo = self.offset_hz - self.guard_hz;
+        let hi = self.offset_hz + self.passband_hz + self.guard_hz;
+        let desired: Vec<Iq> = (0..l)
+            .map(|k| {
+                let fb = if (k as f64) < l as f64 / 2.0 {
+                    k as f64 * wideband_rate / l as f64
+                } else {
+                    (k as f64 - l as f64) * wideband_rate / l as f64
+                };
+                if fb >= lo && fb <= hi {
+                    Iq::ONE
+                } else {
+                    Iq::ZERO
+                }
+            })
+            .collect();
+        let h = ifft(&desired).expect("n_taps is a power of two");
+        // Rotate the zero-phase kernel to causal linear phase (group delay
+        // l/2 samples) and taper with a Hann window to suppress Gibbs ripple.
+        let delay = l / 2;
+        let taps: Vec<Iq> = (0..l)
+            .map(|i| {
+                let w = 0.5 * (1.0 - (2.0 * PI * i as f64 / l as f64).cos());
+                h[(i + l - delay) % l].scale(w)
+            })
+            .collect();
+        ChannelizerState {
+            passthrough: false,
+            phase_step: -2.0 * PI * self.offset_hz / wideband_rate,
+            index: 0,
+            decimation: self.decimation,
+            phase: 0,
+            fir: Some(ComplexFirState::new(taps)),
+        }
+    }
+}
+
+/// Carried state of one channel's down-conversion chain: absolute-index
+/// oscillator phase, FIR delay line and decimation phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelizerState {
+    passthrough: bool,
+    /// Oscillator phase increment per wideband sample (radians).
+    phase_step: f64,
+    /// Absolute index of the next wideband sample.
+    index: u64,
+    decimation: usize,
+    /// Input samples consumed since the last emitted output.
+    phase: usize,
+    fir: Option<ComplexFirState>,
+}
+
+impl ChannelizerState {
+    /// Whether this state forwards samples untouched.
+    pub fn is_passthrough(&self) -> bool {
+        self.passthrough
+    }
+
+    /// The FIR group delay in wideband samples (0 for a passthrough).
+    pub fn delay_samples(&self) -> usize {
+        self.fir.as_ref().map_or(0, |f| f.n_taps() / 2)
+    }
+
+    /// Total wideband samples consumed so far.
+    pub fn samples_consumed(&self) -> u64 {
+        self.index
+    }
+
+    /// Processes one wideband chunk, returning the channel-rate samples that
+    /// completed within it (one per `decimation` inputs).
+    pub fn process_chunk(&mut self, chunk: &[Iq]) -> Vec<Iq> {
+        if self.passthrough {
+            self.index += chunk.len() as u64;
+            return chunk.to_vec();
+        }
+        let fir = self.fir.as_mut().expect("non-passthrough state has a FIR");
+        let mut out = Vec::with_capacity(chunk.len() / self.decimation + 1);
+        for &x in chunk {
+            self.phase += 1;
+            if self.phase == self.decimation {
+                self.phase = 0;
+                let y = fir.push_and_convolve(x);
+                out.push(y * Iq::phasor(self.phase_step * self.index as f64));
+            } else {
+                fir.push_silent(x);
+            }
+            self.index += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(offset_hz: f64, fs: f64, n: usize) -> Vec<Iq> {
+        let w = 2.0 * PI * offset_hz / fs;
+        (0..n).map(|i| Iq::phasor(w * i as f64)).collect()
+    }
+
+    #[test]
+    fn passthrough_is_the_identity() {
+        let spec = ChannelizerSpec::passthrough();
+        assert!(spec.is_passthrough());
+        let mut state = spec.streaming(1e6);
+        let input = tone(12_345.0, 1e6, 777);
+        let out = state.process_chunk(&input);
+        assert_eq!(out, input);
+        assert_eq!(state.samples_consumed(), 777);
+        assert_eq!(state.delay_samples(), 0);
+    }
+
+    #[test]
+    fn chunked_processing_is_bit_identical() {
+        let fs = 2e6;
+        let spec = ChannelizerSpec::for_channel(-250_000.0, 125_000.0, 8);
+        let input = tone(-200_000.0, fs, 6_000);
+        let whole = spec.streaming(fs).process_chunk(&input);
+        for chunk_size in [1usize, 7, 64, 4096] {
+            let mut state = spec.streaming(fs);
+            let mut out = Vec::new();
+            for chunk in input.chunks(chunk_size) {
+                out.extend(state.process_chunk(chunk));
+            }
+            assert_eq!(out, whole, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn decimation_produces_one_output_per_d_inputs() {
+        let fs = 1e6;
+        let spec = ChannelizerSpec::for_channel(100_000.0, 125_000.0, 4);
+        let mut state = spec.streaming(fs);
+        // 10 inputs at D=4 -> 2 outputs; next 2 inputs complete the third.
+        assert_eq!(state.process_chunk(&tone(0.0, fs, 10)).len(), 2);
+        assert_eq!(state.process_chunk(&tone(0.0, fs, 2)).len(), 1);
+    }
+
+    #[test]
+    fn in_band_tone_passes_and_neighbour_is_rejected() {
+        let fs = 2e6;
+        let offset = 250_000.0;
+        let bw = 125_000.0;
+        let spec = ChannelizerSpec::for_channel(offset, bw, 8);
+        let n = 16_000;
+        let steady = |out: &[Iq]| {
+            let s = &out[out.len() / 2..];
+            s.iter().map(Iq::abs).sum::<f64>() / s.len() as f64
+        };
+        // A tone in the middle of the channel comes through near unit gain.
+        let mut state = spec.streaming(fs);
+        let wanted = steady(&state.process_chunk(&tone(offset + bw / 2.0, fs, n)));
+        assert!(
+            (20.0 * wanted.log10()).abs() < 1.0,
+            "in-band gain {wanted:.3}"
+        );
+        // A tone in the middle of the next 500 kHz grid slot is crushed.
+        let mut state = spec.streaming(fs);
+        let neighbour = steady(&state.process_chunk(&tone(offset + 500_000.0 + bw / 2.0, fs, n)));
+        assert!(
+            20.0 * (neighbour / wanted).log10() < -40.0,
+            "neighbour leak {:.1} dB",
+            20.0 * (neighbour / wanted).log10()
+        );
+    }
+
+    #[test]
+    fn shift_moves_the_band_edge_to_dc() {
+        let fs = 2e6;
+        let offset = -500_000.0;
+        let spec = ChannelizerSpec::for_channel(offset, 125_000.0, 4);
+        let mut state = spec.streaming(fs);
+        // A tone 50 kHz above the channel base must come out at +50 kHz.
+        let out = state.process_chunk(&tone(offset + 50_000.0, fs, 20_000));
+        let out_fs = fs / 4.0;
+        let steady = &out[out.len() / 2..];
+        let mut freq = 0.0;
+        for pair in steady.windows(2) {
+            freq += (pair[1] * pair[0].conj()).arg() * out_fs / (2.0 * PI);
+        }
+        freq /= (steady.len() - 1) as f64;
+        assert!((freq - 50_000.0).abs() < 500.0, "measured {freq:.0} Hz");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_tap_count_is_rejected() {
+        ChannelizerSpec::for_channel(0.0, 125_000.0, 2)
+            .with_taps(100)
+            .streaming(1e6);
+    }
+}

@@ -145,8 +145,16 @@ impl EnvelopeDetectorState {
     /// Detects the envelope of one chunk, advancing the carried noise state.
     pub fn detect_chunk(&mut self, chunk: &[Iq]) -> Vec<f64> {
         let mut out = Vec::with_capacity(chunk.len());
+        // A noiseless detector (both sigmas zero) skips the per-sample
+        // Gaussian draws entirely: they would be multiplied by zero anyway,
+        // and they dominate the cost of a quiet chain.
+        let noiseless = self.noise.white_sigma == 0.0 && self.noise.flicker_sigma == 0.0;
         for s in chunk {
             let envelope = self.conversion_gain * s.norm_sqr();
+            if noiseless {
+                out.push(envelope + self.noise.dc_offset);
+                continue;
+            }
             let white = self.noise.white_sigma * gaussian(&mut self.rng);
             self.flicker_state = (1.0 - self.alpha) * self.flicker_state
                 + self.alpha.sqrt() * gaussian(&mut self.rng);

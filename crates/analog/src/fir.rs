@@ -1,0 +1,145 @@
+//! Shared streaming complex-FIR machinery.
+//!
+//! Both the streaming SAW filter ([`crate::saw::SawFirState`]) and the
+//! wideband channelizer ([`crate::channelizer`]) are causal complex FIR
+//! filters that must be *chunk invariant*: feeding a stream through them in
+//! chunks of any size produces bit-identical output, because the convolution
+//! of sample `n` only ever reads samples `n - n_taps + 1 ..= n` from a carried
+//! delay line. This module holds that delay-line state machine once, so every
+//! FIR in the workspace shares one (carefully ordered) inner loop.
+
+use lora_phy::iq::Iq;
+
+/// A causal complex FIR filter with its carried delay-line history.
+///
+/// The summation order of the convolution is fixed (tap index ascending), so
+/// outputs are bit-identical however the input stream is chunked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComplexFirState {
+    taps: Vec<Iq>,
+    history: Vec<Iq>,
+    pos: usize,
+}
+
+impl ComplexFirState {
+    /// Creates a filter from its impulse response (must be non-empty). The
+    /// delay line starts zeroed, i.e. the stream is implicitly preceded by
+    /// silence.
+    pub fn new(taps: Vec<Iq>) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        let l = taps.len();
+        ComplexFirState {
+            taps,
+            history: vec![Iq::ZERO; l],
+            pos: 0,
+        }
+    }
+
+    /// The number of FIR taps.
+    pub fn n_taps(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Pushes one input sample and returns the convolution output at that
+    /// sample.
+    #[inline]
+    pub fn push_and_convolve(&mut self, x: Iq) -> Iq {
+        self.history[self.pos] = x;
+        // taps[k] multiplies history[pos - k (mod l)]: walk the ring backwards
+        // from pos as two contiguous slices so the hot loop has no modulo. The
+        // summation order (k ascending) is fixed, keeping the result
+        // bit-identical for any chunking.
+        let mut acc = Iq::ZERO;
+        let mut k = 0usize;
+        for &h in self.history[..=self.pos].iter().rev() {
+            acc += self.taps[k] * h;
+            k += 1;
+        }
+        for &h in self.history[self.pos + 1..].iter().rev() {
+            acc += self.taps[k] * h;
+            k += 1;
+        }
+        self.pos = (self.pos + 1) % self.taps.len();
+        acc
+    }
+
+    /// Pushes one input sample into the delay line *without* computing an
+    /// output — the cheap path a decimating filter takes on the samples it
+    /// will not emit.
+    #[inline]
+    pub fn push_silent(&mut self, x: Iq) {
+        self.history[self.pos] = x;
+        self.pos = (self.pos + 1) % self.taps.len();
+    }
+
+    /// Filters one chunk, producing one output sample per input sample.
+    pub fn filter_chunk(&mut self, chunk: &[Iq]) -> Vec<Iq> {
+        let mut out = Vec::with_capacity(chunk.len());
+        for &x in chunk {
+            out.push(self.push_and_convolve(x));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn impulse_taps() -> Vec<Iq> {
+        vec![
+            Iq::new(0.5, 0.0),
+            Iq::new(0.25, -0.1),
+            Iq::new(-0.125, 0.2),
+            Iq::new(0.0625, 0.0),
+        ]
+    }
+
+    #[test]
+    fn impulse_response_is_the_taps() {
+        let mut fir = ComplexFirState::new(impulse_taps());
+        let mut input = vec![Iq::ZERO; 6];
+        input[0] = Iq::ONE;
+        let out = fir.filter_chunk(&input);
+        for (k, tap) in impulse_taps().iter().enumerate() {
+            assert_eq!(out[k], *tap, "tap {k}");
+        }
+        assert_eq!(out[4], Iq::ZERO);
+    }
+
+    #[test]
+    fn chunked_filtering_is_bit_identical() {
+        let taps = impulse_taps();
+        let input: Vec<Iq> = (0..503)
+            .map(|i| Iq::from_polar(1.0 + (i % 7) as f64, i as f64 * 0.37))
+            .collect();
+        let whole = ComplexFirState::new(taps.clone()).filter_chunk(&input);
+        for chunk_size in [1usize, 3, 64, 501] {
+            let mut fir = ComplexFirState::new(taps.clone());
+            let mut out = Vec::new();
+            for chunk in input.chunks(chunk_size) {
+                out.extend(fir.filter_chunk(chunk));
+            }
+            assert_eq!(out, whole, "chunk size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn push_silent_advances_the_delay_line() {
+        // Feeding [a, b] with b silent, then convolving on c, must equal the
+        // all-convolved run's third output.
+        let taps = impulse_taps();
+        let input = [Iq::new(1.0, 0.5), Iq::new(-2.0, 0.25), Iq::new(0.75, -1.0)];
+        let reference = ComplexFirState::new(taps.clone()).filter_chunk(&input);
+        let mut fir = ComplexFirState::new(taps);
+        fir.push_silent(input[0]);
+        fir.push_silent(input[1]);
+        assert_eq!(fir.push_and_convolve(input[2]), reference[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_are_rejected() {
+        ComplexFirState::new(Vec::new());
+    }
+}

@@ -15,14 +15,19 @@
 //! * [`comparator`] — single- and double-threshold comparators (Eq. 3);
 //! * [`adc`] — the conventional ADC baseline Saiyan eliminates;
 //! * [`power`] — the Table 2 / §4.3 power and cost budgets;
-//! * [`signal`] — real-valued baseband buffers shared by these blocks.
+//! * [`signal`] — real-valued baseband buffers shared by these blocks;
+//! * [`fir`] — the shared streaming complex-FIR state machine;
+//! * [`channelizer`] — the wideband gateway front end: per-channel frequency
+//!   shift, band-select FIR and decimation.
 
 #![warn(missing_docs)]
 
 pub mod adc;
+pub mod channelizer;
 pub mod comparator;
 pub mod envelope;
 pub mod filters;
+pub mod fir;
 pub mod lna;
 pub mod matching;
 pub mod mixer;
@@ -34,9 +39,11 @@ pub mod shifting;
 pub mod signal;
 
 pub use adc::Adc;
+pub use channelizer::{ChannelizerSpec, ChannelizerState};
 pub use comparator::{BinaryStream, DoubleThresholdComparator, SingleThresholdComparator};
 pub use envelope::{DetectorNoise, EnvelopeDetector};
 pub use filters::{IfAmplifier, LowPassFilter};
+pub use fir::ComplexFirState;
 pub use lna::Lna;
 pub use matching::{Impedance, MatchingNetwork};
 pub use mixer::{BasebandMixer, RfMixer};

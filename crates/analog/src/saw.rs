@@ -20,6 +20,8 @@ use lora_phy::fft::{fft, ifft, next_power_of_two};
 use lora_phy::iq::{Iq, SampleBuffer};
 use rfsim::units::{Celsius, Db, Hertz};
 
+use crate::fir::ComplexFirState;
+
 /// A point on the amplitude response curve: (absolute frequency, gain).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ResponsePoint {
@@ -250,9 +252,7 @@ impl SawFilter {
             })
             .collect();
         SawFirState {
-            taps,
-            history: vec![Iq::ZERO; l],
-            pos: 0,
+            fir: ComplexFirState::new(taps),
         }
     }
 
@@ -274,51 +274,29 @@ impl SawFilter {
 }
 
 /// Carried state of the streaming SAW filter: a complex FIR kernel plus the
-/// delay-line history it convolves against. Because the convolution of sample
-/// `n` only reads samples `n - n_taps + 1 ..= n`, chunked filtering of a
-/// stream is bit-exactly independent of where the chunk boundaries fall.
+/// delay-line history it convolves against (shared machinery:
+/// [`crate::fir::ComplexFirState`]). Because the convolution of sample `n`
+/// only reads samples `n - n_taps + 1 ..= n`, chunked filtering of a stream
+/// is bit-exactly independent of where the chunk boundaries fall.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SawFirState {
-    taps: Vec<Iq>,
-    history: Vec<Iq>,
-    pos: usize,
+    fir: ComplexFirState,
 }
 
 impl SawFirState {
     /// The number of FIR taps.
     pub fn n_taps(&self) -> usize {
-        self.taps.len()
+        self.fir.n_taps()
     }
 
     /// The constant group delay of the kernel, in samples.
     pub fn delay_samples(&self) -> usize {
-        self.taps.len() / 2
+        self.fir.n_taps() / 2
     }
 
     /// Filters one chunk, producing one output sample per input sample.
     pub fn filter_chunk(&mut self, chunk: &[Iq]) -> Vec<Iq> {
-        let l = self.taps.len();
-        let mut out = Vec::with_capacity(chunk.len());
-        for &x in chunk {
-            self.history[self.pos] = x;
-            // taps[k] multiplies history[pos - k (mod l)]: walk the ring
-            // backwards from pos as two contiguous slices so the hot loop has
-            // no modulo. The summation order (k ascending) is fixed, keeping
-            // the result bit-identical for any chunking.
-            let mut acc = Iq::ZERO;
-            let mut k = 0usize;
-            for &h in self.history[..=self.pos].iter().rev() {
-                acc += self.taps[k] * h;
-                k += 1;
-            }
-            for &h in self.history[self.pos + 1..].iter().rev() {
-                acc += self.taps[k] * h;
-                k += 1;
-            }
-            self.pos = (self.pos + 1) % l;
-            out.push(acc);
-        }
-        out
+        self.fir.filter_chunk(chunk)
     }
 }
 

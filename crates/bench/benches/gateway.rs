@@ -1,0 +1,135 @@
+//! Criterion benchmarks of the multi-channel gateway: the channelizer
+//! kernel, an N = 1 passthrough gateway (thread/merge overhead over the
+//! plain streaming receiver), and the 4-channel concurrent pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use netsim::multichannel::{
+    generate_multichannel_trace, hopping_traffic, HoppingTrafficConfig, MultiChannelConfig,
+};
+use saiyan::config::{SaiyanConfig, Variant};
+use saiyan::gateway::{Gateway, GatewayChannel, GatewayConfig};
+
+const PAYLOAD_SYMBOLS: usize = 8;
+const N_CHANNELS: usize = 4;
+const DECIMATION: usize = 6;
+
+fn lora250() -> LoraParams {
+    LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz250,
+        BitsPerChirp::new(2).unwrap(),
+    )
+    .with_oversampling(2)
+}
+
+fn four_channel_trace() -> (MultiChannelConfig, lora_phy::iq::SampleBuffer) {
+    let cfg = MultiChannelConfig::new(
+        lora250(),
+        DECIMATION,
+        MultiChannelConfig::grid_offsets(N_CHANNELS),
+    )
+    .with_noise(-85.0);
+    let packets = hopping_traffic(&HoppingTrafficConfig {
+        n_tags: N_CHANNELS,
+        packets_per_tag: 1,
+        n_channels: N_CHANNELS,
+        payload_symbols: PAYLOAD_SYMBOLS,
+        k: lora250().bits_per_chirp,
+        slot_symbols: PAYLOAD_SYMBOLS as f64 + 20.0,
+        lead_in_symbols: 4.0,
+        base_power_dbm: -43.0,
+        power_spread_db: 1.5,
+        max_cfo_hz: 500.0,
+        seed: 0xBE9C,
+    });
+    let (trace, _) = generate_multichannel_trace(&cfg, &packets);
+    (cfg, trace)
+}
+
+fn bench_channelizer(c: &mut Criterion) {
+    let (cfg, trace) = four_channel_trace();
+    let spec = analog::channelizer::ChannelizerSpec::for_channel(-750_000.0, 250_000.0, DECIMATION)
+        .with_taps(64);
+    c.bench_function("gateway/channelizer_64tap_d6", |b| {
+        b.iter(|| {
+            let mut state = spec.streaming(cfg.wideband_rate());
+            let mut n = 0usize;
+            for chunk in trace.samples.chunks(16_384) {
+                n += state.process_chunk(chunk).len();
+            }
+            n
+        })
+    });
+}
+
+fn bench_four_channel_gateway(c: &mut Criterion) {
+    let (cfg, trace) = four_channel_trace();
+    let channels: Vec<GatewayChannel> = MultiChannelConfig::grid_offsets(N_CHANNELS)
+        .iter()
+        .enumerate()
+        .map(|(i, &offset)| {
+            GatewayChannel::new(
+                i as u8,
+                offset,
+                SaiyanConfig::narrowband_streaming(lora250(), Variant::Vanilla)
+                    .with_analog_noise(false),
+                PAYLOAD_SYMBOLS,
+            )
+        })
+        .collect();
+    let config = GatewayConfig::new(cfg.wideband_rate(), channels).with_channelizer_taps(64);
+    c.bench_function("gateway/four_channel_concurrent", |b| {
+        b.iter(|| Gateway::run_trace(config.clone(), &trace, 16_384).len())
+    });
+}
+
+fn bench_passthrough_overhead(c: &mut Criterion) {
+    // N = 1 passthrough gateway vs plain StreamingDemodulator on one channel.
+    let lora = LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).unwrap(),
+    );
+    let cfg = MultiChannelConfig::new(lora, 1, vec![0.0]).with_noise(-85.0);
+    let packets = hopping_traffic(&HoppingTrafficConfig {
+        n_tags: 1,
+        packets_per_tag: 2,
+        n_channels: 1,
+        payload_symbols: PAYLOAD_SYMBOLS,
+        k: lora.bits_per_chirp,
+        slot_symbols: PAYLOAD_SYMBOLS as f64 + 18.0,
+        lead_in_symbols: 4.0,
+        base_power_dbm: -50.0,
+        power_spread_db: 0.0,
+        max_cfo_hz: 0.0,
+        seed: 0x90FF,
+    });
+    let (trace, _) = generate_multichannel_trace(&cfg, &packets);
+    let demod_cfg = SaiyanConfig::paper_default(lora, Variant::Vanilla);
+    c.bench_function("gateway/n1_passthrough", |b| {
+        b.iter(|| {
+            Gateway::run_trace(
+                GatewayConfig::single_channel(demod_cfg.clone(), PAYLOAD_SYMBOLS),
+                &trace,
+                16_384,
+            )
+            .len()
+        })
+    });
+    c.bench_function("gateway/n1_reference_streaming_demod", |b| {
+        b.iter(|| {
+            saiyan::StreamingDemodulator::new(demod_cfg.clone(), PAYLOAD_SYMBOLS)
+                .run_to_end(&trace)
+                .len()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_channelizer,
+    bench_four_channel_gateway,
+    bench_passthrough_overhead
+);
+criterion_main!(benches);

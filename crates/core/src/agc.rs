@@ -3,7 +3,7 @@
 //! The prototype tunes the comparator thresholds `U_H`/`U_L` from an offline
 //! distance→amplitude table. The paper suggests an AGC could adapt the power
 //! gain automatically instead. This module implements a simple feed-forward
-//! AGC in the spirit of the fast-settling controllers the paper cites [42]:
+//! AGC in the spirit of the fast-settling controllers the paper cites \[42\]:
 //! it tracks the envelope's peak level over a sliding window and adjusts a
 //! gain word so the peak lands near a target level, from which the comparator
 //! thresholds follow directly.

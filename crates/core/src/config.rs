@@ -53,6 +53,33 @@ pub struct SaiyanConfig {
     /// Gap (dB) between the measured peak amplitude and the high threshold
     /// `U_H` (paper §4.1: `G = 20·lg(A_max/U_H)`).
     pub threshold_gap_db: f64,
+    /// Cap on the streaming comparator's hysteresis span `U_H − U_L` as a
+    /// fraction of the tracked peak amplitude. The low threshold must fall
+    /// *below* each symbol's envelope peak-to-reset swing but *above* the
+    /// intra-symbol minimum; at 500 kHz the SAW response's 25 dB amplitude
+    /// gap leaves the default 0.5 plenty of room, while narrow-band channels
+    /// (125/250 kHz, gaps of 7–15 dB) need a tighter span — see
+    /// [`SaiyanConfig::narrowband_streaming`].
+    pub comparator_hysteresis: f64,
+    /// Packet-onset ratio of the streaming threshold tracker: a packet onset
+    /// is declared once the held envelope peak exceeds this multiple of the
+    /// running envelope median. At 500 kHz the SAW sweep tops out at the
+    /// −10 dB band edge and packets clear the default 8 easily; narrower
+    /// sweeps stop at lower SAW gain (−19.5 dB at 250 kHz), leaving peaks
+    /// only a few times above the detector's absolute noise floor.
+    pub activity_ratio: f64,
+    /// Whether the receive chain models its own analog noise (LNA noise and
+    /// the envelope detector's white/flicker/DC noise). The gateway's
+    /// high-throughput profile disables it: the capture already carries
+    /// channel noise, and the per-sample Gaussian draws dominate a multi-
+    /// channel gateway's CPU budget.
+    pub analog_noise: bool,
+    /// FIR length of the streaming SAW approximation (`None` = the default
+    /// [`crate::frontend::Frontend::STREAMING_SAW_TAPS`]). The design grid's
+    /// bin spacing is `sample_rate / taps`, so low-rate narrow-band channels
+    /// afford fewer taps at the same response fidelity — the narrow-band
+    /// profile halves them.
+    pub streaming_saw_taps: Option<usize>,
     /// Seed used for any stochastic elements of the receive chain.
     pub seed: u64,
 }
@@ -66,8 +93,38 @@ impl SaiyanConfig {
             variant,
             sampling_margin: 1.6,
             threshold_gap_db: 3.0,
+            comparator_hysteresis: 0.5,
+            activity_ratio: 8.0,
+            analog_noise: true,
+            streaming_saw_taps: None,
             seed: 0x5A17,
         }
+    }
+
+    /// The paper's defaults with the comparator-hysteresis span tightened
+    /// for narrow-band (125/250 kHz) streaming channels, where the SAW
+    /// response's amplitude gap is 7–15 dB instead of 25 dB and the default
+    /// span would park `U_L` below the intra-symbol envelope minimum (the
+    /// comparator would never reset, so no peak edges would form). The
+    /// multi-channel gateway uses this profile for its narrow channels.
+    pub fn narrowband_streaming(lora: LoraParams, variant: Variant) -> Self {
+        let mut config = Self::paper_default(lora, variant);
+        config.comparator_hysteresis = 0.25;
+        config.activity_ratio = 3.0;
+        config.streaming_saw_taps = Some(64);
+        config
+    }
+
+    /// Returns a copy with a different comparator-hysteresis cap.
+    pub fn with_comparator_hysteresis(mut self, fraction: f64) -> Self {
+        self.comparator_hysteresis = fraction;
+        self
+    }
+
+    /// Returns a copy with the analog-noise model enabled or disabled.
+    pub fn with_analog_noise(mut self, enabled: bool) -> Self {
+        self.analog_noise = enabled;
+        self
     }
 
     /// The sampler rate in Hz: `sampling_margin * 2 * BW / 2^(SF−K)`.

@@ -122,6 +122,63 @@ impl PeakDecoder {
         best
     }
 
+    /// The member indices of the longest regular train (see
+    /// [`Self::longest_regular_train`]); empty for an empty edge list. Walks
+    /// the winning train once, so the per-start search stays allocation-free.
+    pub fn regular_train_members(&self, edges: &[f64]) -> Vec<usize> {
+        let Some((start, count)) = self.longest_regular_train(edges) else {
+            return Vec::new();
+        };
+        let t_sym = self.params.symbol_duration();
+        let tol = self.spacing_tolerance * t_sym;
+        let mut members = Vec::with_capacity(count);
+        members.push(start);
+        let mut last = edges[start];
+        let mut idx = start + 1;
+        while idx < edges.len() && members.len() < count {
+            let dt = edges[idx] - last;
+            if (dt - t_sym).abs() <= tol {
+                members.push(idx);
+                last = edges[idx];
+            }
+            idx += 1;
+        }
+        members
+    }
+
+    /// Robust preamble anchor: the first peak time and supporting count of
+    /// the longest regular train, with leading and trailing members trimmed
+    /// when their spacing deviates from the train's *median* spacing by more
+    /// than a tenth of a symbol.
+    ///
+    /// The ±25 % spacing tolerance that keeps the train search robust also
+    /// lets spurious noise edges (comparator chatter just before a packet)
+    /// chain onto the front of the true preamble train, which would drag the
+    /// timing anchor up to two symbols early. The true preamble's spacings
+    /// are sampler-quantised tightly around one symbol, so a median-spacing
+    /// trim removes the imposters without loosening the search.
+    pub fn preamble_anchor(&self, edges: &[f64]) -> Option<(f64, usize)> {
+        let members = self.regular_train_members(edges);
+        let times: Vec<f64> = members.iter().map(|&i| edges[i]).collect();
+        if times.len() < 3 {
+            return times.first().map(|&t| (t, times.len()));
+        }
+        let spacings: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        let mut sorted = spacings.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let tol = 0.1 * self.params.symbol_duration();
+        let mut lo = 0usize;
+        let mut hi = times.len() - 1; // inclusive index of the last member
+        while lo < hi && (spacings[lo] - median).abs() > tol {
+            lo += 1;
+        }
+        while hi > lo && (spacings[hi - 1] - median).abs() > tol {
+            hi -= 1;
+        }
+        Some((times[lo], hi - lo + 1))
+    }
+
     /// Builds the recovered timing from the first peak of a preamble train.
     /// The first edge of the train is the peak of the first preamble up-chirp,
     /// which lands at the end of that symbol.

@@ -45,6 +45,59 @@ impl DemodResult {
 }
 
 /// The Saiyan demodulator.
+///
+/// The quickstart round trip (`examples/quickstart.rs`): the access point
+/// modulates a downlink MAC command, the channel model attenuates it over a
+/// 40 m outdoor link, and the tag demodulates it with the full Super Saiyan
+/// receive chain:
+///
+/// ```
+/// use lora_phy::downlink::bytes_to_symbols;
+/// use lora_phy::modulator::{Alphabet, Modulator};
+/// use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+/// use rfsim::channel::Channel;
+/// use rfsim::link::paper_downlink;
+/// use rfsim::noise::NoiseModel;
+/// use rfsim::pathloss::{Environment, PathLossModel};
+/// use rfsim::units::{Db, Hertz, Meters};
+/// use saiyan::{SaiyanConfig, SaiyanDemodulator, Variant};
+/// use saiyan_mac::{Addressing, Command, DownlinkPacket, TagId};
+///
+/// let lora = LoraParams::new(
+///     SpreadingFactor::Sf7,
+///     Bandwidth::Khz500,
+///     BitsPerChirp::new(2).unwrap(),
+/// )
+/// .with_oversampling(8);
+///
+/// // The access point wants tag #7 to retransmit packet 42.
+/// let command = DownlinkPacket {
+///     addressing: Addressing::Unicast(TagId(7)),
+///     command: Command::Retransmit { sequence: 42 },
+/// };
+/// let payload = command.to_bytes();
+/// let symbols = bytes_to_symbols(&payload, lora.bits_per_chirp);
+///
+/// // Modulate and propagate over a 40 m outdoor link.
+/// let (wave, layout) = Modulator::new(lora)
+///     .packet_with_guard(&symbols, Alphabet::Downlink, 4)
+///     .unwrap();
+/// let path_loss = PathLossModel::for_environment(Environment::OutdoorLos, Hertz(lora.carrier_hz));
+/// let channel = Channel::new(
+///     paper_downlink(path_loss, Meters(40.0)),
+///     NoiseModel::new(Db(6.0), Hertz(lora.bw.hz())),
+/// );
+/// let rx = channel.propagate(&wave);
+///
+/// // The tag demodulates with the full (Super Saiyan) receive chain.
+/// let config = SaiyanConfig::paper_default(lora, Variant::Super);
+/// let result = SaiyanDemodulator::new(config)
+///     .demodulate_aligned(&rx, layout.payload_start, symbols.len())
+///     .unwrap();
+/// let decoded_bytes = result.to_bytes(lora.bits_per_chirp, payload.len());
+/// let decoded = DownlinkPacket::from_bytes(&decoded_bytes).unwrap();
+/// assert_eq!(decoded, command);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SaiyanDemodulator {
     config: SaiyanConfig,

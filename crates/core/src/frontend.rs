@@ -35,10 +35,19 @@ impl Frontend {
     /// Builds the paper's front end for a configuration.
     pub fn paper(config: &SaiyanConfig) -> Self {
         let bw = Hertz(config.lora.bw.hz());
-        let detector = EnvelopeDetector::default().with_seed(config.seed ^ 0xD37E);
+        let detector = if config.analog_noise {
+            EnvelopeDetector::default().with_seed(config.seed ^ 0xD37E)
+        } else {
+            EnvelopeDetector::ideal()
+        };
+        let lna = if config.analog_noise {
+            Lna::paper_cglna(bw)
+        } else {
+            Lna::paper_cglna(bw).quiet()
+        };
         Frontend {
             saw: SawFilter::paper_b3790(),
-            lna: Lna::paper_cglna(bw),
+            lna,
             shifter: CyclicFrequencyShifter::new(
                 ShiftingConfig::for_bandwidth(config.lora.bw.hz()),
                 detector,
@@ -85,10 +94,16 @@ impl Frontend {
     /// Creates a streaming version of this front end for a stream at
     /// `sample_rate` Hz. See [`StreamingFrontend`].
     pub fn streaming(&self, sample_rate: f64) -> StreamingFrontend {
+        self.streaming_with_taps(sample_rate, Self::STREAMING_SAW_TAPS)
+    }
+
+    /// [`Self::streaming`] with an explicit SAW FIR length. The design
+    /// grid's bin spacing is `sample_rate / n_taps`; the default tap count
+    /// targets the 2 Msps paper operating point, so lower-rate channels can
+    /// use proportionally fewer taps at the same fidelity.
+    pub fn streaming_with_taps(&self, sample_rate: f64, n_taps: usize) -> StreamingFrontend {
         StreamingFrontend {
-            saw: self
-                .saw
-                .streaming_fir(self.carrier, sample_rate, Self::STREAMING_SAW_TAPS),
+            saw: self.saw.streaming_fir(self.carrier, sample_rate, n_taps),
             lna: self.lna.streaming(),
             shifter: self
                 .shifter

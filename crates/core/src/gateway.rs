@@ -1,0 +1,599 @@
+//! Multi-channel streaming gateway: channelizer + demodulator bank + merge.
+//!
+//! A Saiyan deployment serves many backscatter tags hopping across LoRa
+//! channels. The gateway front end digitises one *wideband* IQ stream
+//! covering all of them and fans it out:
+//!
+//! ```text
+//!                        ┌─ channelizer ch0 ─ StreamingDemodulator ─┐
+//!  wideband IQ chunks ──►├─ channelizer ch1 ─ StreamingDemodulator ─┤──► time-ordered
+//!    (push_chunk)        ├─ channelizer ch2 ─ StreamingDemodulator ─┤    GatewayPackets
+//!                        └─ channelizer ch3 ─ StreamingDemodulator ─┘
+//! ```
+//!
+//! Every channel pipeline — an [`analog::channelizer::ChannelizerState`]
+//! (frequency shift + band-select FIR + decimation) feeding a
+//! [`StreamingDemodulator`] — runs on a `std::thread` worker pool connected
+//! by bounded channels, so a slow consumer back-pressures the producer
+//! instead of buffering without bound. Completed packets from all channels
+//! are merged into one stream ordered by payload start time.
+//!
+//! ## Determinism
+//!
+//! Each channel's results are bit-identical to running that channel's
+//! pipeline alone (the pipelines are chunk invariant and share nothing), and
+//! the merge releases a packet only once *every* channel has consumed the
+//! stream far enough that no earlier packet can still appear (a watermark,
+//! in the event-driven NS-2 tradition). The merged packet *sequence* is
+//! therefore identical whatever the worker-thread count or chunk sizes —
+//! only the batching (which `push_chunk` call returns which packets) may
+//! vary with scheduling. `tests/gateway_equivalence.rs` locks both
+//! properties in, including that an `N = 1` passthrough gateway is
+//! bit-identical to a plain [`StreamingDemodulator`].
+
+use std::collections::BinaryHeap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use analog::channelizer::{ChannelizerSpec, ChannelizerState};
+use lora_phy::iq::{Iq, SampleBuffer};
+
+use crate::config::SaiyanConfig;
+use crate::demodulator::DemodResult;
+use crate::streaming::StreamingDemodulator;
+
+/// One channel served by the gateway.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayChannel {
+    /// Channel identifier reported in [`GatewayPacket`]s (e.g. the index
+    /// into a `saiyan_mac::ChannelTable`).
+    pub id: u8,
+    /// Offset (Hz) of the channel's lower band edge — where its chirp sweep
+    /// starts — from the wideband centre frequency.
+    pub offset_hz: f64,
+    /// Receiver configuration for this channel. Its `lora.sample_rate()` is
+    /// the channel rate the channelizer decimates to.
+    pub config: SaiyanConfig,
+    /// Expected payload length in chirp symbols (fixed per stream, as in the
+    /// paper's evaluation).
+    pub payload_symbols: usize,
+}
+
+impl GatewayChannel {
+    /// Creates a channel description.
+    pub fn new(id: u8, offset_hz: f64, config: SaiyanConfig, payload_symbols: usize) -> Self {
+        GatewayChannel {
+            id,
+            offset_hz,
+            config,
+            payload_symbols,
+        }
+    }
+}
+
+/// Configuration of a [`Gateway`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayConfig {
+    /// Sample rate (Hz) of the wideband input stream. Must be an integer
+    /// multiple of every channel's `lora.sample_rate()`.
+    pub wideband_rate: f64,
+    /// The channels to serve.
+    pub channels: Vec<GatewayChannel>,
+    /// Worker threads the channels are distributed over (round-robin).
+    /// `0` means one worker per channel.
+    pub worker_threads: usize,
+    /// Depth of each worker's bounded input queue, in chunks. A full queue
+    /// back-pressures [`Gateway::push_chunk`].
+    pub queue_depth: usize,
+    /// FIR length of each non-passthrough channelizer.
+    pub channelizer_taps: usize,
+}
+
+impl GatewayConfig {
+    /// Creates a gateway configuration with one worker per channel, a
+    /// 4-chunk queue and the default channelizer FIR length.
+    pub fn new(wideband_rate: f64, channels: Vec<GatewayChannel>) -> Self {
+        GatewayConfig {
+            wideband_rate,
+            channels,
+            worker_threads: 0,
+            queue_depth: 4,
+            channelizer_taps: ChannelizerSpec::DEFAULT_TAPS,
+        }
+    }
+
+    /// A single-channel gateway whose channelizer is the identity: the
+    /// wideband stream *is* the channel stream, so the gateway's output is
+    /// bit-identical to a plain [`StreamingDemodulator`] on the same input.
+    pub fn single_channel(config: SaiyanConfig, payload_symbols: usize) -> Self {
+        let rate = config.lora.sample_rate();
+        GatewayConfig::new(
+            rate,
+            vec![GatewayChannel::new(0, 0.0, config, payload_symbols)],
+        )
+    }
+
+    /// Returns a copy with a different worker-thread count.
+    pub fn with_worker_threads(mut self, workers: usize) -> Self {
+        self.worker_threads = workers;
+        self
+    }
+
+    /// Returns a copy with a different input-queue depth.
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Returns a copy with a different channelizer FIR length. The design
+    /// grid's bin spacing is `wideband_rate / taps`; the transition band
+    /// (≈ 3 bins) must fit inside the inter-channel guard bands.
+    pub fn with_channelizer_taps(mut self, taps: usize) -> Self {
+        self.channelizer_taps = taps;
+        self
+    }
+}
+
+/// One demodulated packet attributed to the channel it arrived on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatewayPacket {
+    /// The [`GatewayChannel::id`] of the channel the packet was decoded on.
+    pub channel: u8,
+    /// The demodulation result. Times are seconds from the start of that
+    /// channel's (decimated) stream, which shares its origin with the
+    /// wideband stream.
+    pub result: DemodResult,
+}
+
+/// A chunk of work sent to a worker thread.
+enum Job {
+    Chunk(Arc<Vec<Iq>>),
+    Flush,
+}
+
+/// Progress report for one channel after one processed job.
+struct ChannelReport {
+    /// Index of the channel in [`GatewayConfig::channels`].
+    index: usize,
+    /// Packets that completed within the job.
+    packets: Vec<DemodResult>,
+    /// Channel stream time (seconds) consumed so far; `f64::INFINITY` once
+    /// the channel has been flushed.
+    acked_time: f64,
+}
+
+/// A pending packet in the merge heap, ordered by (payload start, channel).
+struct MergeEntry {
+    start: f64,
+    channel: u8,
+    result: DemodResult,
+}
+
+impl PartialEq for MergeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.start.total_cmp(&other.start).is_eq() && self.channel == other.channel
+    }
+}
+
+impl Eq for MergeEntry {}
+
+impl PartialOrd for MergeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MergeEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed so the BinaryHeap (a max-heap) pops the earliest packet.
+        other
+            .start
+            .total_cmp(&self.start)
+            .then(other.channel.cmp(&self.channel))
+    }
+}
+
+/// One worker's pipeline for one channel.
+struct ChannelPipeline {
+    index: usize,
+    channel_rate: f64,
+    channelizer: ChannelizerState,
+    demod: StreamingDemodulator,
+}
+
+/// The running multi-channel gateway. See the [module docs](self).
+///
+/// Feed wideband chunks with [`Gateway::push_chunk`]; packets whose ordering
+/// is settled are returned as they become available. Call
+/// [`Gateway::finish`] to flush the stream and collect the remainder.
+///
+/// ```
+/// use lora_phy::modulator::{Alphabet, Modulator};
+/// use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+/// use rfsim::channel::dbm_to_buffer_power;
+/// use rfsim::units::Dbm;
+/// use saiyan::gateway::{Gateway, GatewayConfig};
+/// use saiyan::{SaiyanConfig, StreamingDemodulator, Variant};
+///
+/// let lora = LoraParams::new(
+///     SpreadingFactor::Sf7,
+///     Bandwidth::Khz500,
+///     BitsPerChirp::new(2).unwrap(),
+/// );
+/// let config = SaiyanConfig::paper_default(lora, Variant::Vanilla);
+/// let symbols = vec![3u32, 1, 0, 2];
+/// let (trace, _) = Modulator::new(lora)
+///     .packet_with_guard(&symbols, Alphabet::Downlink, 3)
+///     .unwrap();
+/// let trace = trace.scaled(dbm_to_buffer_power(Dbm(-50.0)).sqrt());
+///
+/// // An N = 1 gateway is bit-identical to the plain streaming receiver.
+/// let mut gateway = Gateway::new(GatewayConfig::single_channel(config.clone(), symbols.len()));
+/// let mut packets = Vec::new();
+/// for chunk in trace.samples.chunks(4096) {
+///     packets.extend(gateway.push_chunk(chunk));
+/// }
+/// packets.extend(gateway.finish());
+/// let reference = StreamingDemodulator::new(config, symbols.len()).run_to_end(&trace);
+/// assert_eq!(packets.len(), 1);
+/// assert_eq!(packets[0].result, reference[0]);
+/// assert_eq!(packets[0].result.symbols, symbols);
+/// ```
+pub struct Gateway {
+    wideband_rate: f64,
+    channel_ids: Vec<u8>,
+    /// Release horizon (seconds): no channel can still produce a packet whose
+    /// payload started more than this far behind its consumed stream time.
+    horizon: f64,
+    inputs: Vec<mpsc::SyncSender<Job>>,
+    reports: mpsc::Receiver<ChannelReport>,
+    handles: Vec<JoinHandle<()>>,
+    /// Per-channel consumed stream time (seconds).
+    acked: Vec<f64>,
+    heap: BinaryHeap<MergeEntry>,
+}
+
+impl Gateway {
+    /// Builds the gateway and spawns its worker pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent: no channels, duplicate
+    /// channel ids, a wideband rate that is not an integer multiple of some
+    /// channel rate, or a channel whose content falls outside the wideband
+    /// Nyquist range.
+    pub fn new(config: GatewayConfig) -> Self {
+        assert!(!config.channels.is_empty(), "gateway needs channels");
+        assert!(config.wideband_rate > 0.0, "wideband rate must be positive");
+        let mut ids: Vec<u8> = config.channels.iter().map(|c| c.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(
+            ids.len(),
+            config.channels.len(),
+            "channel ids must be unique"
+        );
+
+        let mut horizon: f64 = 0.0;
+        let mut pipelines = Vec::with_capacity(config.channels.len());
+        for (index, ch) in config.channels.iter().enumerate() {
+            let channel_rate = ch.config.lora.sample_rate();
+            let ratio = config.wideband_rate / channel_rate;
+            let decimation = ratio.round() as usize;
+            assert!(
+                decimation >= 1 && (ratio - decimation as f64).abs() < 1e-6,
+                "wideband rate {} is not an integer multiple of channel {} rate {}",
+                config.wideband_rate,
+                ch.id,
+                channel_rate
+            );
+            let bw = ch.config.lora.bw.hz();
+            let nyquist = config.wideband_rate / 2.0;
+            assert!(
+                ch.offset_hz >= -nyquist && ch.offset_hz + bw <= nyquist,
+                "channel {} content [{}, {}] Hz falls outside the wideband Nyquist range ±{}",
+                ch.id,
+                ch.offset_hz,
+                ch.offset_hz + bw,
+                nyquist
+            );
+            let spec = if ch.offset_hz == 0.0 && decimation == 1 {
+                ChannelizerSpec::passthrough()
+            } else {
+                ChannelizerSpec::for_channel(ch.offset_hz, bw, decimation)
+                    .with_taps(config.channelizer_taps)
+            };
+            let t_sym = ch.config.lora.symbol_duration();
+            horizon = horizon.max((ch.payload_symbols as f64 + 4.0) * t_sym);
+            pipelines.push(ChannelPipeline {
+                index,
+                channel_rate,
+                channelizer: spec.streaming(config.wideband_rate),
+                demod: StreamingDemodulator::new(ch.config.clone(), ch.payload_symbols),
+            });
+        }
+
+        let n_channels = pipelines.len();
+        let n_workers = if config.worker_threads == 0 {
+            n_channels
+        } else {
+            config.worker_threads.min(n_channels)
+        };
+        // Round-robin channel assignment: worker w gets channels w, w + W, …
+        let mut per_worker: Vec<Vec<ChannelPipeline>> =
+            (0..n_workers).map(|_| Vec::new()).collect();
+        for (i, p) in pipelines.into_iter().enumerate() {
+            per_worker[i % n_workers].push(p);
+        }
+
+        let (report_tx, report_rx) = mpsc::channel();
+        let mut inputs = Vec::with_capacity(n_workers);
+        let mut handles = Vec::with_capacity(n_workers);
+        for worker_pipelines in per_worker {
+            let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+            let tx = report_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                worker_loop(worker_pipelines, &job_rx, &tx);
+            }));
+            inputs.push(job_tx);
+        }
+
+        Gateway {
+            wideband_rate: config.wideband_rate,
+            channel_ids: config.channels.iter().map(|c| c.id).collect(),
+            horizon,
+            inputs,
+            reports: report_rx,
+            handles,
+            acked: vec![0.0; n_channels],
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// The wideband input sample rate (Hz).
+    pub fn wideband_rate(&self) -> f64 {
+        self.wideband_rate
+    }
+
+    /// Number of channels served.
+    pub fn channel_count(&self) -> usize {
+        self.channel_ids.len()
+    }
+
+    /// Pushes one wideband chunk and returns the packets whose position in
+    /// the merged stream is now settled (possibly none — they keep
+    /// accumulating until every channel has caught up past them).
+    pub fn push_chunk(&mut self, chunk: &[Iq]) -> Vec<GatewayPacket> {
+        if chunk.is_empty() {
+            return Vec::new();
+        }
+        let shared = Arc::new(chunk.to_vec());
+        for tx in &self.inputs {
+            tx.send(Job::Chunk(Arc::clone(&shared)))
+                .expect("gateway worker exited unexpectedly");
+        }
+        while let Ok(report) = self.reports.try_recv() {
+            self.integrate(report);
+        }
+        self.release(false)
+    }
+
+    /// Pushes a [`SampleBuffer`], checking its rate against the wideband
+    /// rate.
+    pub fn push_buffer(&mut self, buffer: &SampleBuffer) -> Vec<GatewayPacket> {
+        assert!(
+            (buffer.sample_rate - self.wideband_rate).abs() < 1e-6,
+            "buffer rate {} does not match the wideband rate {}",
+            buffer.sample_rate,
+            self.wideband_rate
+        );
+        self.push_chunk(&buffer.samples)
+    }
+
+    /// Flushes every channel, joins the worker pool and returns the
+    /// remaining packets in merged order.
+    pub fn finish(mut self) -> Vec<GatewayPacket> {
+        for tx in &self.inputs {
+            tx.send(Job::Flush)
+                .expect("gateway worker exited unexpectedly");
+        }
+        while self.acked.iter().any(|a| a.is_finite()) {
+            match self.reports.recv() {
+                Ok(report) => self.integrate(report),
+                Err(_) => break,
+            }
+        }
+        for handle in self.handles.drain(..) {
+            handle.join().expect("gateway worker panicked");
+        }
+        self.release(true)
+    }
+
+    /// Convenience: streams a whole wideband trace through a fresh gateway
+    /// in `chunk_samples`-sized chunks and flushes.
+    pub fn run_trace(
+        config: GatewayConfig,
+        trace: &SampleBuffer,
+        chunk_samples: usize,
+    ) -> Vec<GatewayPacket> {
+        let mut gateway = Gateway::new(config);
+        assert!(
+            (trace.sample_rate - gateway.wideband_rate).abs() < 1e-6,
+            "trace rate {} does not match the wideband rate {}",
+            trace.sample_rate,
+            gateway.wideband_rate
+        );
+        let mut out = Vec::new();
+        for chunk in trace.samples.chunks(chunk_samples.max(1)) {
+            out.extend(gateway.push_chunk(chunk));
+        }
+        out.extend(gateway.finish());
+        out
+    }
+
+    /// Folds one worker report into the merge state.
+    fn integrate(&mut self, report: ChannelReport) {
+        let channel = self.channel_ids[report.index];
+        for result in report.packets {
+            self.heap.push(MergeEntry {
+                start: result.payload_start_time,
+                channel,
+                result,
+            });
+        }
+        self.acked[report.index] = self.acked[report.index].max(report.acked_time);
+    }
+
+    /// Pops every packet whose ordering is settled: all channels have
+    /// consumed their stream past `start + horizon` (or everything, when
+    /// draining after a flush).
+    fn release(&mut self, drain: bool) -> Vec<GatewayPacket> {
+        let watermark = self.acked.iter().copied().fold(f64::INFINITY, f64::min);
+        let mut out = Vec::new();
+        while let Some(top) = self.heap.peek() {
+            if !drain && top.start + self.horizon > watermark {
+                break;
+            }
+            let entry = self.heap.pop().expect("peeked entry exists");
+            out.push(GatewayPacket {
+                channel: entry.channel,
+                result: entry.result,
+            });
+        }
+        out
+    }
+}
+
+/// The worker thread body: runs its channels' pipelines over every job and
+/// reports per-channel progress.
+fn worker_loop(
+    mut pipelines: Vec<ChannelPipeline>,
+    jobs: &mpsc::Receiver<Job>,
+    reports: &mpsc::Sender<ChannelReport>,
+) {
+    loop {
+        match jobs.recv() {
+            Ok(Job::Chunk(chunk)) => {
+                for p in &mut pipelines {
+                    let baseband = p.channelizer.process_chunk(&chunk);
+                    let packets = p.demod.push_samples(&baseband);
+                    let acked_time = p.demod.samples_consumed() as f64 / p.channel_rate;
+                    if reports
+                        .send(ChannelReport {
+                            index: p.index,
+                            packets,
+                            acked_time,
+                        })
+                        .is_err()
+                    {
+                        return; // gateway dropped without finish()
+                    }
+                }
+            }
+            Ok(Job::Flush) => {
+                for p in &mut pipelines {
+                    let packets = p.demod.finish();
+                    let _ = reports.send(ChannelReport {
+                        index: p.index,
+                        packets,
+                        acked_time: f64::INFINITY,
+                    });
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Variant;
+    use lora_phy::modulator::{Alphabet, Modulator};
+    use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+    use rfsim::channel::dbm_to_buffer_power;
+    use rfsim::units::Dbm;
+
+    fn config(variant: Variant) -> SaiyanConfig {
+        let lora = LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz500,
+            BitsPerChirp::new(2).unwrap(),
+        );
+        SaiyanConfig::paper_default(lora, variant)
+    }
+
+    fn packet_trace(cfg: &SaiyanConfig, symbols: &[u32], rx_power_dbm: f64) -> SampleBuffer {
+        let (wave, _) = Modulator::new(cfg.lora)
+            .packet_with_guard(symbols, Alphabet::Downlink, 3)
+            .unwrap();
+        wave.scaled(dbm_to_buffer_power(Dbm(rx_power_dbm)).sqrt())
+    }
+
+    #[test]
+    fn single_channel_gateway_matches_streaming_demodulator() {
+        let symbols = vec![2u32, 0, 3, 1, 2, 2];
+        for variant in Variant::ALL {
+            let cfg = config(variant);
+            let trace = packet_trace(&cfg, &symbols, -50.0);
+            let reference =
+                StreamingDemodulator::new(cfg.clone(), symbols.len()).run_to_end(&trace);
+            let packets = Gateway::run_trace(
+                GatewayConfig::single_channel(cfg, symbols.len()),
+                &trace,
+                1000,
+            );
+            assert_eq!(packets.len(), reference.len(), "variant {variant:?}");
+            for (p, r) in packets.iter().zip(&reference) {
+                assert_eq!(p.channel, 0);
+                assert_eq!(p.result, *r, "variant {variant:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_chunks_are_harmless() {
+        let cfg = config(Variant::Vanilla);
+        let mut gateway = Gateway::new(GatewayConfig::single_channel(cfg, 4));
+        assert!(gateway.push_chunk(&[]).is_empty());
+        assert!(gateway.finish().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unique")]
+    fn duplicate_channel_ids_are_rejected() {
+        let cfg = config(Variant::Vanilla);
+        let rate = cfg.lora.sample_rate();
+        Gateway::new(GatewayConfig::new(
+            rate,
+            vec![
+                GatewayChannel::new(1, 0.0, cfg.clone(), 4),
+                GatewayChannel::new(1, 0.0, cfg, 4),
+            ],
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "integer multiple")]
+    fn non_integer_decimation_is_rejected() {
+        let cfg = config(Variant::Vanilla);
+        let rate = cfg.lora.sample_rate() * 1.5;
+        Gateway::new(GatewayConfig::new(
+            rate,
+            vec![GatewayChannel::new(0, 0.0, cfg, 4)],
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn out_of_band_channel_is_rejected() {
+        let cfg = config(Variant::Vanilla);
+        let rate = cfg.lora.sample_rate() * 2.0;
+        Gateway::new(GatewayConfig::new(
+            rate,
+            vec![GatewayChannel::new(0, rate, cfg, 4)],
+        ));
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`demodulator`] — the assembled end-to-end receiver;
 //! * [`streaming`] — the chunked streaming receiver for unbounded,
 //!   multi-packet sample streams;
+//! * [`gateway`] — the multi-channel streaming gateway: a wideband
+//!   channelizer feeding a bank of streaming demodulators on a worker pool,
+//!   merged into one time-ordered packet stream;
 //! * [`sensitivity`] — calibrated RSS→BER link-abstraction models;
 //! * [`metrics`] — BER / throughput / PRR counting;
 //! * [`power`] — tag-level power accounting (PCB and ASIC budgets).
@@ -30,6 +33,7 @@ pub mod demodulator;
 pub mod duty;
 pub mod error;
 pub mod frontend;
+pub mod gateway;
 pub mod metrics;
 pub mod power;
 pub mod sampler;
@@ -45,6 +49,7 @@ pub use demodulator::{DemodResult, SaiyanDemodulator};
 pub use duty::DutyCycleSchedule;
 pub use error::SaiyanError;
 pub use frontend::{Frontend, StreamingFrontend};
+pub use gateway::{Gateway, GatewayChannel, GatewayConfig, GatewayPacket};
 pub use metrics::{
     packet_error_rate, throughput_bps, throughput_from_ber, ErrorCounts, DEMODULATION_BER_THRESHOLD,
 };

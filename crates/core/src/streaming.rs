@@ -74,6 +74,12 @@ struct ThresholdTracker {
     seed_alpha: f64,
     gap_amp: f64,
     quiet_gap_amp: f64,
+    /// Cap on the hysteresis span `U_H − U_L` as a fraction of the held peak
+    /// (see [`crate::config::SaiyanConfig::comparator_hysteresis`]).
+    hysteresis: f64,
+    /// Peak/median multiple that declares a packet onset (see
+    /// [`crate::config::SaiyanConfig::activity_ratio`]).
+    activity_ratio: f64,
 }
 
 impl ThresholdTracker {
@@ -88,13 +94,13 @@ impl ThresholdTracker {
     /// candidate search (which then holds the comparator active). One
     /// percent of the peak per symbol keeps that window ~10 symbols wide.
     const MEDIAN_STEP_PER_SYMBOL: f64 = 0.01;
-    /// A packet onset is declared once the held peak exceeds this multiple
-    /// of the median envelope magnitude. At onset the ratio jumps to tens of
-    /// dB (the median still sits at the pre-packet floor); for noise it
-    /// stays within a few dB.
-    const ACTIVITY_RATIO: f64 = 8.0;
-
-    fn new(gap_db: f64, sample_rate: f64, symbol_duration: f64) -> Self {
+    fn new(
+        gap_db: f64,
+        hysteresis: f64,
+        activity_ratio: f64,
+        sample_rate: f64,
+        symbol_duration: f64,
+    ) -> Self {
         let samples_per_symbol = sample_rate * symbol_duration;
         ThresholdTracker {
             peak: 0.0,
@@ -108,6 +114,8 @@ impl ThresholdTracker {
             seed_alpha: 0.01,
             gap_amp: 10f64.powf(gap_db / 20.0),
             quiet_gap_amp: 10f64.powf(1.0 / 20.0),
+            hysteresis,
+            activity_ratio,
         }
     }
 
@@ -142,7 +150,11 @@ impl ThresholdTracker {
         // set the peak hold, so `U_H` sits far above the noise it came from.
         // While the median is still being seeded it is not a valid noise
         // reference, so no onset can be declared.
-        let onset = self.seed_remaining == 0 && self.peak > Self::ACTIVITY_RATIO * self.median;
+        // A packet onset is declared once the held peak exceeds the
+        // configured multiple of the median envelope magnitude. At onset the
+        // ratio jumps well clear of it (the median still sits at the
+        // pre-packet floor); for noise it stays within a few dB.
+        let onset = self.seed_remaining == 0 && self.peak > self.activity_ratio * self.median;
         if onset {
             self.dwell_remaining = self.dwell_samples;
         } else {
@@ -155,7 +167,9 @@ impl ThresholdTracker {
             // Parked strictly above the running peak: silent by construction.
             self.peak * self.quiet_gap_amp
         };
-        let floor_param = (self.peak - self.median).min(self.peak * 0.5).max(0.0);
+        let floor_param = (self.peak - self.median)
+            .min(self.peak * self.hysteresis)
+            .max(0.0);
         let low = (high - floor_param).max(high * 0.1);
         Thresholds { high, low }
     }
@@ -180,6 +194,36 @@ enum RxState {
 /// *stream* (not of any individual chunk). The expected payload length is
 /// fixed per stream, as in the paper's evaluation (the downlink has no length
 /// field — the tag knows its frame format).
+///
+/// ```
+/// use lora_phy::modulator::{Alphabet, Modulator};
+/// use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+/// use rfsim::channel::dbm_to_buffer_power;
+/// use rfsim::units::Dbm;
+/// use saiyan::{SaiyanConfig, StreamingDemodulator, Variant};
+///
+/// let lora = LoraParams::new(
+///     SpreadingFactor::Sf7,
+///     Bandwidth::Khz500,
+///     BitsPerChirp::new(2).unwrap(),
+/// );
+/// let config = SaiyanConfig::paper_default(lora, Variant::WithShifting);
+/// let symbols = vec![3u32, 1, 0, 2];
+/// let (trace, _) = Modulator::new(lora)
+///     .packet_with_guard(&symbols, Alphabet::Downlink, 3)
+///     .unwrap();
+/// let trace = trace.scaled(dbm_to_buffer_power(Dbm(-50.0)).sqrt());
+///
+/// // Push the stream in arbitrary chunks; packets fall out as they complete.
+/// let mut demod = StreamingDemodulator::new(config, symbols.len());
+/// let mut packets = Vec::new();
+/// for chunk in trace.samples.chunks(777) {
+///     packets.extend(demod.push_samples(chunk));
+/// }
+/// packets.extend(demod.finish()); // flush a packet cut at stream end
+/// assert_eq!(packets.len(), 1);
+/// assert_eq!(packets[0].symbols, symbols);
+/// ```
 #[derive(Debug, Clone)]
 pub struct StreamingDemodulator {
     config: SaiyanConfig,
@@ -228,8 +272,17 @@ impl StreamingDemodulator {
             * t_sym
             * sampler_rate)
             .ceil() as usize;
-        let frontend = Frontend::paper(&config).streaming(sample_rate);
-        let tracker = ThresholdTracker::new(config.threshold_gap_db, sample_rate, t_sym);
+        let saw_taps = config
+            .streaming_saw_taps
+            .unwrap_or(Frontend::STREAMING_SAW_TAPS);
+        let frontend = Frontend::paper(&config).streaming_with_taps(sample_rate, saw_taps);
+        let tracker = ThresholdTracker::new(
+            config.threshold_gap_db,
+            config.comparator_hysteresis,
+            config.activity_ratio,
+            sample_rate,
+            t_sym,
+        );
         let decoder = PeakDecoder::new(config.lora);
         let correlator = if config.variant.uses_correlation() {
             Some(Correlator::from_config(&config))
@@ -399,11 +452,14 @@ impl StreamingDemodulator {
             return;
         }
         let edges: Vec<f64> = self.edges.iter().copied().collect();
-        if let Some((start, count)) = self.decoder.longest_regular_train(&edges) {
+        if let Some((anchor, count)) = self.decoder.preamble_anchor(&edges) {
             if count >= self.decoder.min_preamble_peaks() {
-                let timing = self.decoder.timing_from_first_peak(edges[start], count);
+                let timing = self.decoder.timing_from_first_peak(anchor, count);
                 let t_sym = self.config.lora.symbol_duration();
-                let deadline = timing.payload_start + (self.payload_symbols as f64 + 1.0) * t_sym;
+                // Two symbols of slack: one for the decode itself, one for
+                // the refinement in `decode_packet` shifting the payload
+                // window later than this live estimate.
+                let deadline = timing.payload_start + (self.payload_symbols as f64 + 2.0) * t_sym;
                 self.state = RxState::Collecting {
                     candidate: timing,
                     deadline,
@@ -447,11 +503,31 @@ impl StreamingDemodulator {
             RxState::Searching => return None,
         };
         let stream = self.window_stream();
-        // Re-run the batch preamble detector over the completed window: it
-        // sees the full peak train (the live candidate fired after the
-        // minimum five), which refines both the timing and the peak count.
-        let timing = self.decoder.detect_preamble(&stream).unwrap_or(candidate);
         let t_sym = self.config.lora.symbol_duration();
+        // Refine the candidate timing against the *preamble region* of the
+        // retained edges: the live candidate fired after the minimum five
+        // peaks, and the full train sharpens both the timing and the peak
+        // count. The refinement must not re-search the whole window — a
+        // payload with repeated symbols peaks at exact symbol spacing and
+        // can form a regular train at least as long as the preamble's, which
+        // would hijack the timing by several symbols.
+        let refined = {
+            let lo = candidate.preamble_start - 0.5 * t_sym;
+            // The sync down-chirps start at full amplitude, so their falling
+            // edges trail the last preamble peak; stop short of them.
+            let hi = candidate.payload_start - 1.75 * t_sym;
+            let preamble_edges: Vec<f64> = self
+                .edges
+                .iter()
+                .copied()
+                .filter(|&e| e >= lo && e <= hi)
+                .collect();
+            self.decoder
+                .preamble_anchor(&preamble_edges)
+                .filter(|(_, count)| *count >= self.decoder.min_preamble_peaks())
+                .map(|(anchor, count)| self.decoder.timing_from_first_peak(anchor, count))
+        };
+        let timing = refined.unwrap_or(candidate);
         let n_symbols = self.payload_symbols;
         let peak_decisions = self
             .decoder

@@ -21,6 +21,50 @@ struct TagRecord {
     last_margin_db: Option<f64>,
     /// Payloads received in order of arrival.
     received: Vec<(u8, Vec<u8>)>,
+    /// Sequence number the gateway ingest path expects next (None until the
+    /// first frame arrives). Deliberately separate from the
+    /// [`ArqTracker`]'s internal expectation: the tracker rewinds on every
+    /// recorded loss/reception (its legacy callers feed it in order), while
+    /// this expectation must only move *forward* — the ARQ loop itself
+    /// delivers replayed old frames, which must not rewind it (see
+    /// [`AccessPoint::ingest_frame`]).
+    next_expected: Option<u8>,
+    /// Delivery statistics maintained by the gateway ingest path.
+    stats: TagStats,
+}
+
+/// Per-tag delivery statistics, updated by [`AccessPoint::ingest_frame`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TagStats {
+    /// Well-formed frames ingested from this tag (data + ACKs, excluding
+    /// duplicates).
+    pub frames: u64,
+    /// Duplicate data frames (same sequence seen again, e.g. after a
+    /// retransmission raced the original).
+    pub duplicates: u64,
+    /// ACK frames among the ingested ones.
+    pub acks: u64,
+    /// Sequence numbers detected as skipped (each counted once when the gap
+    /// behind it is first observed).
+    pub losses_detected: u64,
+    /// Channel the tag's most recent frame arrived on.
+    pub last_channel: Option<u8>,
+    /// Stream time (seconds) of the most recent frame.
+    pub last_time: Option<f64>,
+}
+
+/// What [`AccessPoint::ingest_frame`] did with one decoded frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// The tag the frame came from.
+    pub tag: TagId,
+    /// The frame's sequence number.
+    pub sequence: u8,
+    /// Whether this data frame repeated an already-received sequence.
+    pub duplicate: bool,
+    /// Retransmission requests to send for sequences the frame revealed as
+    /// skipped (at most [`AccessPoint::MAX_SEQUENCE_GAP`], budget allowing).
+    pub retransmission_requests: Vec<DownlinkPacket>,
 }
 
 /// The access-point MAC session.
@@ -60,6 +104,8 @@ impl AccessPoint {
                     tracker: ArqTracker::new(tag, self.max_retries),
                     last_margin_db: None,
                     received: Vec::new(),
+                    next_expected: None,
+                    stats: TagStats::default(),
                 },
             ));
         }
@@ -131,6 +177,132 @@ impl AccessPoint {
                 addressing: Addressing::Unicast(tag),
                 command: Command::Retransmit { sequence },
             })
+    }
+
+    /// Largest run of skipped sequence numbers [`Self::ingest_frame`] treats
+    /// as losses. A forward jump beyond it reads as a tag reset, not a loss
+    /// burst, and simply resynchronises the expectation.
+    pub const MAX_SEQUENCE_GAP: u8 = 8;
+
+    /// How far *behind* the expectation a frame may arrive and still be
+    /// treated as a replay (retransmission or duplicate) rather than a tag
+    /// reset. Covers the deepest retransmission backlog the gap window plus
+    /// retry budget can produce.
+    pub const REPLAY_WINDOW: u8 = 16;
+
+    /// Ingests one decoded uplink frame delivered by the multi-channel
+    /// gateway: parses the wire bytes, updates per-tag statistics, detects
+    /// skipped sequence numbers and turns them into retransmission requests
+    /// (budget allowing).
+    ///
+    /// `channel` is the gateway channel the frame arrived on and `time` its
+    /// payload start in stream seconds — both recorded in [`TagStats`].
+    ///
+    /// ```
+    /// use saiyan_mac::{AccessPoint, ChannelTable, Command, TagId, UplinkPacket};
+    ///
+    /// let mut ap = AccessPoint::new(ChannelTable::paper_433mhz(), 0, 2).unwrap();
+    /// let frame = |seq| UplinkPacket {
+    ///     source: TagId(7),
+    ///     sequence: seq,
+    ///     is_ack: false,
+    ///     payload: vec![seq],
+    /// };
+    /// ap.ingest_frame(1, 0.10, &frame(0).to_bytes()).unwrap();
+    /// // Sequence 1 never arrives; the jump to 2 reveals the loss.
+    /// let report = ap.ingest_frame(1, 0.25, &frame(2).to_bytes()).unwrap();
+    /// assert_eq!(report.retransmission_requests.len(), 1);
+    /// assert!(matches!(
+    ///     report.retransmission_requests[0].command,
+    ///     Command::Retransmit { sequence: 1 }
+    /// ));
+    /// assert_eq!(ap.tag_stats(TagId(7)).unwrap().frames, 2);
+    /// assert_eq!(ap.tag_stats(TagId(7)).unwrap().losses_detected, 1);
+    /// ```
+    pub fn ingest_frame(
+        &mut self,
+        channel: u8,
+        time: f64,
+        bytes: &[u8],
+    ) -> Result<IngestReport, MacError> {
+        let packet = UplinkPacket::from_bytes(bytes)?;
+        let tag = packet.source;
+        self.register_tag(tag);
+        // Sequence-gap detection against the per-tag expectation. The
+        // expectation only ever moves forward: a frame *behind* it (within
+        // the replay window) is a retransmission or duplicate — exactly what
+        // the ARQ requests this method issues will deliver — and must not
+        // rewind it, or the next in-order frame would read as a fresh gap
+        // and trigger spurious loss reports. Only a jump beyond both
+        // windows (a tag reset) resynchronises.
+        let record = self.record(tag).expect("registered above");
+        let mut missing = Vec::new();
+        match record.next_expected {
+            None => record.next_expected = Some(packet.sequence.wrapping_add(1)),
+            Some(expected) => {
+                let forward = packet.sequence.wrapping_sub(expected);
+                let backward = expected.wrapping_sub(packet.sequence);
+                if forward <= Self::MAX_SEQUENCE_GAP {
+                    for d in 0..forward {
+                        missing.push(expected.wrapping_add(d));
+                    }
+                    record.next_expected = Some(packet.sequence.wrapping_add(1));
+                } else if backward <= Self::REPLAY_WINDOW {
+                    // An old frame replayed: keep the expectation.
+                } else {
+                    record.next_expected = Some(packet.sequence.wrapping_add(1));
+                }
+            }
+        }
+        let duplicate = !packet.is_ack
+            && record
+                .received
+                .iter()
+                .any(|(seq, _)| *seq == packet.sequence);
+        record.stats.frames += 1;
+        if duplicate {
+            record.stats.frames -= 1;
+            record.stats.duplicates += 1;
+        }
+        if packet.is_ack {
+            record.stats.acks += 1;
+        }
+        record.stats.losses_detected += missing.len() as u64;
+        record.stats.last_channel = Some(channel);
+        record.stats.last_time = Some(time);
+        // Record the reception (clears any outstanding loss on its sequence)
+        // and raise one request per sequence the gap revealed as skipped.
+        self.on_uplink(&packet);
+        let record = self.record(tag).expect("registered above");
+        let mut requests = Vec::new();
+        for seq in missing {
+            record.tracker.record_loss(seq);
+            if record.tracker.request_for(seq) {
+                requests.push(DownlinkPacket {
+                    addressing: Addressing::Unicast(tag),
+                    command: Command::Retransmit { sequence: seq },
+                });
+            }
+        }
+        Ok(IngestReport {
+            tag,
+            sequence: packet.sequence,
+            duplicate,
+            retransmission_requests: requests,
+        })
+    }
+
+    /// Delivery statistics for a tag, if it has been seen.
+    pub fn tag_stats(&self, tag: TagId) -> Option<&TagStats> {
+        self.tags
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .map(|(_, r)| &r.stats)
+    }
+
+    /// Iterates over every known tag and its delivery statistics.
+    pub fn all_tag_stats(&self) -> impl Iterator<Item = (TagId, &TagStats)> {
+        self.tags.iter().map(|(t, r)| (*t, &r.stats))
     }
 
     /// Records a spectrum measurement and returns the hop command to broadcast
@@ -237,6 +409,101 @@ mod tests {
         assert_eq!(ap.commanded_rate(tag).bits(), 5);
         // No change on a repeat measurement.
         assert!(ap.on_link_measurement(tag, 14.0).is_none());
+    }
+
+    fn frame(tag: u16, seq: u8, is_ack: bool) -> Vec<u8> {
+        UplinkPacket {
+            source: TagId(tag),
+            sequence: seq,
+            is_ack,
+            payload: vec![seq],
+        }
+        .to_bytes()
+    }
+
+    #[test]
+    fn ingest_tracks_stats_and_requests_skipped_sequences() {
+        let mut ap = ap();
+        ap.ingest_frame(2, 0.1, &frame(5, 0, false)).unwrap();
+        ap.ingest_frame(2, 0.2, &frame(5, 1, false)).unwrap();
+        // Sequences 2 and 3 are lost; 4 reveals the gap.
+        let report = ap.ingest_frame(3, 0.5, &frame(5, 4, false)).unwrap();
+        assert_eq!(report.tag, TagId(5));
+        assert!(!report.duplicate);
+        let sequences: Vec<u8> = report
+            .retransmission_requests
+            .iter()
+            .map(|r| match r.command {
+                Command::Retransmit { sequence } => sequence,
+                other => panic!("unexpected command {other:?}"),
+            })
+            .collect();
+        assert_eq!(sequences, vec![2, 3]);
+        let stats = ap.tag_stats(TagId(5)).unwrap();
+        assert_eq!(stats.frames, 3);
+        assert_eq!(stats.losses_detected, 2);
+        assert_eq!(stats.last_channel, Some(3));
+        assert_eq!(stats.last_time, Some(0.5));
+        assert_eq!(ap.all_tag_stats().count(), 1);
+    }
+
+    #[test]
+    fn ingest_counts_duplicates_and_acks_separately() {
+        let mut ap = ap();
+        ap.ingest_frame(0, 0.1, &frame(9, 7, false)).unwrap();
+        // The same data sequence again is a duplicate, not a new frame...
+        let report = ap.ingest_frame(0, 0.2, &frame(9, 7, false)).unwrap();
+        assert!(report.duplicate);
+        // ...and an ACK counts as a frame but never as a duplicate.
+        ap.ingest_frame(0, 0.3, &frame(9, 8, true)).unwrap();
+        let stats = ap.tag_stats(TagId(9)).unwrap();
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(stats.acks, 1);
+        assert_eq!(ap.received_from(TagId(9)).len(), 1);
+    }
+
+    #[test]
+    fn ingest_replayed_frames_do_not_rewind_the_expectation() {
+        let mut ap = ap();
+        ap.ingest_frame(0, 0.1, &frame(5, 0, false)).unwrap();
+        ap.ingest_frame(0, 0.2, &frame(5, 1, false)).unwrap();
+        // Sequence 2 is lost; 3 reveals the gap and requests it.
+        let report = ap.ingest_frame(0, 0.3, &frame(5, 3, false)).unwrap();
+        assert_eq!(report.retransmission_requests.len(), 1);
+        // The tag replays sequence 2 — an old frame. It must be accepted
+        // without rewinding the expectation.
+        let report = ap.ingest_frame(0, 0.4, &frame(5, 2, false)).unwrap();
+        assert!(!report.duplicate);
+        assert!(report.retransmission_requests.is_empty());
+        // The next in-order frame is NOT a fresh gap: no spurious losses.
+        let report = ap.ingest_frame(0, 0.5, &frame(5, 4, false)).unwrap();
+        assert!(report.retransmission_requests.is_empty());
+        let stats = ap.tag_stats(TagId(5)).unwrap();
+        assert_eq!(stats.losses_detected, 1);
+        assert_eq!(stats.duplicates, 0);
+        assert_eq!(ap.received_from(TagId(5)).len(), 5);
+        assert!(ap.next_retransmission_request(TagId(5)).is_none());
+    }
+
+    #[test]
+    fn ingest_treats_large_jumps_as_resets() {
+        let mut ap = ap();
+        ap.ingest_frame(0, 0.1, &frame(1, 0, false)).unwrap();
+        // A jump past MAX_SEQUENCE_GAP resynchronises without loss reports.
+        let report = ap.ingest_frame(0, 0.2, &frame(1, 200, false)).unwrap();
+        assert!(report.retransmission_requests.is_empty());
+        assert_eq!(ap.tag_stats(TagId(1)).unwrap().losses_detected, 0);
+        // The expectation continues from the new sequence.
+        let report = ap.ingest_frame(0, 0.3, &frame(1, 202, false)).unwrap();
+        assert_eq!(report.retransmission_requests.len(), 1);
+    }
+
+    #[test]
+    fn ingest_rejects_malformed_frames() {
+        let mut ap = ap();
+        assert!(ap.ingest_frame(0, 0.0, &[1, 2]).is_err());
+        assert_eq!(ap.tag_count(), 0);
     }
 
     #[test]

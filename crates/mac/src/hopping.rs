@@ -44,6 +44,30 @@ impl ChannelTable {
 
 /// Access-point-side hopping controller: tracks the interference level per
 /// channel and decides when and where to hop.
+///
+/// The channel-hopping case study (`examples/channel_hopping.rs`): a jammer
+/// appears on the tag's channel, the access point notices and broadcasts a
+/// hop command, and the tag — able to demodulate it thanks to Saiyan —
+/// follows:
+///
+/// ```
+/// use saiyan_mac::{ChannelTable, Command, HoppingController, TagChannelState, TagId};
+///
+/// let table = ChannelTable::paper_433mhz();
+/// let mut controller = HoppingController::new(table.clone(), 2, -70.0).unwrap();
+/// let mut tag = TagChannelState::new(TagId(1), table, 2).unwrap();
+/// assert_eq!(tag.frequency(), 434.0e6);
+///
+/// for ch in 0..5u8 {
+///     controller.record_interference(ch, -95.0).unwrap();
+/// }
+/// controller.record_interference(2, -42.0).unwrap(); // jammer appears
+/// let packet = controller.maybe_hop().expect("current channel is jammed");
+/// assert!(matches!(packet.command, Command::ChannelHop { .. }));
+/// assert!(tag.apply(&packet).unwrap());
+/// assert_ne!(tag.frequency(), 434.0e6);
+/// assert_eq!(tag.current, controller.current);
+/// ```
 #[derive(Debug, Clone)]
 pub struct HoppingController {
     /// The channel table.

@@ -24,7 +24,7 @@ pub mod retransmission;
 pub mod tag;
 
 pub use aloha::{analytic_success_probability, simulate_round, AlohaRound, AlohaState};
-pub use ap::AccessPoint;
+pub use ap::{AccessPoint, IngestReport, TagStats};
 pub use error::MacError;
 pub use hopping::{ChannelTable, HoppingController, TagChannelState};
 pub use packet::{Addressing, Command, DownlinkPacket, TagId, UplinkPacket};

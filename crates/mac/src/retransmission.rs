@@ -115,6 +115,20 @@ impl ArqTracker {
         None
     }
 
+    /// Requests a retransmission of one specific sequence: returns `true`
+    /// (and increments its retry counter) if it is outstanding and under its
+    /// retry budget. Used by the gateway ingest path, which learns about
+    /// several distinct losses at once and wants one request per sequence.
+    pub fn request_for(&mut self, seq: u8) -> bool {
+        for (s, tries) in self.outstanding.iter_mut() {
+            if *s == seq && *tries < self.max_retries {
+                *tries += 1;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Sequence numbers that were lost and exhausted their retries.
     pub fn given_up(&self) -> Vec<u8> {
         self.outstanding

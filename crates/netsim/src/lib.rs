@@ -9,6 +9,8 @@
 //!   waveform);
 //! * [`longtrace`] — long multi-packet IQ traces for the streaming receiver
 //!   and the golden-fixture serialisation behind `tests/golden_traces.rs`;
+//! * [`multichannel`] — multi-tag, multi-channel wideband traces (per-tag
+//!   hopping schedules, per-packet power/CFO) for the gateway;
 //! * [`backscatter`] — the two-hop backscatter uplink (Fig. 2);
 //! * [`casestudy`] — retransmission, channel hopping and multi-tag ALOHA
 //!   case studies (Figs. 26/27, §4.4);
@@ -24,6 +26,7 @@ pub mod backscatter;
 pub mod casestudy;
 pub mod event;
 pub mod longtrace;
+pub mod multichannel;
 pub mod range;
 pub mod scenario;
 pub mod trial;
@@ -37,6 +40,10 @@ pub use event::{DeploymentConfig, DeploymentSim, DeploymentStats};
 pub use longtrace::{
     generate_long_trace, golden_fixture_set, random_payloads, GoldenFixture, LongTraceConfig,
     TraceGroundTruth, TracePacket,
+};
+pub use multichannel::{
+    generate_multichannel_trace, hopping_traffic, HoppingTrafficConfig, MultiChannelConfig,
+    MultiChannelPacket, MultiChannelTruth,
 };
 pub use range::{demodulation_range, detection_range, paper_demodulation_range};
 pub use scenario::Scenario;

@@ -3,6 +3,9 @@
 //! which the tag can only obey because Saiyan lets it demodulate the command.
 //!
 //! Run with: `cargo run --release --example channel_hopping`
+//!
+//! The MAC-level jam-and-hop sequence is also a compile-checked doctest on
+//! `saiyan_mac::HoppingController`, so the API it shows cannot drift.
 
 use netsim::{median, ChannelHoppingStudy};
 use saiyan_mac::{ChannelTable, Command, HoppingController, TagChannelState, TagId};

@@ -2,6 +2,9 @@
 //! through the radio channel, and demodulate it on a Saiyan tag.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! The round trip at the heart of this example is also a compile-checked
+//! doctest on `saiyan::SaiyanDemodulator`, so the API it shows cannot drift.
 
 use lora_phy::downlink::{bytes_to_symbols, symbols_for_bytes};
 use lora_phy::modulator::{Alphabet, Modulator};

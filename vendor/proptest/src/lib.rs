@@ -119,7 +119,7 @@ pub mod strategy {
 
     range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
 
-    /// A uniform choice between boxed strategies; built by [`prop_oneof!`].
+    /// A uniform choice between boxed strategies; built by `prop_oneof!`.
     pub struct Union<T> {
         options: Vec<Box<dyn Strategy<Value = T>>>,
     }
@@ -142,7 +142,7 @@ pub mod strategy {
     }
 
     /// Boxes a strategy, erasing its concrete type (helper for
-    /// [`prop_oneof!`]).
+    /// `prop_oneof!`).
     pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = S::Value>>
     where
         S: Strategy + 'static,
@@ -276,7 +276,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by the `vec` function.
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
