@@ -45,17 +45,39 @@ impl Adc {
         self.full_scale / self.levels() as f64
     }
 
+    /// Quantises one voltage into its integer code.
+    #[inline]
+    pub fn quantize(&self, v: f64) -> u32 {
+        let clamped = v.clamp(0.0, self.full_scale);
+        ((clamped / self.lsb()).floor() as u32).min(self.levels() - 1)
+    }
+
     /// Samples and quantises the input, returning integer codes.
     pub fn convert(&self, input: &RealBuffer) -> Vec<u32> {
         let resampled = input.resample_nearest(self.sample_rate);
         resampled
             .samples
             .iter()
-            .map(|&v| {
-                let clamped = v.clamp(0.0, self.full_scale);
-                ((clamped / self.lsb()).floor() as u32).min(self.levels() - 1)
-            })
+            .map(|&v| self.quantize(v))
             .collect()
+    }
+
+    /// Creates a streaming converter for an input stream at `input_rate` Hz:
+    /// conversion instants are fixed on the global input-sample index (tick
+    /// `k` latches the input sample nearest `k / sample_rate`), so chunked
+    /// conversion is bit-identical for any chunking. Matches
+    /// [`Self::convert`] except at a finite buffer's trailing edge, where the
+    /// batch path clamps ticks into the buffer instead of waiting for the
+    /// next sample.
+    pub fn streaming(&self, input_rate: f64) -> AdcState {
+        assert!(input_rate > 0.0, "input rate must be positive");
+        AdcState {
+            adc: *self,
+            input_rate,
+            in_index: 0,
+            next_tick: 0,
+            next_target: 0,
+        }
     }
 
     /// Reconstructs voltages from codes (mid-tread reconstruction).
@@ -69,6 +91,45 @@ impl Adc {
     /// Theoretical signal-to-quantisation-noise ratio for a full-scale sine.
     pub fn sqnr_db(&self) -> f64 {
         6.02 * self.bits as f64 + 1.76
+    }
+}
+
+/// Carried state of a streaming [`Adc`]: the global input index and the next
+/// conversion instant survive across chunk boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdcState {
+    adc: Adc,
+    input_rate: f64,
+    /// Global index of the next input sample.
+    in_index: u64,
+    /// Next conversion tick to emit.
+    next_tick: u64,
+    /// Input index at which that tick latches.
+    next_target: u64,
+}
+
+impl AdcState {
+    /// Converts one chunk of the voltage stream into codes appended to `out`
+    /// (cleared first), advancing the carried conversion clock.
+    pub fn convert_chunk_into(&mut self, chunk: &[f64], out: &mut Vec<u32>) {
+        out.clear();
+        for &v in chunk {
+            while self.next_target == self.in_index {
+                out.push(self.adc.quantize(v));
+                self.next_tick += 1;
+                self.next_target =
+                    (self.next_tick as f64 / self.adc.sample_rate * self.input_rate).round() as u64;
+            }
+            self.in_index += 1;
+        }
+    }
+}
+
+impl crate::stage::BlockStage for AdcState {
+    type In = f64;
+    type Out = u32;
+    fn process_into(&mut self, input: &[f64], out: &mut Vec<u32>) {
+        self.convert_chunk_into(input, out);
     }
 }
 
@@ -118,6 +179,39 @@ mod tests {
         // magnitude more than Saiyan's entire 93.2 µW ASIC budget.
         let adc = Adc::lora_receiver_grade();
         assert!(adc.power_uw > 50.0 * 93.2);
+    }
+
+    #[test]
+    fn streaming_adc_is_chunk_invariant_and_matches_batch_quantisation() {
+        let adc = Adc {
+            bits: 10,
+            full_scale: 1.0,
+            sample_rate: 400.0,
+            power_uw: 1.0,
+        };
+        let input: Vec<f64> = (0..4_000)
+            .map(|i| 0.5 + 0.4 * (0.01 * i as f64).sin())
+            .collect();
+        let mut whole = Vec::new();
+        adc.streaming(1000.0).convert_chunk_into(&input, &mut whole);
+        // One code per 2.5 input samples.
+        assert_eq!(whole.len(), 1600);
+        for chunk_size in [1usize, 7, 64, 4_000] {
+            let mut state = adc.streaming(1000.0);
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            for chunk in input.chunks(chunk_size) {
+                state.convert_chunk_into(chunk, &mut scratch);
+                out.extend_from_slice(&scratch);
+            }
+            assert_eq!(out, whole, "chunk size {chunk_size}");
+        }
+        // Codes agree with the batch quantiser away from the trailing edge.
+        let batch = adc.convert(&RealBuffer::new(input.clone(), 1000.0));
+        assert_eq!(
+            &whole[..batch.len().min(whole.len()) - 2],
+            &batch[..batch.len() - 2]
+        );
     }
 
     #[test]

@@ -32,7 +32,7 @@ use std::f64::consts::PI;
 use lora_phy::fft::ifft;
 use lora_phy::iq::Iq;
 
-use crate::fir::ComplexFirState;
+use crate::fir::PolyphaseDecimator;
 
 /// Static description of one channel extracted from a wideband stream.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +50,14 @@ pub struct ChannelizerSpec {
     /// Extra passband margin (Hz) kept on both sides of the content so the
     /// FIR's transition band does not eat into it.
     pub guard_hz: f64,
+    /// Evaluate the down-conversion phasor with the anchored-recurrence fast
+    /// path (one complex rotation per output, re-anchored exactly on a fixed
+    /// absolute-output-index grid) instead of one `sin`/`cos` pair per
+    /// output. Still chunk invariant — the anchor grid depends only on the
+    /// absolute output index — but not bit-identical to the exact phasor, so
+    /// it defaults to `false` and receivers opt in via their
+    /// high-throughput profile.
+    pub fast_phasor: bool,
 }
 
 impl ChannelizerSpec {
@@ -68,6 +76,7 @@ impl ChannelizerSpec {
             n_taps: Self::DEFAULT_TAPS,
             passband_hz,
             guard_hz: passband_hz / 4.0,
+            fast_phasor: false,
         }
     }
 
@@ -80,7 +89,15 @@ impl ChannelizerSpec {
             n_taps: 0,
             passband_hz: 0.0,
             guard_hz: 0.0,
+            fast_phasor: false,
         }
+    }
+
+    /// Returns a copy with the anchored-recurrence phasor fast path enabled
+    /// or disabled (see [`ChannelizerSpec::fast_phasor`]).
+    pub fn with_fast_phasor(mut self, fast: bool) -> Self {
+        self.fast_phasor = fast;
+        self
     }
 
     /// Whether this spec is the identity (zero offset, no decimation): the
@@ -106,8 +123,11 @@ impl ChannelizerSpec {
                 phase_step: 0.0,
                 index: 0,
                 decimation: 1,
-                phase: 0,
                 fir: None,
+                fast_phasor: false,
+                out_count: 0,
+                rot: Iq::ONE,
+                rot_step: Iq::ONE,
             };
         }
         assert!(
@@ -147,19 +167,24 @@ impl ChannelizerSpec {
                 h[(i + l - delay) % l].scale(w)
             })
             .collect();
+        let phase_step = -2.0 * PI * self.offset_hz / wideband_rate;
         ChannelizerState {
             passthrough: false,
-            phase_step: -2.0 * PI * self.offset_hz / wideband_rate,
+            phase_step,
             index: 0,
             decimation: self.decimation,
-            phase: 0,
-            fir: Some(ComplexFirState::new(taps)),
+            fir: Some(PolyphaseDecimator::new(taps, self.decimation)),
+            fast_phasor: self.fast_phasor,
+            out_count: 0,
+            rot: Iq::ONE,
+            // The phasor advances by D wideband samples per output.
+            rot_step: Iq::phasor(phase_step * self.decimation as f64),
         }
     }
 }
 
 /// Carried state of one channel's down-conversion chain: absolute-index
-/// oscillator phase, FIR delay line and decimation phase.
+/// oscillator phase, polyphase FIR delay lines and decimation phase.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChannelizerState {
     passthrough: bool,
@@ -168,10 +193,22 @@ pub struct ChannelizerState {
     /// Absolute index of the next wideband sample.
     index: u64,
     decimation: usize,
-    /// Input samples consumed since the last emitted output.
-    phase: usize,
-    fir: Option<ComplexFirState>,
+    fir: Option<PolyphaseDecimator>,
+    /// Use the anchored-recurrence phasor (see
+    /// [`ChannelizerSpec::fast_phasor`]).
+    fast_phasor: bool,
+    /// Absolute index of the next output (drives the phasor anchor grid).
+    out_count: u64,
+    /// Carried phasor value for the fast path (re-anchored exactly whenever
+    /// `out_count` crosses the anchor grid).
+    rot: Iq,
+    /// Phasor advance per output.
+    rot_step: Iq,
 }
+
+/// Output-index spacing of the fast-phasor anchor grid: the rotation error
+/// accumulated between exact re-anchors stays at a few ULPs.
+const PHASOR_ANCHOR_INTERVAL: u64 = 256;
 
 impl ChannelizerState {
     /// Whether this state forwards samples untouched.
@@ -190,26 +227,59 @@ impl ChannelizerState {
     }
 
     /// Processes one wideband chunk, returning the channel-rate samples that
-    /// completed within it (one per `decimation` inputs).
+    /// completed within it (one per `decimation` inputs). Allocates a fresh
+    /// buffer per call; steady-state callers (the gateway worker loop) should
+    /// prefer [`Self::process_chunk_into`].
     pub fn process_chunk(&mut self, chunk: &[Iq]) -> Vec<Iq> {
+        let mut out = Vec::new();
+        self.process_chunk_into(chunk, &mut out);
+        out
+    }
+
+    /// Processes one wideband chunk into a caller-provided buffer (cleared
+    /// first), with no steady-state allocation: the band-select FIR runs in
+    /// polyphase form through the block kernel
+    /// ([`PolyphaseDecimator::filter_chunk_into`]), then each kept sample is
+    /// rotated by the down-conversion phasor anchored on its absolute
+    /// wideband index (exactly per output, or via the anchored recurrence
+    /// when [`ChannelizerSpec::fast_phasor`] is set).
+    pub fn process_chunk_into(&mut self, chunk: &[Iq], out: &mut Vec<Iq>) {
         if self.passthrough {
+            out.clear();
+            out.extend_from_slice(chunk);
             self.index += chunk.len() as u64;
-            return chunk.to_vec();
+            return;
         }
         let fir = self.fir.as_mut().expect("non-passthrough state has a FIR");
-        let mut out = Vec::with_capacity(chunk.len() / self.decimation + 1);
-        for &x in chunk {
-            self.phase += 1;
-            if self.phase == self.decimation {
-                self.phase = 0;
-                let y = fir.push_and_convolve(x);
-                out.push(y * Iq::phasor(self.phase_step * self.index as f64));
-            } else {
-                fir.push_silent(x);
+        // Output k corresponds to absolute wideband index kD + D - 1.
+        let mut emit_index = self.out_count * self.decimation as u64 + (self.decimation - 1) as u64;
+        fir.filter_chunk_into(chunk, out);
+        if self.fast_phasor {
+            for y in out.iter_mut() {
+                if self.out_count.is_multiple_of(PHASOR_ANCHOR_INTERVAL) {
+                    self.rot = Iq::phasor(self.phase_step * emit_index as f64);
+                }
+                *y *= self.rot;
+                self.rot *= self.rot_step;
+                self.out_count += 1;
+                emit_index += self.decimation as u64;
             }
-            self.index += 1;
+        } else {
+            for y in out.iter_mut() {
+                *y *= Iq::phasor(self.phase_step * emit_index as f64);
+                self.out_count += 1;
+                emit_index += self.decimation as u64;
+            }
         }
-        out
+        self.index += chunk.len() as u64;
+    }
+}
+
+impl crate::stage::BlockStage for ChannelizerState {
+    type In = Iq;
+    type Out = Iq;
+    fn process_into(&mut self, input: &[Iq], out: &mut Vec<Iq>) {
+        self.process_chunk_into(input, out);
     }
 }
 
@@ -304,6 +374,40 @@ mod tests {
         }
         freq /= (steady.len() - 1) as f64;
         assert!((freq - 50_000.0).abs() < 500.0, "measured {freq:.0} Hz");
+    }
+
+    #[test]
+    fn fast_phasor_tracks_exact_within_tolerance_and_is_chunk_invariant() {
+        let fs = 2e6;
+        let input = tone(-180_000.0, fs, 60_000);
+        let exact_spec = ChannelizerSpec::for_channel(-250_000.0, 125_000.0, 4);
+        let fast_spec = exact_spec.clone().with_fast_phasor(true);
+        let mut exact = Vec::new();
+        exact_spec
+            .streaming(fs)
+            .process_chunk_into(&input, &mut exact);
+        let mut fast = Vec::new();
+        fast_spec
+            .streaming(fs)
+            .process_chunk_into(&input, &mut fast);
+        assert_eq!(exact.len(), fast.len());
+        let worst = exact
+            .iter()
+            .zip(&fast)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 1e-9, "fast phasor drifted by {worst:.3e}");
+        // The anchored recurrence is still bit-exactly chunk invariant.
+        for chunk_size in [1usize, 7, 997, 16_384] {
+            let mut state = fast_spec.streaming(fs);
+            let mut got = Vec::new();
+            let mut scratch = Vec::new();
+            for chunk in input.chunks(chunk_size) {
+                state.process_chunk_into(chunk, &mut scratch);
+                got.extend_from_slice(&scratch);
+            }
+            assert_eq!(got, fast, "chunk size {chunk_size}");
+        }
     }
 
     #[test]

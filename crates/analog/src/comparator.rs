@@ -106,20 +106,61 @@ impl DoubleThresholdComparator {
     }
 
     /// Quantises the input with hysteresis, starting from a low output.
+    /// Delegates to the streaming state run over the whole buffer at once.
     pub fn compare(&self, input: &RealBuffer) -> BinaryStream {
-        let mut bits = Vec::with_capacity(input.len());
-        let mut state = false;
-        for &v in &input.samples {
-            state = match state {
-                false => v >= self.high_threshold,
-                true => v >= self.low_threshold,
-            };
-            bits.push(state);
-        }
+        let mut bits = Vec::new();
+        self.streaming()
+            .compare_chunk_into(&input.samples, &mut bits);
         BinaryStream {
             bits,
             sample_rate: input.sample_rate,
         }
+    }
+
+    /// Creates the carried streaming state (output initially low). Chunked
+    /// comparison of a stream equals [`Self::compare`] on the concatenated
+    /// buffer exactly, wherever the chunk boundaries fall.
+    pub fn streaming(&self) -> ComparatorState {
+        ComparatorState {
+            high_threshold: self.high_threshold,
+            low_threshold: self.low_threshold,
+            state: false,
+        }
+    }
+}
+
+/// Carried state of a streaming [`DoubleThresholdComparator`]: the current
+/// output level survives across chunk boundaries, so the hysteresis decision
+/// at a chunk's first sample sees the previous chunk's last state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComparatorState {
+    high_threshold: f64,
+    low_threshold: f64,
+    state: bool,
+}
+
+impl ComparatorState {
+    /// Quantises one chunk into `out` (cleared first), advancing the carried
+    /// output level.
+    pub fn compare_chunk_into(&mut self, chunk: &[f64], out: &mut Vec<bool>) {
+        out.clear();
+        out.reserve(chunk.len());
+        for &v in chunk {
+            self.state = if self.state {
+                v >= self.low_threshold
+            } else {
+                v >= self.high_threshold
+            };
+            out.push(self.state);
+        }
+    }
+}
+
+impl crate::stage::BlockStage for ComparatorState {
+    type In = f64;
+    type Out = bool;
+    fn process_into(&mut self, input: &[f64], out: &mut Vec<bool>) {
+        self.compare_chunk_into(input, out);
     }
 }
 

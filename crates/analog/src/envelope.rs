@@ -124,6 +124,7 @@ impl EnvelopeDetector {
             rng: ChaCha8Rng::seed_from_u64(self.seed),
             flicker_state: 0.0,
             alpha,
+            sqrt_alpha: alpha.sqrt(),
             ar_std,
         }
     }
@@ -138,33 +139,55 @@ pub struct EnvelopeDetectorState {
     rng: ChaCha8Rng,
     flicker_state: f64,
     alpha: f64,
+    /// `alpha.sqrt()`, hoisted out of the per-sample AR(1) update.
+    sqrt_alpha: f64,
     ar_std: f64,
 }
 
 impl EnvelopeDetectorState {
-    /// Detects the envelope of one chunk, advancing the carried noise state.
+    /// Detects the envelope of one chunk, allocating a fresh output buffer.
+    /// Steady-state callers should prefer [`Self::detect_chunk_into`].
     pub fn detect_chunk(&mut self, chunk: &[Iq]) -> Vec<f64> {
-        let mut out = Vec::with_capacity(chunk.len());
+        let mut out = Vec::new();
+        self.detect_chunk_into(chunk, &mut out);
+        out
+    }
+
+    /// Detects the envelope of one chunk into a caller-provided buffer
+    /// (cleared first), advancing the carried noise state.
+    pub fn detect_chunk_into(&mut self, chunk: &[Iq], out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(chunk.len());
         // A noiseless detector (both sigmas zero) skips the per-sample
         // Gaussian draws entirely: they would be multiplied by zero anyway,
         // and they dominate the cost of a quiet chain.
         let noiseless = self.noise.white_sigma == 0.0 && self.noise.flicker_sigma == 0.0;
+        if noiseless {
+            for s in chunk {
+                out.push(self.conversion_gain * s.norm_sqr() + self.noise.dc_offset);
+            }
+            return;
+        }
         for s in chunk {
             let envelope = self.conversion_gain * s.norm_sqr();
-            if noiseless {
-                out.push(envelope + self.noise.dc_offset);
-                continue;
-            }
             let white = self.noise.white_sigma * gaussian(&mut self.rng);
-            self.flicker_state = (1.0 - self.alpha) * self.flicker_state
-                + self.alpha.sqrt() * gaussian(&mut self.rng);
+            self.flicker_state =
+                (1.0 - self.alpha) * self.flicker_state + self.sqrt_alpha * gaussian(&mut self.rng);
             let flicker = self.noise.flicker_sigma * self.flicker_state / self.ar_std;
             out.push(envelope + self.noise.dc_offset + white + flicker);
         }
-        out
     }
 }
 
+impl crate::stage::BlockStage for EnvelopeDetectorState {
+    type In = Iq;
+    type Out = f64;
+    fn process_into(&mut self, input: &[Iq], out: &mut Vec<f64>) {
+        self.detect_chunk_into(input, out);
+    }
+}
+
+#[inline]
 fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen();

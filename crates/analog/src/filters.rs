@@ -29,19 +29,12 @@ impl LowPassFilter {
         }
     }
 
-    /// Filters the buffer.
+    /// Filters the buffer. Delegates to the streaming state run over the
+    /// whole buffer at once, so batch and chunked processing share one
+    /// implementation (and agree bit-exactly by construction).
     pub fn filter(&self, input: &RealBuffer) -> RealBuffer {
         let mut data = input.samples.clone();
-        let dt = 1.0 / input.sample_rate;
-        let rc = 1.0 / (2.0 * PI * self.cutoff_hz);
-        let alpha = dt / (rc + dt);
-        for _ in 0..self.order {
-            let mut state = 0.0;
-            for v in data.iter_mut() {
-                state += alpha * (*v - state);
-                *v = state;
-            }
-        }
+        self.streaming(input.sample_rate).process_chunk(&mut data);
         RealBuffer::new(data, input.sample_rate)
     }
 
@@ -86,6 +79,12 @@ impl LowPassState {
     }
 }
 
+impl crate::stage::InPlaceStage for LowPassState {
+    fn process_in_place(&mut self, data: &mut [f64]) {
+        self.process_chunk(data);
+    }
+}
+
 /// A band-pass IF amplifier: a cascade of constant-peak-gain band-pass biquads
 /// (RBJ cookbook) followed by a gain stage — the frequency selectivity the
 /// paper relies on to "boost the power of S(Δf) and attenuate other bands".
@@ -118,36 +117,13 @@ impl IfAmplifier {
         (self.center_hz / (2.0 * self.half_bandwidth_hz)).max(0.1)
     }
 
-    /// Filters and amplifies the buffer.
+    /// Filters and amplifies the buffer. Delegates to the streaming state run
+    /// over the whole buffer at once, so batch and chunked processing share
+    /// one biquad implementation (and agree bit-exactly by construction).
     pub fn amplify(&self, input: &RealBuffer) -> RealBuffer {
-        let fs = input.sample_rate;
-        let w0 = 2.0 * PI * self.center_hz / fs;
-        let q = self.q();
-        let alpha = w0.sin() / (2.0 * q);
-        // RBJ constant-skirt-gain band-pass normalised to unit peak gain.
-        let b0 = alpha;
-        let b2 = -alpha;
-        let a0 = 1.0 + alpha;
-        let a1 = -2.0 * w0.cos();
-        let a2 = 1.0 - alpha;
-
         let mut data = input.samples.clone();
-        for _ in 0..self.order.max(1) {
-            let mut x1 = 0.0;
-            let mut x2 = 0.0;
-            let mut y1 = 0.0;
-            let mut y2 = 0.0;
-            for v in data.iter_mut() {
-                let x0 = *v;
-                let y0 = (b0 * x0 + b2 * x2 - a1 * y1 - a2 * y2) / a0;
-                x2 = x1;
-                x1 = x0;
-                y2 = y1;
-                y1 = y0;
-                *v = y0;
-            }
-        }
-        RealBuffer::new(data, fs).scaled(self.gain)
+        self.streaming(input.sample_rate).process_chunk(&mut data);
+        RealBuffer::new(data, input.sample_rate)
     }
 
     /// Creates a streaming state for this amplifier at the given sample rate.
@@ -223,6 +199,12 @@ impl IfAmplifierState {
         for v in chunk.iter_mut() {
             *v *= self.gain;
         }
+    }
+}
+
+impl crate::stage::InPlaceStage for IfAmplifierState {
+    fn process_in_place(&mut self, data: &mut [f64]) {
+        self.process_chunk(data);
     }
 }
 

@@ -4,22 +4,76 @@
 //! wideband channelizer ([`crate::channelizer`]) are causal complex FIR
 //! filters that must be *chunk invariant*: feeding a stream through them in
 //! chunks of any size produces bit-identical output, because the convolution
-//! of sample `n` only ever reads samples `n - n_taps + 1 ..= n` from a carried
-//! delay line. This module holds that delay-line state machine once, so every
-//! FIR in the workspace shares one (carefully ordered) inner loop.
+//! of sample `n` only ever reads samples `n - n_taps + 1 ..= n` from carried
+//! history. This module holds that state machine once, so every FIR in the
+//! workspace shares one (carefully ordered) inner loop.
+//!
+//! ## Block layout
+//!
+//! The delay line is not a ring buffer. The filter keeps a contiguous
+//! split-complex workspace laid out as `[history prefix][current block]`: the
+//! last `n_taps − 1` samples of the stream followed by whatever chunk is being
+//! filtered (the *history-prefix + body* split). Every output is then a plain
+//! dot product over a contiguous window of that workspace, which the block
+//! kernel evaluates four outputs at a time with the real/imaginary planes
+//! stored separately — a shape LLVM autovectorizes. After each chunk the
+//! workspace is compacted back down to the history prefix, so steady-state
+//! processing performs no allocation.
+//!
+//! ## Determinism
+//!
+//! The per-output summation order is fixed (taps are walked oldest sample
+//! first, accumulated into two partial sums by tap parity that are combined at
+//! the end), and it is the same whether an output is produced by the block
+//! kernel, the scalar tail, or [`ComplexFirState::push_and_convolve`].
+//! Outputs are therefore bit-identical however the input stream is chunked.
 
 use lora_phy::iq::Iq;
 
 /// A causal complex FIR filter with its carried delay-line history.
 ///
-/// The summation order of the convolution is fixed (tap index ascending), so
-/// outputs are bit-identical however the input stream is chunked.
-#[derive(Debug, Clone, PartialEq)]
+/// The summation order of the convolution is fixed (oldest tap contribution
+/// first, two parity-partial accumulators), so outputs are bit-identical
+/// however the input stream is chunked.
+#[derive(Debug, Clone)]
 pub struct ComplexFirState {
+    /// Impulse response in natural order (`taps[0]` multiplies the newest
+    /// sample).
     taps: Vec<Iq>,
-    history: Vec<Iq>,
-    pos: usize,
+    /// Real parts of the reversed impulse response (`taps_rev[j]` multiplies
+    /// the `j`-th sample of a window walked oldest-first).
+    taps_rev_re: Vec<f64>,
+    /// Imaginary parts of the reversed impulse response.
+    taps_rev_im: Vec<f64>,
+    /// Real plane of the `[history prefix][body]` workspace.
+    buf_re: Vec<f64>,
+    /// Imaginary plane of the workspace.
+    buf_im: Vec<f64>,
+    /// Split-complex output scratch of the block kernel (interleaved into the
+    /// caller's `Vec<Iq>` after the convolution); reused across chunks.
+    out_re: Vec<f64>,
+    /// Imaginary plane of the output scratch.
+    out_im: Vec<f64>,
 }
+
+/// Two states are equal when they would produce identical future outputs:
+/// same taps and same logical delay-line contents (the trailing
+/// `n_taps − 1` samples of the workspace).
+impl PartialEq for ComplexFirState {
+    fn eq(&self, other: &Self) -> bool {
+        if self.taps != other.taps {
+            return false;
+        }
+        let keep = self.taps.len() - 1;
+        let a = self.buf_re.len() - keep;
+        let b = other.buf_re.len() - keep;
+        self.buf_re[a..] == other.buf_re[b..] && self.buf_im[a..] == other.buf_im[b..]
+    }
+}
+
+/// Workspace growth allowed before the push-based API compacts back down to
+/// the history prefix (the chunk APIs compact after every call instead).
+const PUSH_COMPACT_SLACK: usize = 1024;
 
 impl ComplexFirState {
     /// Creates a filter from its impulse response (must be non-empty). The
@@ -29,9 +83,13 @@ impl ComplexFirState {
         assert!(!taps.is_empty(), "FIR needs at least one tap");
         let l = taps.len();
         ComplexFirState {
+            taps_rev_re: taps.iter().rev().map(|t| t.re).collect(),
+            taps_rev_im: taps.iter().rev().map(|t| t.im).collect(),
+            buf_re: vec![0.0; l - 1],
+            buf_im: vec![0.0; l - 1],
+            out_re: Vec::new(),
+            out_im: Vec::new(),
             taps,
-            history: vec![Iq::ZERO; l],
-            pos: 0,
         }
     }
 
@@ -40,27 +98,37 @@ impl ComplexFirState {
         self.taps.len()
     }
 
+    /// Drops workspace content older than the history prefix, keeping the
+    /// last `n_taps − 1` samples in place.
+    fn compact(&mut self) {
+        let keep = self.taps.len() - 1;
+        let len = self.buf_re.len();
+        if len > keep {
+            self.buf_re.copy_within(len - keep.., 0);
+            self.buf_im.copy_within(len - keep.., 0);
+            self.buf_re.truncate(keep);
+            self.buf_im.truncate(keep);
+        }
+    }
+
     /// Pushes one input sample and returns the convolution output at that
     /// sample.
     #[inline]
     pub fn push_and_convolve(&mut self, x: Iq) -> Iq {
-        self.history[self.pos] = x;
-        // taps[k] multiplies history[pos - k (mod l)]: walk the ring backwards
-        // from pos as two contiguous slices so the hot loop has no modulo. The
-        // summation order (k ascending) is fixed, keeping the result
-        // bit-identical for any chunking.
-        let mut acc = Iq::ZERO;
-        let mut k = 0usize;
-        for &h in self.history[..=self.pos].iter().rev() {
-            acc += self.taps[k] * h;
-            k += 1;
+        self.buf_re.push(x.re);
+        self.buf_im.push(x.im);
+        let l = self.taps.len();
+        let start = self.buf_re.len() - l;
+        let out = dot_window(
+            &self.taps_rev_re,
+            &self.taps_rev_im,
+            &self.buf_re[start..],
+            &self.buf_im[start..],
+        );
+        if self.buf_re.len() >= l + PUSH_COMPACT_SLACK {
+            self.compact();
         }
-        for &h in self.history[self.pos + 1..].iter().rev() {
-            acc += self.taps[k] * h;
-            k += 1;
-        }
-        self.pos = (self.pos + 1) % self.taps.len();
-        acc
+        out
     }
 
     /// Pushes one input sample into the delay line *without* computing an
@@ -68,17 +136,428 @@ impl ComplexFirState {
     /// will not emit.
     #[inline]
     pub fn push_silent(&mut self, x: Iq) {
-        self.history[self.pos] = x;
-        self.pos = (self.pos + 1) % self.taps.len();
+        self.buf_re.push(x.re);
+        self.buf_im.push(x.im);
+        if self.buf_re.len() >= self.taps.len() + PUSH_COMPACT_SLACK {
+            self.compact();
+        }
     }
 
     /// Filters one chunk, producing one output sample per input sample.
+    ///
+    /// Allocates a fresh output buffer per call; steady-state callers should
+    /// prefer [`Self::filter_chunk_into`], which reuses one.
     pub fn filter_chunk(&mut self, chunk: &[Iq]) -> Vec<Iq> {
-        let mut out = Vec::with_capacity(chunk.len());
-        for &x in chunk {
-            out.push(self.push_and_convolve(x));
-        }
+        let mut out = Vec::new();
+        self.filter_chunk_into(chunk, &mut out);
         out
+    }
+
+    /// Filters one chunk into a caller-provided buffer (cleared first), one
+    /// output per input sample. In steady state this performs no allocation:
+    /// the workspace, the split-complex output scratch and `out` all retain
+    /// their capacity across calls.
+    pub fn filter_chunk_into(&mut self, chunk: &[Iq], out: &mut Vec<Iq>) {
+        out.clear();
+        if chunk.is_empty() {
+            return;
+        }
+        self.append(chunk);
+        let l = self.taps.len();
+        let base = self.buf_re.len() - chunk.len() - (l - 1);
+        convolve_block(
+            &self.taps_rev_re,
+            &self.taps_rev_im,
+            &self.buf_re[base..],
+            &self.buf_im[base..],
+            &mut self.out_re,
+            &mut self.out_im,
+            chunk.len(),
+        );
+        out.reserve(chunk.len());
+        out.extend(
+            self.out_re
+                .iter()
+                .zip(&self.out_im)
+                .map(|(&re, &im)| Iq::new(re, im)),
+        );
+        self.compact();
+    }
+
+    /// Appends a chunk to the split-complex workspace.
+    fn append(&mut self, chunk: &[Iq]) {
+        self.buf_re.reserve(chunk.len());
+        self.buf_im.reserve(chunk.len());
+        for s in chunk {
+            self.buf_re.push(s.re);
+            self.buf_im.push(s.im);
+        }
+    }
+}
+
+impl crate::stage::BlockStage for ComplexFirState {
+    type In = Iq;
+    type Out = Iq;
+    fn process_into(&mut self, input: &[Iq], out: &mut Vec<Iq>) {
+        self.filter_chunk_into(input, out);
+    }
+}
+
+/// A decimating complex FIR in polyphase form: the convolution is evaluated
+/// only at the kept output instants, and the work is arranged so the block
+/// kernel — not a latency-bound scalar dot product — does all of it.
+///
+/// For decimation `D`, the impulse response splits into `D` sub-filters
+/// (`h_p[t] = taps[p + tD]`) and the input into `D` phase streams
+/// (`s_r[m] = x[mD + r]`). Each block of consecutive outputs is then a sum of
+/// `D` ordinary convolutions of a sub-filter against a phase stream, each of
+/// which runs through the same tiled SIMD block kernel the full-rate
+/// [`ComplexFirState`] uses. Output `k` is emitted after input `kD + D − 1`
+/// arrives, exactly like a one-in-`D` decimator fed sample by sample.
+///
+/// ## Determinism
+///
+/// Per output, the summation order is fixed: phases `p = 0 .. D` in
+/// ascending order, each contributing a two-parity partial dot in the shared
+/// kernel order. The phase decomposition, stream contents and output
+/// instants depend only on absolute sample indices, so outputs are
+/// bit-identical however the input is chunked. (The order differs from the
+/// single-window [`ComplexFirState::push_and_convolve`] path, so the two
+/// agree to rounding, not bit-exactly — the polyphase path is its own
+/// deterministic reference.)
+#[derive(Debug, Clone)]
+pub struct PolyphaseDecimator {
+    taps: Vec<Iq>,
+    decimation: usize,
+    /// Length of the longest sub-filter, `ceil(l / D)`.
+    sub_len: usize,
+    /// Reversed sub-filter planes per phase (kernel convention: index `u`
+    /// multiplies the `u`-th oldest sample of the window).
+    sub_re: Vec<Vec<f64>>,
+    sub_im: Vec<Vec<f64>>,
+    /// Phase-stream planes: `ph_*[r]` holds `s_r[m] = x[mD + r]`, with a
+    /// zero history prefix standing in for the silence before the stream.
+    ph_re: Vec<Vec<f64>>,
+    ph_im: Vec<Vec<f64>>,
+    /// Logical stream index `m` of element 0 of every phase-stream plane.
+    base_m: i64,
+    /// Absolute input samples consumed.
+    n_in: u64,
+    /// Outputs emitted so far.
+    n_out: u64,
+    /// Cross-phase accumulator scratch.
+    acc_re: Vec<f64>,
+    acc_im: Vec<f64>,
+}
+
+impl PolyphaseDecimator {
+    /// Creates a decimator from an impulse response (non-empty) and a
+    /// decimation factor (≥ 1). The delay line starts zeroed.
+    pub fn new(taps: Vec<Iq>, decimation: usize) -> Self {
+        assert!(!taps.is_empty(), "FIR needs at least one tap");
+        assert!(decimation >= 1, "decimation must be at least 1");
+        let l = taps.len();
+        let d = decimation;
+        let sub_len = l.div_ceil(d);
+        let mut sub_re = Vec::with_capacity(d);
+        let mut sub_im = Vec::with_capacity(d);
+        for p in 0..d {
+            // h_p[t] = taps[p + tD], reversed for the oldest-first kernel.
+            // Phases past the filter length (D > l) have no taps at all.
+            let t_p = if p < l { (l - p).div_ceil(d) } else { 0 };
+            let mut re = Vec::with_capacity(t_p);
+            let mut im = Vec::with_capacity(t_p);
+            for u in (0..t_p).rev() {
+                let tap = taps[p + u * d];
+                re.push(tap.re);
+                im.push(tap.im);
+            }
+            sub_re.push(re);
+            sub_im.push(im);
+        }
+        let hist = sub_len - 1;
+        PolyphaseDecimator {
+            taps,
+            decimation: d,
+            sub_len,
+            sub_re,
+            sub_im,
+            ph_re: vec![vec![0.0; hist]; d],
+            ph_im: vec![vec![0.0; hist]; d],
+            base_m: -(hist as i64),
+            n_in: 0,
+            n_out: 0,
+            acc_re: Vec::new(),
+            acc_im: Vec::new(),
+        }
+    }
+
+    /// The number of FIR taps.
+    pub fn n_taps(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// The decimation factor `D`.
+    pub fn decimation(&self) -> usize {
+        self.decimation
+    }
+
+    /// Total input samples consumed.
+    pub fn samples_consumed(&self) -> u64 {
+        self.n_in
+    }
+
+    /// Outputs emitted so far.
+    pub fn outputs_emitted(&self) -> u64 {
+        self.n_out
+    }
+
+    /// Filters one chunk into `out` (cleared first), emitting the outputs
+    /// that completed inside it. No allocation in steady state.
+    pub fn filter_chunk_into(&mut self, chunk: &[Iq], out: &mut Vec<Iq>) {
+        out.clear();
+        if chunk.is_empty() {
+            return;
+        }
+        let d = self.decimation;
+        // De-interleave the chunk into the phase streams with a running
+        // residue counter (no per-sample division).
+        let per_stream = chunk.len() / d + 2;
+        for r in 0..d {
+            self.ph_re[r].reserve(per_stream);
+            self.ph_im[r].reserve(per_stream);
+        }
+        let mut r = (self.n_in % d as u64) as usize;
+        for &x in chunk {
+            self.ph_re[r].push(x.re);
+            self.ph_im[r].push(x.im);
+            r += 1;
+            if r == d {
+                r = 0;
+            }
+        }
+        self.n_in += chunk.len() as u64;
+        let k0 = self.n_out;
+        let total_k = self.n_in / d as u64;
+        let m = (total_k - k0) as usize;
+        if m == 0 {
+            return;
+        }
+        self.acc_re.clear();
+        self.acc_im.clear();
+        self.acc_re.resize(m, 0.0);
+        self.acc_im.resize(m, 0.0);
+        for p in 0..d {
+            let r = d - 1 - p;
+            let t_p = self.sub_re[p].len();
+            if t_p == 0 {
+                continue;
+            }
+            let start = (k0 as i64 - t_p as i64 + 1 - self.base_m) as usize;
+            // Accumulate mode: each phase's contribution lands directly in
+            // the accumulator planes (p ascending — fixed order).
+            convolve_block_impl::<true>(
+                &self.sub_re[p],
+                &self.sub_im[p],
+                &self.ph_re[r][start..],
+                &self.ph_im[r][start..],
+                &mut self.acc_re,
+                &mut self.acc_im,
+                m,
+            );
+        }
+        out.reserve(m);
+        out.extend(
+            self.acc_re
+                .iter()
+                .zip(&self.acc_im)
+                .map(|(&re, &im)| Iq::new(re, im)),
+        );
+        self.n_out = total_k;
+        self.compact();
+    }
+
+    /// Drops phase-stream history no future output can read.
+    fn compact(&mut self) {
+        let new_base = self.n_out as i64 - (self.sub_len as i64 - 1);
+        let drop = (new_base - self.base_m) as usize;
+        if drop == 0 {
+            return;
+        }
+        for r in 0..self.decimation {
+            let re = &mut self.ph_re[r];
+            let im = &mut self.ph_im[r];
+            let keep = re.len() - drop.min(re.len());
+            let len = re.len();
+            re.copy_within(len - keep.., 0);
+            im.copy_within(len - keep.., 0);
+            re.truncate(keep);
+            im.truncate(keep);
+        }
+        self.base_m = new_base;
+    }
+}
+
+/// Two decimators are equal when they would produce identical future
+/// outputs: same filter, same decimation, same stream position and same
+/// retained phase-stream history (workspace layout is ignored, as with
+/// [`ComplexFirState`]).
+impl PartialEq for PolyphaseDecimator {
+    fn eq(&self, other: &Self) -> bool {
+        if self.taps != other.taps
+            || self.decimation != other.decimation
+            || self.n_in != other.n_in
+            || self.n_out != other.n_out
+        {
+            return false;
+        }
+        for r in 0..self.decimation {
+            let a_skip = (self.n_out as i64 - (self.sub_len as i64 - 1) - self.base_m) as usize;
+            let b_skip = (other.n_out as i64 - (other.sub_len as i64 - 1) - other.base_m) as usize;
+            if self.ph_re[r][a_skip.min(self.ph_re[r].len())..]
+                != other.ph_re[r][b_skip.min(other.ph_re[r].len())..]
+                || self.ph_im[r][a_skip.min(self.ph_im[r].len())..]
+                    != other.ph_im[r][b_skip.min(other.ph_im[r].len())..]
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// One output of the convolution: the dot product of the reversed taps with a
+/// window of `taps.len()` samples walked oldest-first. Accumulates into two
+/// partial sums by tap parity — the exact summation order the block kernel
+/// uses, so every code path produces bit-identical outputs.
+#[inline]
+fn dot_window(tr: &[f64], ti: &[f64], wr: &[f64], wi: &[f64]) -> Iq {
+    let l = tr.len();
+    let mut ar = [0.0f64; 2];
+    let mut ai = [0.0f64; 2];
+    let mut j = 0usize;
+    while j + 2 <= l {
+        for p in 0..2 {
+            let t_re = tr[j + p];
+            let t_im = ti[j + p];
+            let s_re = wr[j + p];
+            let s_im = wi[j + p];
+            ar[p] += t_re * s_re - t_im * s_im;
+            ai[p] += t_re * s_im + t_im * s_re;
+        }
+        j += 2;
+    }
+    if j < l {
+        let (t_re, t_im, s_re, s_im) = (tr[j], ti[j], wr[j], wi[j]);
+        ar[0] += t_re * s_re - t_im * s_im;
+        ai[0] += t_re * s_im + t_im * s_re;
+    }
+    Iq::new(ar[0] + ar[1], ai[0] + ai[1])
+}
+
+/// The block kernel: `m` consecutive outputs over the `[history][body]`
+/// workspace starting at `buf[..]` (so output `i` reads `buf[i .. i + l]`),
+/// written to the split-complex output planes (cleared and resized to `m`).
+///
+/// Outputs are produced four at a time with the dot products register-tiled
+/// across outputs — four independent accumulator lanes per tap parity, the
+/// loop shape LLVM turns into SIMD — with the identical per-output summation
+/// order as [`dot_window`], which handles the `m % 4` tail.
+#[allow(clippy::too_many_arguments)]
+fn convolve_block(
+    tr: &[f64],
+    ti: &[f64],
+    buf_re: &[f64],
+    buf_im: &[f64],
+    out_re: &mut Vec<f64>,
+    out_im: &mut Vec<f64>,
+    m: usize,
+) {
+    out_re.clear();
+    out_im.clear();
+    out_re.resize(m, 0.0);
+    out_im.resize(m, 0.0);
+    convolve_block_impl::<false>(tr, ti, buf_re, buf_im, out_re, out_im, m);
+}
+
+/// [`convolve_block`] body. With `ACCUM` the per-output results are *added*
+/// to the (pre-sized) output planes instead of stored — the polyphase
+/// decimator folds its cross-phase sum into the kernel this way, one phase
+/// at a time in fixed order.
+#[allow(clippy::too_many_arguments)]
+fn convolve_block_impl<const ACCUM: bool>(
+    tr: &[f64],
+    ti: &[f64],
+    buf_re: &[f64],
+    buf_im: &[f64],
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+    m: usize,
+) {
+    let l = tr.len();
+    let l2 = l & !1;
+    let m4 = m & !3;
+    let mut i = 0usize;
+    while i < m4 {
+        // Two tap-parity partials per output, four outputs per tile.
+        let mut ar0 = [0.0f64; 4];
+        let mut ar1 = [0.0f64; 4];
+        let mut ai0 = [0.0f64; 4];
+        let mut ai1 = [0.0f64; 4];
+        let mut j = 0usize;
+        while j < l2 {
+            {
+                let t_re = tr[j];
+                let t_im = ti[j];
+                let s_re = &buf_re[i + j..i + j + 4];
+                let s_im = &buf_im[i + j..i + j + 4];
+                for q in 0..4 {
+                    ar0[q] += t_re * s_re[q] - t_im * s_im[q];
+                    ai0[q] += t_re * s_im[q] + t_im * s_re[q];
+                }
+            }
+            {
+                let t_re = tr[j + 1];
+                let t_im = ti[j + 1];
+                let s_re = &buf_re[i + j + 1..i + j + 5];
+                let s_im = &buf_im[i + j + 1..i + j + 5];
+                for q in 0..4 {
+                    ar1[q] += t_re * s_re[q] - t_im * s_im[q];
+                    ai1[q] += t_re * s_im[q] + t_im * s_re[q];
+                }
+            }
+            j += 2;
+        }
+        if j < l {
+            let t_re = tr[j];
+            let t_im = ti[j];
+            let s_re = &buf_re[i + j..i + j + 4];
+            let s_im = &buf_im[i + j..i + j + 4];
+            for q in 0..4 {
+                ar0[q] += t_re * s_re[q] - t_im * s_im[q];
+                ai0[q] += t_re * s_im[q] + t_im * s_re[q];
+            }
+        }
+        for q in 0..4 {
+            if ACCUM {
+                out_re[i + q] += ar0[q] + ar1[q];
+                out_im[i + q] += ai0[q] + ai1[q];
+            } else {
+                out_re[i + q] = ar0[q] + ar1[q];
+                out_im[i + q] = ai0[q] + ai1[q];
+            }
+        }
+        i += 4;
+    }
+    for i in m4..m {
+        let v = dot_window(tr, ti, &buf_re[i..i + l], &buf_im[i..i + l]);
+        if ACCUM {
+            out_re[i] += v.re;
+            out_im[i] += v.im;
+        } else {
+            out_re[i] = v.re;
+            out_im[i] = v.im;
+        }
     }
 }
 
@@ -125,6 +604,119 @@ mod tests {
     }
 
     #[test]
+    fn push_api_matches_block_api_bit_exactly() {
+        // The per-sample push path and the block kernel must not just agree
+        // approximately: the summation order is shared, so they agree exactly.
+        let taps: Vec<Iq> = (0..128)
+            .map(|i| Iq::from_polar(1.0 / (1.0 + i as f64), i as f64 * 0.11))
+            .collect();
+        let input: Vec<Iq> = (0..2_300)
+            .map(|i| Iq::from_polar(1.0 + (i % 11) as f64 * 0.1, i as f64 * 0.07))
+            .collect();
+        let mut block = ComplexFirState::new(taps.clone());
+        let mut expected = Vec::new();
+        block.filter_chunk_into(&input, &mut expected);
+        let mut push = ComplexFirState::new(taps);
+        let got: Vec<Iq> = input.iter().map(|&x| push.push_and_convolve(x)).collect();
+        assert_eq!(got, expected);
+        assert_eq!(push, block, "carried histories diverged");
+    }
+
+    #[test]
+    fn filter_chunk_into_reuses_the_buffer() {
+        let mut fir = ComplexFirState::new(impulse_taps());
+        let input: Vec<Iq> = (0..4_100).map(|i| Iq::new(i as f64, -(i as f64))).collect();
+        let mut out = Vec::new();
+        fir.filter_chunk_into(&input, &mut out);
+        let cap = out.capacity();
+        let ptr = out.as_ptr();
+        fir.filter_chunk_into(&input, &mut out);
+        assert_eq!(out.capacity(), cap);
+        assert_eq!(out.as_ptr(), ptr, "output buffer was reallocated");
+        assert_eq!(out.len(), input.len());
+    }
+
+    #[test]
+    fn polyphase_decimator_matches_push_silent_reference() {
+        // The polyphase path reorders the per-output summation (by phase,
+        // then tap parity), so it agrees with the single-window push path to
+        // rounding — the absolute scale here is O(1), so 1e-12 is ~4 decimal
+        // orders above the accumulated ULP noise and far below anything a
+        // decoder threshold could see.
+        for (n_taps, decimation) in [(64usize, 6usize), (64, 1), (33, 5), (8, 13)] {
+            let taps: Vec<Iq> = (0..n_taps)
+                .map(|i| Iq::from_polar(0.5 / (1.0 + i as f64 * 0.3), i as f64 * 0.2))
+                .collect();
+            let input: Vec<Iq> = (0..5_000)
+                .map(|i| Iq::from_polar(1.0, i as f64 * 0.013))
+                .collect();
+            let mut reference = ComplexFirState::new(taps.clone());
+            let mut want = Vec::new();
+            let mut phase = 0usize;
+            for &x in &input {
+                phase += 1;
+                if phase == decimation {
+                    phase = 0;
+                    want.push(reference.push_and_convolve(x));
+                } else {
+                    reference.push_silent(x);
+                }
+            }
+            let mut decim = PolyphaseDecimator::new(taps, decimation);
+            let mut got = Vec::new();
+            let mut scratch = Vec::new();
+            for chunk in input.chunks(997) {
+                decim.filter_chunk_into(chunk, &mut scratch);
+                got.extend_from_slice(&scratch);
+            }
+            assert_eq!(got.len(), want.len(), "D={decimation} l={n_taps}");
+            for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert!(
+                    (g.re - w.re).abs() < 1e-12 && (g.im - w.im).abs() < 1e-12,
+                    "D={decimation} l={n_taps} output {i}: {g:?} vs {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn polyphase_decimator_is_chunk_invariant() {
+        let taps: Vec<Iq> = (0..64)
+            .map(|i| Iq::from_polar(0.5 / (1.0 + i as f64 * 0.3), i as f64 * 0.2))
+            .collect();
+        let input: Vec<Iq> = (0..5_000)
+            .map(|i| Iq::from_polar(1.0, i as f64 * 0.013))
+            .collect();
+        let mut whole = Vec::new();
+        PolyphaseDecimator::new(taps.clone(), 6).filter_chunk_into(&input, &mut whole);
+        for chunk_sizes in [vec![1usize], vec![7, 64, 1], vec![4096]] {
+            let mut decim = PolyphaseDecimator::new(taps.clone(), 6);
+            let mut got = Vec::new();
+            let mut scratch = Vec::new();
+            let mut offset = 0usize;
+            let mut i = 0usize;
+            while offset < input.len() {
+                let end = (offset + chunk_sizes[i % chunk_sizes.len()]).min(input.len());
+                decim.filter_chunk_into(&input[offset..end], &mut scratch);
+                got.extend_from_slice(&scratch);
+                offset = end;
+                i += 1;
+            }
+            // Bit-identical, including the carried state.
+            assert_eq!(got, whole, "chunk sizes {chunk_sizes:?}");
+        }
+        // States reached via different chunkings compare equal.
+        let mut a = PolyphaseDecimator::new(taps.clone(), 6);
+        let mut b = PolyphaseDecimator::new(taps, 6);
+        let mut scratch = Vec::new();
+        a.filter_chunk_into(&input, &mut scratch);
+        for chunk in input.chunks(611) {
+            b.filter_chunk_into(chunk, &mut scratch);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn push_silent_advances_the_delay_line() {
         // Feeding [a, b] with b silent, then convolving on c, must equal the
         // all-convolved run's third output.
@@ -135,6 +727,21 @@ mod tests {
         fir.push_silent(input[0]);
         fir.push_silent(input[1]);
         assert_eq!(fir.push_and_convolve(input[2]), reference[2]);
+    }
+
+    #[test]
+    fn equality_ignores_workspace_layout() {
+        // Same logical history reached through different chunkings compares
+        // equal even though the internal workspace lengths differ mid-stream.
+        let taps = impulse_taps();
+        let input: Vec<Iq> = (0..10).map(|i| Iq::new(i as f64, 0.5)).collect();
+        let mut a = ComplexFirState::new(taps.clone());
+        let mut b = ComplexFirState::new(taps);
+        a.filter_chunk(&input);
+        for &x in &input {
+            b.push_and_convolve(x);
+        }
+        assert_eq!(a, b);
     }
 
     #[test]

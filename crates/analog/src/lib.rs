@@ -17,6 +17,8 @@
 //! * [`power`] — the Table 2 / §4.3 power and cost budgets;
 //! * [`signal`] — real-valued baseband buffers shared by these blocks;
 //! * [`fir`] — the shared streaming complex-FIR state machine;
+//! * [`stage`] — the block-pipeline stage traits (chunk invariance and
+//!   buffer-ownership contracts every streaming stage implements);
 //! * [`channelizer`] — the wideband gateway front end: per-channel frequency
 //!   shift, band-select FIR and decimation.
 
@@ -37,13 +39,16 @@ pub mod rlc;
 pub mod saw;
 pub mod shifting;
 pub mod signal;
+pub mod stage;
 
-pub use adc::Adc;
+pub use adc::{Adc, AdcState};
 pub use channelizer::{ChannelizerSpec, ChannelizerState};
-pub use comparator::{BinaryStream, DoubleThresholdComparator, SingleThresholdComparator};
+pub use comparator::{
+    BinaryStream, ComparatorState, DoubleThresholdComparator, SingleThresholdComparator,
+};
 pub use envelope::{DetectorNoise, EnvelopeDetector};
 pub use filters::{IfAmplifier, LowPassFilter};
-pub use fir::ComplexFirState;
+pub use fir::{ComplexFirState, PolyphaseDecimator};
 pub use lna::Lna;
 pub use matching::{Impedance, MatchingNetwork};
 pub use mixer::{BasebandMixer, RfMixer};
@@ -53,3 +58,4 @@ pub use rlc::{is_realisable_capacitance, required_capacitance, RlcResonator};
 pub use saw::{ResponsePoint, SawFilter};
 pub use shifting::{envelope_snr_db, snr_gain_db, CyclicFrequencyShifter, ShiftingConfig};
 pub use signal::RealBuffer;
+pub use stage::{BlockStage, InPlaceStage};

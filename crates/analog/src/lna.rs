@@ -70,13 +70,17 @@ impl Lna {
     /// and carried across chunks, so chunked amplification of a stream equals
     /// [`Self::amplify`] on the concatenated buffer bit-exactly.
     pub fn streaming(&self) -> LnaState {
+        let noise_power_out = if self.noise_enabled {
+            dbm_to_buffer_power(self.added_noise_power() + self.gain)
+        } else {
+            0.0
+        };
         LnaState {
             gain_amp: 10f64.powf(self.gain.value() / 20.0),
-            noise_power_out: if self.noise_enabled {
-                dbm_to_buffer_power(self.added_noise_power() + self.gain)
-            } else {
-                0.0
-            },
+            noise_power_out,
+            // The per-component standard deviation `AwgnSource::sample` would
+            // derive on every call, hoisted out of the hot loop.
+            noise_std: (noise_power_out / 2.0).sqrt(),
             comp_amp: dbm_to_buffer_power(self.output_compression).sqrt(),
             awgn: AwgnSource::new(self.seed),
         }
@@ -89,22 +93,33 @@ impl Lna {
 pub struct LnaState {
     gain_amp: f64,
     noise_power_out: f64,
+    noise_std: f64,
     comp_amp: f64,
     awgn: AwgnSource,
 }
 
 impl LnaState {
-    /// Amplifies one chunk: gain, the LNA's own output-referred noise, and the
-    /// tanh-style soft limiter around the compression point.
+    /// Amplifies one chunk, allocating a fresh output buffer. Steady-state
+    /// callers should prefer [`Self::amplify_chunk_into`].
     pub fn amplify_chunk(&mut self, chunk: &[Iq]) -> Vec<Iq> {
-        let mut out = Vec::with_capacity(chunk.len());
+        let mut out = Vec::new();
+        self.amplify_chunk_into(chunk, &mut out);
+        out
+    }
+
+    /// Amplifies one chunk into a caller-provided buffer (cleared first):
+    /// gain, the LNA's own output-referred noise, and the tanh-style soft
+    /// limiter around the compression point.
+    pub fn amplify_chunk_into(&mut self, chunk: &[Iq], out: &mut Vec<Iq>) {
+        out.clear();
+        out.reserve(chunk.len());
         for s in chunk {
             let mut v = s.scale(self.gain_amp);
             // Skipping the draw at zero power leaves the output untouched
             // (the sample would be scaled by zero) while saving the two
             // Gaussian draws per sample that dominate a quiet chain's cost.
             if self.noise_power_out > 0.0 {
-                v += self.awgn.sample(self.noise_power_out);
+                v += self.awgn.sample_with_std(self.noise_std);
             }
             let a = v.abs();
             if a > self.comp_amp {
@@ -113,7 +128,14 @@ impl LnaState {
             }
             out.push(v);
         }
-        out
+    }
+}
+
+impl crate::stage::BlockStage for LnaState {
+    type In = Iq;
+    type Out = Iq;
+    fn process_into(&mut self, input: &[Iq], out: &mut Vec<Iq>) {
+        self.amplify_chunk_into(input, out);
     }
 }
 

@@ -52,14 +52,30 @@ impl RfMixer {
         sample_rate: f64,
         start_index: u64,
     ) -> Vec<lora_phy::iq::Iq> {
-        chunk
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                let c = clock.value_at(start_index + i as u64, sample_rate);
-                s.scale(self.feedthrough) + s.scale(self.conversion_gain * c)
-            })
-            .collect()
+        let mut clk = Vec::new();
+        clock.values_into(start_index, chunk.len(), sample_rate, &mut clk);
+        let mut out = Vec::new();
+        self.mix_with_clock_into(chunk, &clk, &mut out);
+        out
+    }
+
+    /// Mixes one chunk against a pre-sampled clock block (one clock value per
+    /// input sample) into a caller-provided buffer — the allocation-free form
+    /// the streaming shifter chain uses, with the clock produced once by
+    /// [`Oscillator::values_into`] (or its recurrence fast path) and shared
+    /// by both mixers.
+    pub fn mix_with_clock_into(
+        &self,
+        chunk: &[lora_phy::iq::Iq],
+        clock: &[f64],
+        out: &mut Vec<lora_phy::iq::Iq>,
+    ) {
+        assert_eq!(chunk.len(), clock.len(), "one clock value per sample");
+        out.clear();
+        out.reserve(chunk.len());
+        for (s, &c) in chunk.iter().zip(clock) {
+            out.push(s.scale(self.feedthrough) + s.scale(self.conversion_gain * c));
+        }
     }
 }
 
@@ -96,13 +112,21 @@ impl BasebandMixer {
         sample_rate: f64,
         start_index: u64,
     ) -> Vec<f64> {
-        chunk
-            .iter()
-            .enumerate()
-            .map(|(i, s)| {
-                self.conversion_gain * s * clock.value_at(start_index + i as u64, sample_rate)
-            })
-            .collect()
+        let mut clk = Vec::new();
+        clock.values_into(start_index, chunk.len(), sample_rate, &mut clk);
+        let mut out = chunk.to_vec();
+        self.mix_with_clock_in_place(&mut out, &clk);
+        out
+    }
+
+    /// Mixes a real block against a pre-sampled clock block *in place* — the
+    /// output mixer of the streaming shifting chain rewrites the envelope
+    /// buffer it is handed without a copy.
+    pub fn mix_with_clock_in_place(&self, data: &mut [f64], clock: &[f64]) {
+        assert_eq!(data.len(), clock.len(), "one clock value per sample");
+        for (s, &c) in data.iter_mut().zip(clock) {
+            *s = self.conversion_gain * *s * c;
+        }
     }
 }
 

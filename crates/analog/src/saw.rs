@@ -295,8 +295,25 @@ impl SawFirState {
     }
 
     /// Filters one chunk, producing one output sample per input sample.
+    /// Allocates a fresh buffer per call; steady-state callers should prefer
+    /// [`Self::filter_chunk_into`].
     pub fn filter_chunk(&mut self, chunk: &[Iq]) -> Vec<Iq> {
         self.fir.filter_chunk(chunk)
+    }
+
+    /// Filters one chunk into a caller-provided buffer (cleared first) with
+    /// no steady-state allocation — see
+    /// [`ComplexFirState::filter_chunk_into`].
+    pub fn filter_chunk_into(&mut self, chunk: &[Iq], out: &mut Vec<Iq>) {
+        self.fir.filter_chunk_into(chunk, out);
+    }
+}
+
+impl crate::stage::BlockStage for SawFirState {
+    type In = Iq;
+    type Out = Iq;
+    fn process_into(&mut self, input: &[Iq], out: &mut Vec<Iq>) {
+        self.filter_chunk_into(input, out);
     }
 }
 

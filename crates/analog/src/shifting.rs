@@ -78,40 +78,25 @@ impl CyclicFrequencyShifter {
 
     /// Processes an RF (complex-baseband) input through the shifting chain and
     /// returns the recovered baseband envelope.
+    ///
+    /// Delegates to the streaming state run over the whole buffer at once:
+    /// there is a single implementation of each stage, and batch equals
+    /// chunked processing bit-exactly by construction.
     pub fn process(&self, input: &SampleBuffer) -> RealBuffer {
-        let delta_f = self.config.intermediate_frequency;
-        assert!(
-            delta_f < input.sample_rate / 2.0,
-            "intermediate frequency {delta_f} Hz exceeds Nyquist for fs {}",
-            input.sample_rate
-        );
-
-        // Step 1: input mixing creates S(F ± Δf) next to the fed-through S(F).
-        let clk_in = Oscillator::ltc6907(delta_f);
-        let mixed = self.input_mixer.mix(input, &clk_in);
-
-        // Envelope detection: the wanted envelope now also appears at Δf.
-        let envelope = self.detector.detect(&mixed);
-
-        // Step 2: IF amplification selects the clean copy at Δf.
-        let if_amp = IfAmplifier::paper_2n222(delta_f, self.config.if_half_bandwidth);
-        let if_signal = if_amp.amplify(&envelope);
-
-        // Step 3: mix back to baseband with the delay-line copy of the clock
-        // and low-pass away everything that moved up to the IF band.
-        let delay = DelayLine::new(self.config.delay_phase_error);
-        let clk_out = delay.derive(&clk_in);
-        let back = self.output_mixer.mix(&if_signal, &clk_out);
-        let lpf = LowPassFilter::new(self.config.lpf_cutoff, 2);
-        lpf.filter(&back)
+        let mut state = self.streaming(input.sample_rate, true);
+        let mut out = Vec::new();
+        state.process_chunk_into(&input.samples, &mut out);
+        RealBuffer::new(out, input.sample_rate)
     }
 
     /// Processes the input through a *plain* envelope detector (no shifting),
-    /// for side-by-side comparisons and the ablation study.
+    /// for side-by-side comparisons and the ablation study. Delegates to the
+    /// streaming state like [`Self::process`].
     pub fn process_without_shifting(&self, input: &SampleBuffer) -> RealBuffer {
-        let envelope = self.detector.detect(input);
-        let lpf = LowPassFilter::new(self.config.lpf_cutoff, 2);
-        lpf.filter(&envelope)
+        let mut state = self.streaming(input.sample_rate, false);
+        let mut out = Vec::new();
+        state.process_chunk_into(&input.samples, &mut out);
+        RealBuffer::new(out, input.sample_rate)
     }
 
     /// Creates a streaming state for the full shifting chain at the given
@@ -133,6 +118,7 @@ impl CyclicFrequencyShifter {
         let clk_out = DelayLine::new(self.config.delay_phase_error).derive(&clk_in);
         ShifterState {
             use_shifting,
+            fast_clock: false,
             input_mixer: self.input_mixer,
             output_mixer: self.output_mixer,
             clk_in,
@@ -143,14 +129,25 @@ impl CyclicFrequencyShifter {
             if_amp: IfAmplifier::paper_2n222(delta_f, self.config.if_half_bandwidth)
                 .streaming(sample_rate),
             lpf: LowPassFilter::new(self.config.lpf_cutoff, 2).streaming(sample_rate),
+            clk_scratch: Vec::new(),
+            mix_scratch: Vec::new(),
         }
     }
 }
 
 /// Carried state of a streaming [`CyclicFrequencyShifter`] chain.
+///
+/// The state owns two scratch buffers (the sampled clock block and the
+/// input-mixer output) that are reused across chunks, so steady-state
+/// processing allocates nothing; the envelope itself is written into the
+/// caller's buffer by [`ShifterState::process_chunk_into`] and rewritten in
+/// place by the IF amplifier, output mixer and low-pass stages.
 #[derive(Debug, Clone)]
 pub struct ShifterState {
     use_shifting: bool,
+    /// Sample the mixer clocks with the phasor-recurrence fast path instead
+    /// of per-sample `cos` (see [`Oscillator::values_into_recurrence`]).
+    fast_clock: bool,
     input_mixer: RfMixer,
     output_mixer: BasebandMixer,
     clk_in: Oscillator,
@@ -161,29 +158,70 @@ pub struct ShifterState {
     detector: crate::envelope::EnvelopeDetectorState,
     if_amp: crate::filters::IfAmplifierState,
     lpf: crate::filters::LowPassState,
+    /// Reusable clock-block scratch (shared by both mixers).
+    clk_scratch: Vec<f64>,
+    /// Reusable input-mixer output scratch.
+    mix_scratch: Vec<lora_phy::iq::Iq>,
 }
 
 impl ShifterState {
+    /// Enables or disables the phasor-recurrence clock fast path. The fast
+    /// path is *not* bit-identical to the exact per-sample `cos` clock (it is
+    /// accurate to a few ULPs per block, re-anchored on the absolute sample
+    /// index every chunk), so it defaults to off and golden traces are always
+    /// decoded with the exact path.
+    pub fn with_fast_clock(mut self, fast: bool) -> Self {
+        self.fast_clock = fast;
+        self
+    }
+
     /// Processes one chunk of RF (complex-baseband) input into the recovered
-    /// baseband envelope, advancing every carried state.
+    /// baseband envelope, allocating a fresh output buffer. Steady-state
+    /// callers should prefer [`Self::process_chunk_into`].
     pub fn process_chunk(&mut self, chunk: &[lora_phy::iq::Iq]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.process_chunk_into(chunk, &mut out);
+        out
+    }
+
+    /// Processes one chunk of RF (complex-baseband) input into the recovered
+    /// baseband envelope, written into `out` (cleared first), advancing every
+    /// carried state.
+    pub fn process_chunk_into(&mut self, chunk: &[lora_phy::iq::Iq], out: &mut Vec<f64>) {
         let start = self.index;
         self.index += chunk.len() as u64;
         if !self.use_shifting {
-            let mut envelope = self.detector.detect_chunk(chunk);
-            self.lpf.process_chunk(&mut envelope);
-            return envelope;
+            self.detector.detect_chunk_into(chunk, out);
+            self.lpf.process_chunk(out);
+            return;
         }
-        let mixed = self
-            .input_mixer
-            .mix_chunk(chunk, &self.clk_in, self.sample_rate, start);
-        let mut envelope = self.detector.detect_chunk(&mixed);
-        self.if_amp.process_chunk(&mut envelope);
-        let mut back =
-            self.output_mixer
-                .mix_chunk(&envelope, &self.clk_out, self.sample_rate, start);
-        self.lpf.process_chunk(&mut back);
-        back
+        self.fill_clock(self.clk_in, start, chunk.len());
+        let input_mixer = self.input_mixer;
+        input_mixer.mix_with_clock_into(chunk, &self.clk_scratch, &mut self.mix_scratch);
+        self.detector.detect_chunk_into(&self.mix_scratch, out);
+        self.if_amp.process_chunk(out);
+        self.fill_clock(self.clk_out, start, chunk.len());
+        self.output_mixer
+            .mix_with_clock_in_place(out, &self.clk_scratch);
+        self.lpf.process_chunk(out);
+    }
+
+    /// Samples `len` clock values starting at absolute index `start` into the
+    /// clock scratch, via the exact or fast path.
+    fn fill_clock(&mut self, clock: Oscillator, start: u64, len: usize) {
+        if self.fast_clock {
+            clock.values_into_recurrence(start, len, self.sample_rate, &mut self.clk_scratch);
+        } else {
+            clock.values_into(start, len, self.sample_rate, &mut self.clk_scratch);
+        }
+    }
+}
+
+impl crate::stage::BlockStage for ShifterState {
+    type In = lora_phy::iq::Iq;
+    type Out = f64;
+    fn process_into(&mut self, input: &[lora_phy::iq::Iq], out: &mut Vec<f64>) {
+        self.process_chunk_into(input, out);
     }
 }
 

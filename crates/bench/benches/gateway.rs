@@ -65,23 +65,42 @@ fn bench_channelizer(c: &mut Criterion) {
 
 fn bench_four_channel_gateway(c: &mut Criterion) {
     let (cfg, trace) = four_channel_trace();
-    let channels: Vec<GatewayChannel> = MultiChannelConfig::grid_offsets(N_CHANNELS)
-        .iter()
-        .enumerate()
-        .map(|(i, &offset)| {
-            GatewayChannel::new(
-                i as u8,
-                offset,
-                SaiyanConfig::narrowband_streaming(lora250(), Variant::Vanilla)
-                    .with_analog_noise(false),
-                PAYLOAD_SYMBOLS,
-            )
-        })
-        .collect();
-    let config = GatewayConfig::new(cfg.wideband_rate(), channels).with_channelizer_taps(64);
-    c.bench_function("gateway/four_channel_concurrent", |b| {
-        b.iter(|| Gateway::run_trace(config.clone(), &trace, 16_384).len())
-    });
+    // Both profiles: the exact analog chain with the noise model off (the
+    // PR 3 configuration) and the production profile the gateway deploys
+    // (additionally enabling the anchored-recurrence oscillator/phasor).
+    for (label, production) in [
+        ("four_channel_concurrent", false),
+        ("four_channel_production", true),
+    ] {
+        let channels: Vec<GatewayChannel> = MultiChannelConfig::grid_offsets(N_CHANNELS)
+            .iter()
+            .enumerate()
+            .map(|(i, &offset)| {
+                let base = SaiyanConfig::narrowband_streaming(lora250(), Variant::Vanilla)
+                    .with_analog_noise(false);
+                GatewayChannel::new(
+                    i as u8,
+                    offset,
+                    if production {
+                        base.high_throughput()
+                    } else {
+                        base
+                    },
+                    PAYLOAD_SYMBOLS,
+                )
+            })
+            .collect();
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(N_CHANNELS);
+        let config = GatewayConfig::new(cfg.wideband_rate(), channels)
+            .with_channelizer_taps(64)
+            .with_worker_threads(workers);
+        c.bench_function(format!("gateway/{label}"), |b| {
+            b.iter(|| Gateway::run_trace(config.clone(), &trace, 16_384).len())
+        });
+    }
 }
 
 fn bench_passthrough_overhead(c: &mut Criterion) {

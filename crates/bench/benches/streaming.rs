@@ -28,18 +28,25 @@ fn trace(packets: usize) -> lora_phy::SampleBuffer {
 fn bench_streaming_demodulator(c: &mut Criterion) {
     let rx = trace(3);
     for variant in [Variant::Vanilla, Variant::Super] {
-        let cfg = SaiyanConfig::paper_default(lora(), variant);
-        c.bench_function(format!("streaming/demod_3pkt_{variant:?}"), |b| {
-            b.iter(|| {
-                let mut demod = StreamingDemodulator::new(cfg.clone(), 8);
-                let mut out = Vec::new();
-                for chunk in rx.samples.chunks(4096) {
-                    out.extend(demod.push_samples(chunk));
-                }
-                out.extend(demod.finish());
-                out
-            })
-        });
+        for production in [false, true] {
+            let base = SaiyanConfig::paper_default(lora(), variant);
+            let (cfg, label) = if production {
+                (base.high_throughput(), format!("{variant:?}_production"))
+            } else {
+                (base, format!("{variant:?}"))
+            };
+            c.bench_function(format!("streaming/demod_3pkt_{label}"), |b| {
+                b.iter(|| {
+                    let mut demod = StreamingDemodulator::new(cfg.clone(), 8);
+                    let mut out = Vec::new();
+                    for chunk in rx.samples.chunks(4096) {
+                        out.extend(demod.push_samples(chunk));
+                    }
+                    out.extend(demod.finish());
+                    out
+                })
+            });
+        }
     }
 }
 

@@ -1,11 +1,27 @@
 //! Streaming-demodulator throughput: sustained samples/sec over a long
-//! multi-packet trace, per receive-chain variant.
+//! multi-packet trace, per receive-chain variant and profile.
 //!
 //! This is the scale-readiness number behind the ROADMAP's "as fast as the
 //! hardware allows" goal: how quickly the software receive chain chews
 //! through an unbounded IQ stream fed in hardware-realistic chunks. For
 //! reference, real-time operation at the paper's SF7/500 kHz setup with 4x
 //! oversampling needs 2 Msps sustained.
+//!
+//! Two profiles are measured for every variant:
+//!
+//! * **exact** — [`SaiyanConfig::paper_default`]: the full analog-noise model
+//!   and the exact per-sample oscillator. This is the configuration the
+//!   golden-trace suite pins bit-exactly; its cost floor is the four libm
+//!   Gaussian draws per waveform sample the noise model requires.
+//! * **production** — [`SaiyanConfig::high_throughput`]: the analog-noise
+//!   model off (a real capture already carries channel noise) and the
+//!   anchored phasor-recurrence oscillator. This is the profile the
+//!   multi-channel gateway deploys.
+//!
+//! With `--check-floor <x>` the binary exits non-zero if the *headline*
+//! (production, slowest variant) realtime factor drops below `x` — the CI
+//! regression gate. Results land in `results/stream_throughput.json` and the
+//! top-level `BENCH_streaming.json`.
 
 use std::time::Instant;
 
@@ -13,7 +29,7 @@ use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
 use netsim::longtrace::{generate_long_trace, random_payloads, LongTraceConfig, TracePacket};
 use saiyan::config::{SaiyanConfig, Variant};
 use saiyan::StreamingDemodulator;
-use saiyan_bench::{fmt, Table};
+use saiyan_bench::{check_floor_arg, enforce_floor, fmt, write_json, write_json_at, Table};
 
 const PACKETS: usize = 12;
 const PAYLOAD_SYMBOLS: usize = 16;
@@ -52,6 +68,7 @@ fn main() {
     let mut table = Table::new(
         "Streaming demodulation throughput (chunked, 4096-sample chunks)",
         &[
+            "profile",
             "variant",
             "decoded",
             "symbol errors",
@@ -60,56 +77,87 @@ fn main() {
         ],
     );
     let mut json_rows = Vec::new();
-    for variant in Variant::ALL {
-        let cfg = SaiyanConfig::paper_default(lora, variant);
-        let mut demod = StreamingDemodulator::new(cfg, PAYLOAD_SYMBOLS);
-        let start = Instant::now();
-        let mut results = Vec::new();
-        for chunk in trace.samples.chunks(CHUNK_SAMPLES) {
-            results.extend(demod.push_samples(chunk));
-        }
-        results.extend(demod.finish());
-        let elapsed = start.elapsed().as_secs_f64();
-        let samples_per_sec = trace.len() as f64 / elapsed;
-        // Match decoded packets to ground truth by payload time.
-        let mut symbol_errors = 0usize;
-        let mut decoded = 0usize;
-        for t in &truth {
-            let t_payload = t.payload_start_sample as f64 / trace.sample_rate;
-            if let Some(r) = results
-                .iter()
-                .find(|r| (r.payload_start_time - t_payload).abs() < lora.symbol_duration())
-            {
-                decoded += 1;
-                symbol_errors += r
-                    .symbols
-                    .iter()
-                    .zip(&t.symbols)
-                    .filter(|(a, b)| a != b)
-                    .count();
+    let mut headline: f64 = f64::INFINITY;
+    let mut exact_min: f64 = f64::INFINITY;
+    for production in [false, true] {
+        let profile = if production { "production" } else { "exact" };
+        for variant in Variant::ALL {
+            let base = SaiyanConfig::paper_default(lora, variant);
+            let cfg = if production {
+                base.high_throughput()
+            } else {
+                base
+            };
+            let mut demod = StreamingDemodulator::new(cfg, PAYLOAD_SYMBOLS);
+            let start = Instant::now();
+            let mut results = Vec::new();
+            for chunk in trace.samples.chunks(CHUNK_SAMPLES) {
+                results.extend(demod.push_samples(chunk));
             }
+            results.extend(demod.finish());
+            let elapsed = start.elapsed().as_secs_f64();
+            let samples_per_sec = trace.len() as f64 / elapsed;
+            // Match decoded packets to ground truth by payload time.
+            let mut symbol_errors = 0usize;
+            let mut decoded = 0usize;
+            for t in &truth {
+                let t_payload = t.payload_start_sample as f64 / trace.sample_rate;
+                if let Some(r) = results
+                    .iter()
+                    .find(|r| (r.payload_start_time - t_payload).abs() < lora.symbol_duration())
+                {
+                    decoded += 1;
+                    symbol_errors += r
+                        .symbols
+                        .iter()
+                        .zip(&t.symbols)
+                        .filter(|(a, b)| a != b)
+                        .count();
+                }
+            }
+            let realtime = samples_per_sec / trace.sample_rate;
+            if production {
+                headline = headline.min(realtime);
+            } else {
+                exact_min = exact_min.min(realtime);
+            }
+            table.add_row(vec![
+                profile.to_string(),
+                variant.label().to_string(),
+                format!("{decoded}/{}", truth.len()),
+                symbol_errors.to_string(),
+                fmt(samples_per_sec / 1e6, 2),
+                fmt(realtime, 1),
+            ]);
+            json_rows.push(serde_json::json!({
+                "profile": profile,
+                "variant": variant.label(),
+                "decoded": decoded,
+                "packets": truth.len(),
+                "symbol_errors": symbol_errors,
+                "samples_per_sec": samples_per_sec,
+                "realtime_factor": realtime,
+            }));
         }
-        let realtime = samples_per_sec / trace.sample_rate;
-        table.add_row(vec![
-            variant.label().to_string(),
-            format!("{decoded}/{}", truth.len()),
-            symbol_errors.to_string(),
-            fmt(samples_per_sec / 1e6, 2),
-            fmt(realtime, 1),
-        ]);
-        json_rows.push(serde_json::json!({
-            "variant": variant.label(),
-            "decoded": decoded,
-            "packets": truth.len(),
-            "symbol_errors": symbol_errors,
-            "samples_per_sec": samples_per_sec,
-            "realtime_factor": realtime,
-        }));
     }
     table.print();
     println!(
         "Sustained rate is per single core; 1x realtime = {:.1} Msps (SF7, 500 kHz, 4x oversampling).",
         trace.sample_rate / 1e6
     );
-    saiyan_bench::write_json("stream_throughput", &serde_json::json!(json_rows));
+    let summary = serde_json::json!({
+        "bench": "exp_stream_throughput",
+        "sample_rate": trace.sample_rate,
+        "chunk_samples": CHUNK_SAMPLES,
+        "realtime_factor_headline": headline,
+        "realtime_factor_exact_min": exact_min,
+        "rows": serde_json::json!(json_rows.clone()),
+    });
+    write_json("stream_throughput", &serde_json::json!(json_rows));
+    write_json_at("BENCH_streaming.json", &summary);
+    enforce_floor(
+        "production realtime factor (slowest variant)",
+        headline,
+        check_floor_arg(),
+    );
 }

@@ -100,7 +100,14 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
         eprintln!("note: could not create results/: {e}");
         return;
     }
-    let path = dir.join(format!("{name}.json"));
+    write_json_at(dir.join(format!("{name}.json")), value);
+}
+
+/// Writes a JSON value to an explicit path (best effort, like
+/// [`write_json`]) — used for the top-level `BENCH_*.json` perf snapshots CI
+/// archives and compares across commits.
+pub fn write_json_at(path: impl Into<PathBuf>, value: &serde_json::Value) {
+    let path = path.into();
     match serde_json::to_string_pretty(value) {
         Ok(body) => {
             if let Err(e) = fs::write(&path, body) {
@@ -111,6 +118,37 @@ pub fn write_json(name: &str, value: &serde_json::Value) {
         }
         Err(e) => eprintln!("note: could not serialise results: {e}"),
     }
+}
+
+/// Parses a `--check-floor <x>` argument from the process command line, if
+/// present. Experiments use it as a CI regression gate on their headline
+/// throughput metric.
+pub fn check_floor_arg() -> Option<f64> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--check-floor" {
+            let v = args
+                .next()
+                .unwrap_or_else(|| panic!("--check-floor needs a value"));
+            return Some(
+                v.parse()
+                    .unwrap_or_else(|e| panic!("--check-floor value {v:?} is not a number: {e}")),
+            );
+        }
+    }
+    None
+}
+
+/// Enforces a `--check-floor` gate: if `floor` is set and `value` falls
+/// below it, prints a FAIL line and exits with status 1; otherwise prints
+/// the verdict and returns.
+pub fn enforce_floor(metric: &str, value: f64, floor: Option<f64>) {
+    let Some(floor) = floor else { return };
+    if value < floor {
+        eprintln!("check-floor FAIL: {metric} = {value:.2} < floor {floor:.2}");
+        std::process::exit(1);
+    }
+    println!("check-floor PASS: {metric} = {value:.2} >= floor {floor:.2}");
 }
 
 #[cfg(test)]

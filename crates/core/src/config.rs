@@ -80,6 +80,15 @@ pub struct SaiyanConfig {
     /// afford fewer taps at the same response fidelity — the narrow-band
     /// profile halves them.
     pub streaming_saw_taps: Option<usize>,
+    /// Sample the shifting chain's mixer clocks with the phasor-recurrence
+    /// fast path (one complex rotation per sample, re-anchored on the
+    /// absolute sample index every chunk) instead of one exact `cos` call
+    /// per sample. The fast path is accurate to a few ULPs per block but is
+    /// *not* bit-identical to the exact clock, so it defaults to `false`:
+    /// golden traces are pinned against the exact path, and high-throughput
+    /// deployments opt in explicitly (see
+    /// [`analog::oscillator::Oscillator::values_into_recurrence`]).
+    pub fast_oscillator: bool,
     /// Seed used for any stochastic elements of the receive chain.
     pub seed: u64,
 }
@@ -97,6 +106,7 @@ impl SaiyanConfig {
             activity_ratio: 8.0,
             analog_noise: true,
             streaming_saw_taps: None,
+            fast_oscillator: false,
             seed: 0x5A17,
         }
     }
@@ -125,6 +135,22 @@ impl SaiyanConfig {
     pub fn with_analog_noise(mut self, enabled: bool) -> Self {
         self.analog_noise = enabled;
         self
+    }
+
+    /// Returns a copy with the phasor-recurrence oscillator fast path enabled
+    /// or disabled (see [`SaiyanConfig::fast_oscillator`]).
+    pub fn with_fast_oscillator(mut self, enabled: bool) -> Self {
+        self.fast_oscillator = enabled;
+        self
+    }
+
+    /// The production gateway/receiver profile: this configuration with the
+    /// analog-noise model off (the capture already carries channel noise) and
+    /// the oscillator fast path on. Decodes are no longer bit-pinned against
+    /// the golden traces — use it where throughput matters, not in
+    /// regression suites.
+    pub fn high_throughput(self) -> Self {
+        self.with_analog_noise(false).with_fast_oscillator(true)
     }
 
     /// The sampler rate in Hz: `sampling_margin * 2 * BW / 2^(SF−K)`.

@@ -29,6 +29,11 @@ pub struct Frontend {
     pub variant: Variant,
     /// Absolute carrier frequency the complex-baseband input is referenced to.
     pub carrier: Hertz,
+    /// Whether streaming instances sample the mixer clocks with the
+    /// phasor-recurrence fast path (see
+    /// [`crate::config::SaiyanConfig::fast_oscillator`]). Off by default;
+    /// the batch path always uses the exact clock.
+    pub fast_oscillator: bool,
 }
 
 impl Frontend {
@@ -54,6 +59,7 @@ impl Frontend {
             ),
             variant: config.variant,
             carrier: Hertz(config.lora.carrier_hz),
+            fast_oscillator: config.fast_oscillator,
         }
     }
 
@@ -73,6 +79,14 @@ impl Frontend {
     }
 
     /// Processes an RF complex-baseband buffer into the detected envelope.
+    ///
+    /// Every stage past the SAW filter delegates to the streaming
+    /// implementations run over the whole buffer at once (the LNA, detector,
+    /// mixers, IF amplifier and low-pass each have a single source of
+    /// truth). The SAW stage is the one deliberate batch/streaming split:
+    /// here it is the zero-phase frequency-domain response over the whole
+    /// capture, while the streaming path uses its causal linear-phase FIR
+    /// approximation (see [`StreamingFrontend`]).
     pub fn process(&self, rf: &SampleBuffer) -> RealBuffer {
         let transformed = self.saw.apply(rf, self.carrier);
         let amplified = self.lna.amplify(&transformed);
@@ -107,7 +121,10 @@ impl Frontend {
             lna: self.lna.streaming(),
             shifter: self
                 .shifter
-                .streaming(sample_rate, self.variant.uses_shifting()),
+                .streaming(sample_rate, self.variant.uses_shifting())
+                .with_fast_clock(self.fast_oscillator),
+            saw_scratch: Vec::new(),
+            lna_scratch: Vec::new(),
         }
     }
 }
@@ -128,15 +145,34 @@ pub struct StreamingFrontend {
     saw: analog::saw::SawFirState,
     lna: analog::lna::LnaState,
     shifter: analog::shifting::ShifterState,
+    /// Reusable SAW-output scratch: the front end allocates nothing in
+    /// steady state.
+    saw_scratch: Vec<lora_phy::iq::Iq>,
+    /// Reusable LNA-output scratch.
+    lna_scratch: Vec<lora_phy::iq::Iq>,
 }
 
 impl StreamingFrontend {
     /// Processes one chunk of RF samples into envelope samples (one per input
-    /// sample), advancing all carried state.
+    /// sample), advancing all carried state. Allocates a fresh output buffer
+    /// per call; steady-state callers should prefer
+    /// [`Self::process_chunk_into`].
     pub fn process_chunk(&mut self, chunk: &[lora_phy::iq::Iq]) -> Vec<f64> {
-        let transformed = self.saw.filter_chunk(chunk);
-        let amplified = self.lna.amplify_chunk(&transformed);
-        self.shifter.process_chunk(&amplified)
+        let mut out = Vec::new();
+        self.process_chunk_into(chunk, &mut out);
+        out
+    }
+
+    /// Processes one chunk of RF samples into envelope samples written into
+    /// `out` (cleared first), advancing all carried state. The SAW and LNA
+    /// intermediates live in scratch buffers owned by the front end, so once
+    /// buffers have grown to the chunk working size no per-chunk heap
+    /// traffic remains.
+    pub fn process_chunk_into(&mut self, chunk: &[lora_phy::iq::Iq], out: &mut Vec<f64>) {
+        self.saw.filter_chunk_into(chunk, &mut self.saw_scratch);
+        self.lna
+            .amplify_chunk_into(&self.saw_scratch, &mut self.lna_scratch);
+        self.shifter.process_chunk_into(&self.lna_scratch, out);
     }
 
     /// The constant group delay the streaming SAW FIR introduces, in waveform

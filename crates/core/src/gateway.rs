@@ -194,12 +194,16 @@ impl Ord for MergeEntry {
     }
 }
 
-/// One worker's pipeline for one channel.
+/// One worker's pipeline for one channel, with its persistent scratch set:
+/// the channelizer writes each chunk's baseband into a buffer owned by the
+/// pipeline, so a long-running worker performs no per-chunk allocation.
 struct ChannelPipeline {
     index: usize,
     channel_rate: f64,
     channelizer: ChannelizerState,
     demod: StreamingDemodulator,
+    /// Reusable channel-rate baseband buffer.
+    baseband: Vec<Iq>,
 }
 
 /// The running multi-channel gateway. See the [module docs](self).
@@ -303,6 +307,7 @@ impl Gateway {
             } else {
                 ChannelizerSpec::for_channel(ch.offset_hz, bw, decimation)
                     .with_taps(config.channelizer_taps)
+                    .with_fast_phasor(ch.config.fast_oscillator)
             };
             let t_sym = ch.config.lora.symbol_duration();
             horizon = horizon.max((ch.payload_symbols as f64 + 4.0) * t_sym);
@@ -311,6 +316,7 @@ impl Gateway {
                 channel_rate,
                 channelizer: spec.streaming(config.wideband_rate),
                 demod: StreamingDemodulator::new(ch.config.clone(), ch.payload_symbols),
+                baseband: Vec::new(),
             });
         }
 
@@ -476,8 +482,8 @@ fn worker_loop(
         match jobs.recv() {
             Ok(Job::Chunk(chunk)) => {
                 for p in &mut pipelines {
-                    let baseband = p.channelizer.process_chunk(&chunk);
-                    let packets = p.demod.push_samples(&baseband);
+                    p.channelizer.process_chunk_into(&chunk, &mut p.baseband);
+                    let packets = p.demod.push_samples(&p.baseband);
                     let acked_time = p.demod.samples_consumed() as f64 / p.channel_rate;
                     if reports
                         .send(ChannelReport {

@@ -254,6 +254,10 @@ pub struct StreamingDemodulator {
     decoder: PeakDecoder,
     correlator: Option<Correlator>,
     state: RxState,
+    /// Reusable envelope buffer the front end writes each chunk into; its
+    /// capacity survives across chunks so steady-state demodulation performs
+    /// no per-chunk allocation.
+    env_scratch: Vec<f64>,
 }
 
 impl StreamingDemodulator {
@@ -315,6 +319,7 @@ impl StreamingDemodulator {
             decoder,
             correlator,
             state: RxState::Searching,
+            env_scratch: Vec::new(),
         }
     }
 
@@ -350,9 +355,12 @@ impl StreamingDemodulator {
 
     /// Pushes raw samples (assumed to be at the stream's sample rate).
     pub fn push_samples(&mut self, samples: &[Iq]) -> Vec<DemodResult> {
-        let envelope = self.frontend.process_chunk(samples);
+        // Temporarily take the scratch so the per-sample loop below can
+        // borrow `self` mutably while reading the envelope.
+        let mut envelope = std::mem::take(&mut self.env_scratch);
+        self.frontend.process_chunk_into(samples, &mut envelope);
         let mut out = Vec::new();
-        for v in envelope {
+        for &v in &envelope {
             let hold_active = matches!(self.state, RxState::Collecting { .. });
             let thresholds = self.tracker.update(v, hold_active);
             self.current_thresholds = thresholds;
@@ -372,6 +380,7 @@ impl StreamingDemodulator {
             }
             self.hi_index += 1;
         }
+        self.env_scratch = envelope;
         out
     }
 

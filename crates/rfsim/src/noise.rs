@@ -71,12 +71,23 @@ impl AwgnSource {
 
     /// Draws one complex Gaussian sample with total variance `variance`
     /// (split evenly between I and Q).
+    #[inline]
     pub fn sample(&mut self, variance: f64) -> Iq {
-        let std = (variance / 2.0).sqrt();
+        self.sample_with_std((variance / 2.0).sqrt())
+    }
+
+    /// [`Self::sample`] with the per-component standard deviation already
+    /// computed — the hot-loop form for callers whose noise power is fixed
+    /// per stream (e.g. the streaming LNA), hoisting the square root out of
+    /// the per-sample path. `sample(v)` ≡ `sample_with_std((v / 2).sqrt())`
+    /// bit-exactly, drawing the same RNG sequence.
+    #[inline]
+    pub fn sample_with_std(&mut self, std: f64) -> Iq {
         Iq::new(std * self.gaussian(), std * self.gaussian())
     }
 
     /// Draws one real zero-mean unit-variance Gaussian via Box–Muller.
+    #[inline]
     pub fn gaussian(&mut self) -> f64 {
         let u1: f64 = self.rng.gen_range(f64::EPSILON..1.0);
         let u2: f64 = self.rng.gen();

@@ -1,0 +1,186 @@
+//! Batch == streaming, stage by stage, on a golden fixture.
+//!
+//! The block-pipeline refactor left exactly one implementation per analog
+//! stage: every batch entry point (`Lna::amplify`, `EnvelopeDetector::detect`,
+//! `CyclicFrequencyShifter::process`, `IfAmplifier::amplify`,
+//! `LowPassFilter::filter`, `DoubleThresholdComparator::compare`) delegates to
+//! its streaming state run over the whole buffer at once. These tests pin the
+//! consequence — batch output is bit-identical to chunked streaming output on
+//! a committed golden trace — so the delegation can never silently fork
+//! again. The SAW stage is the one deliberate exception (zero-phase
+//! frequency-domain batch model vs causal FIR streaming approximation), so
+//! the full-front-end parity check runs on the post-SAW chain.
+
+use analog::envelope::EnvelopeDetector;
+use analog::filters::{IfAmplifier, LowPassFilter};
+use analog::lna::Lna;
+use analog::shifting::{CyclicFrequencyShifter, ShiftingConfig};
+use analog::signal::RealBuffer;
+use lora_phy::iq::SampleBuffer;
+use netsim::longtrace::read_golden;
+use rfsim::units::Hertz;
+use saiyan::config::SaiyanConfig;
+use saiyan::Frontend;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// A slice of the shifting golden fixture, SAW-transformed so the post-SAW
+/// stages see realistic amplitudes.
+fn fixture_rf() -> (SampleBuffer, SaiyanConfig) {
+    let fixture = read_golden(&golden_dir(), "dual_sf7_bw500_k2_shifting").expect("fixture loads");
+    let cfg = SaiyanConfig::paper_default(fixture.lora, fixture.variant);
+    let fe = Frontend::paper(&cfg);
+    // Keep the parity check fast: two symbols past the first packet start.
+    let n = (4 * fixture.lora.samples_per_symbol()).min(fixture.trace.len());
+    let cut = SampleBuffer::new(
+        fixture.trace.samples[..n].to_vec(),
+        fixture.trace.sample_rate,
+    );
+    (fe.saw.apply(&cut, fe.carrier), cfg)
+}
+
+fn chunkings() -> [usize; 4] {
+    [1, 7, 997, usize::MAX]
+}
+
+#[test]
+fn lna_batch_equals_chunked_streaming_on_golden_fixture() {
+    let (rf, cfg) = fixture_rf();
+    let lna = Lna::paper_cglna(Hertz(cfg.lora.bw.hz()));
+    let batch = lna.amplify(&rf);
+    for chunk_size in chunkings() {
+        let mut state = lna.streaming();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for chunk in rf.samples.chunks(chunk_size.min(rf.len())) {
+            state.amplify_chunk_into(chunk, &mut scratch);
+            out.extend_from_slice(&scratch);
+        }
+        assert_eq!(out, batch.samples, "chunk size {chunk_size}");
+    }
+}
+
+#[test]
+fn detector_batch_equals_chunked_streaming_on_golden_fixture() {
+    let (rf, _) = fixture_rf();
+    let det = EnvelopeDetector::default().with_seed(0x60_1D);
+    let batch = det.detect(&rf);
+    for chunk_size in chunkings() {
+        let mut state = det.streaming(rf.sample_rate);
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for chunk in rf.samples.chunks(chunk_size.min(rf.len())) {
+            state.detect_chunk_into(chunk, &mut scratch);
+            out.extend_from_slice(&scratch);
+        }
+        assert_eq!(out, batch.samples, "chunk size {chunk_size}");
+    }
+}
+
+#[test]
+fn shifter_batch_equals_chunked_streaming_on_golden_fixture() {
+    let (rf, cfg) = fixture_rf();
+    for use_shifting in [true, false] {
+        let shifter = CyclicFrequencyShifter::new(
+            ShiftingConfig::for_bandwidth(cfg.lora.bw.hz()),
+            EnvelopeDetector::default(),
+        );
+        let batch = if use_shifting {
+            shifter.process(&rf)
+        } else {
+            shifter.process_without_shifting(&rf)
+        };
+        for chunk_size in chunkings() {
+            let mut state = shifter.streaming(rf.sample_rate, use_shifting);
+            let mut out = Vec::new();
+            let mut scratch = Vec::new();
+            for chunk in rf.samples.chunks(chunk_size.min(rf.len())) {
+                state.process_chunk_into(chunk, &mut scratch);
+                out.extend_from_slice(&scratch);
+            }
+            assert_eq!(
+                out, batch.samples,
+                "shifting={use_shifting} chunk size {chunk_size}"
+            );
+        }
+    }
+}
+
+#[test]
+fn real_filters_batch_equal_chunked_streaming_on_golden_envelope() {
+    let (rf, cfg) = fixture_rf();
+    let envelope = EnvelopeDetector::ideal().detect(&rf);
+    let bw = cfg.lora.bw.hz();
+    // IF amplifier.
+    let amp = IfAmplifier::paper_2n222(bw, bw / 4.0);
+    let batch = amp.amplify(&envelope);
+    for chunk_size in chunkings() {
+        let mut state = amp.streaming(envelope.sample_rate);
+        let mut out = envelope.samples.clone();
+        for chunk in out.chunks_mut(chunk_size.min(envelope.len())) {
+            state.process_chunk(chunk);
+        }
+        assert_eq!(out, batch.samples, "if chunk size {chunk_size}");
+    }
+    // Low-pass cascade.
+    let lpf = LowPassFilter::new(bw / 5.0, 2);
+    let batch = lpf.filter(&envelope);
+    for chunk_size in chunkings() {
+        let mut state = lpf.streaming(envelope.sample_rate);
+        let mut out = envelope.samples.clone();
+        for chunk in out.chunks_mut(chunk_size.min(envelope.len())) {
+            state.process_chunk(chunk);
+        }
+        assert_eq!(out, batch.samples, "lpf chunk size {chunk_size}");
+    }
+}
+
+#[test]
+fn comparator_batch_equals_chunked_streaming_on_golden_envelope() {
+    let (rf, _) = fixture_rf();
+    let envelope = EnvelopeDetector::ideal().detect(&rf);
+    let peak = envelope.max();
+    let cmp = analog::DoubleThresholdComparator::new(peak * 0.7, peak * 0.3);
+    let batch = cmp.compare(&envelope);
+    for chunk_size in chunkings() {
+        let mut state = cmp.streaming();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        for chunk in envelope.samples.chunks(chunk_size.min(envelope.len())) {
+            state.compare_chunk_into(chunk, &mut scratch);
+            out.extend_from_slice(&scratch);
+        }
+        assert_eq!(out, batch.bits, "chunk size {chunk_size}");
+    }
+}
+
+#[test]
+fn full_batch_front_end_equals_saw_plus_streamed_chain_on_golden_fixture() {
+    // Frontend::process = batch SAW, then the streaming implementations of
+    // LNA + shifter run whole-buffer. Recomposing those pieces by hand must
+    // reproduce it bit-exactly — the "single source of truth per stage"
+    // regression gate.
+    let fixture = read_golden(&golden_dir(), "dual_sf7_bw500_k2_shifting").expect("fixture loads");
+    let cfg = SaiyanConfig::paper_default(fixture.lora, fixture.variant);
+    let fe = Frontend::paper(&cfg);
+    let n = (4 * fixture.lora.samples_per_symbol()).min(fixture.trace.len());
+    let cut = SampleBuffer::new(
+        fixture.trace.samples[..n].to_vec(),
+        fixture.trace.sample_rate,
+    );
+    let batch: RealBuffer = fe.process(&cut);
+
+    let transformed = fe.saw.apply(&cut, fe.carrier);
+    let mut lna_state = fe.lna.streaming();
+    let mut shifter_state = fe
+        .shifter
+        .streaming(cut.sample_rate, fe.variant.uses_shifting());
+    let mut amplified = Vec::new();
+    let mut out = Vec::new();
+    lna_state.amplify_chunk_into(&transformed.samples, &mut amplified);
+    shifter_state.process_chunk_into(&amplified, &mut out);
+    assert_eq!(out, batch.samples);
+}

@@ -1,0 +1,75 @@
+//! The high-throughput fast paths against the exact defaults.
+//!
+//! The phasor-recurrence oscillator (`SaiyanConfig::fast_oscillator`) and the
+//! production profile (`SaiyanConfig::high_throughput`) trade bit-stability
+//! for speed: envelopes differ from the exact path by a few ULPs per block.
+//! These tests pin what must survive that trade — every golden-trace packet
+//! still decodes to the same symbols — and that the default configuration
+//! keeps the fast paths *off*, so the bit-exact golden suite stays meaningful.
+
+use netsim::golden_fixture_set;
+use netsim::longtrace::read_golden;
+use saiyan::config::SaiyanConfig;
+use saiyan::StreamingDemodulator;
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+#[test]
+fn fast_paths_default_to_off() {
+    let fixture = &golden_fixture_set()[0];
+    let cfg = SaiyanConfig::paper_default(fixture.lora, fixture.variant);
+    assert!(!cfg.fast_oscillator);
+    assert!(cfg.analog_noise);
+    let fast = cfg.clone().high_throughput();
+    assert!(fast.fast_oscillator);
+    assert!(!fast.analog_noise);
+}
+
+#[test]
+fn fast_oscillator_decodes_all_golden_traces_to_the_same_symbols() {
+    for name in golden_fixture_set().iter().map(|f| f.name.clone()) {
+        let fixture = read_golden(&golden_dir(), &name).expect("fixture loads");
+        let n_symbols = fixture.truth[0].symbols.len();
+        let exact_cfg = SaiyanConfig::paper_default(fixture.lora, fixture.variant);
+        let fast_cfg = exact_cfg.clone().with_fast_oscillator(true);
+        let exact = StreamingDemodulator::new(exact_cfg, n_symbols).run_to_end(&fixture.trace);
+        let fast = StreamingDemodulator::new(fast_cfg, n_symbols).run_to_end(&fixture.trace);
+        assert_eq!(exact.len(), fixture.truth.len(), "{name}: exact decode");
+        assert_eq!(fast.len(), exact.len(), "{name}: packet count");
+        for (i, (f, e)) in fast.iter().zip(&exact).enumerate() {
+            assert_eq!(f.symbols, e.symbols, "{name}: packet {i} symbols");
+            assert!(
+                (f.payload_start_time - e.payload_start_time).abs()
+                    < fixture.lora.symbol_duration() / 2.0,
+                "{name}: packet {i} timing moved"
+            );
+        }
+    }
+}
+
+#[test]
+fn production_profile_decodes_all_golden_traces_correctly() {
+    // The full production profile additionally drops the receiver's own
+    // analog-noise model, so it is compared against the transmitted ground
+    // truth rather than the exact decode.
+    for name in golden_fixture_set().iter().map(|f| f.name.clone()) {
+        let fixture = read_golden(&golden_dir(), &name).expect("fixture loads");
+        let n_symbols = fixture.truth[0].symbols.len();
+        let cfg = SaiyanConfig::paper_default(fixture.lora, fixture.variant).high_throughput();
+        let results = StreamingDemodulator::new(cfg, n_symbols).run_to_end(&fixture.trace);
+        assert_eq!(results.len(), fixture.truth.len(), "{name}: packet count");
+        for (i, truth) in fixture.truth.iter().enumerate() {
+            let expected_t = truth.payload_start_sample as f64 / fixture.trace.sample_rate;
+            let result = results
+                .iter()
+                .find(|r| {
+                    (r.payload_start_time - expected_t).abs() < fixture.lora.symbol_duration()
+                })
+                .unwrap_or_else(|| panic!("{name}: no decode near packet {i}"));
+            assert_eq!(result.symbols, truth.symbols, "{name}: packet {i} symbols");
+        }
+    }
+}

@@ -8,6 +8,7 @@ use netsim::longtrace::{generate_long_trace, random_payloads, LongTraceConfig, T
 use netsim::multichannel::{
     generate_multichannel_trace, hopping_traffic, HoppingTrafficConfig, MultiChannelConfig,
 };
+use proptest::prelude::*;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -155,4 +156,55 @@ fn merged_ordering_is_deterministic_across_worker_counts_and_chunkings() {
     }
     // Random chunk sizes with 2 workers: same merged sequence.
     assert_eq!(run(2, Some(0x77)), reference, "random chunking");
+}
+
+proptest! {
+    // Each case streams the full single-channel trace through a gateway;
+    // keep the corpus small enough for debug-mode CI (the multi-channel
+    // analogue above covers worker-count determinism deterministically).
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The gateway analogue of `streaming_equivalence`'s chunking proptest:
+    /// whatever cycle of chunk sizes feeds `push_chunk` — single samples,
+    /// primes, blocks longer than a packet, empty chunks interleaved — the
+    /// decoded packet sequence is bit-identical to a whole-buffer run.
+    #[test]
+    fn gateway_output_is_invariant_under_random_chunkings(
+        variant in prop_oneof![
+            Just(Variant::Vanilla),
+            Just(Variant::WithShifting),
+            Just(Variant::Super),
+        ],
+        // Sizes start at 7: a cycle of 1-sample chunks would funnel ~100k
+        // worker-queue round trips through the gateway per case, which is
+        // prohibitive in debug-mode CI (the plain streaming proptest covers
+        // the 1-sample case without threads).
+        chunk_cycle in proptest::collection::vec(
+            prop_oneof![Just(0usize), Just(7), Just(131), Just(997), Just(8192)],
+            1..4,
+        ).prop_filter("needs a non-empty chunk size", |c| c.iter().any(|&s| s > 0)),
+    ) {
+        let trace = single_channel_trace();
+        let cfg = SaiyanConfig::paper_default(lora500(), variant);
+        let whole = Gateway::run_trace(
+            GatewayConfig::single_channel(cfg.clone(), PAYLOAD_SYMBOLS),
+            &trace,
+            trace.len(),
+        );
+        prop_assert_eq!(whole.len(), 3, "whole-buffer run decodes all packets");
+        let mut gateway =
+            Gateway::new(GatewayConfig::single_channel(cfg, PAYLOAD_SYMBOLS));
+        let mut out = Vec::new();
+        let mut offset = 0usize;
+        let mut i = 0usize;
+        while offset < trace.len() {
+            let size = chunk_cycle[i % chunk_cycle.len()];
+            let end = (offset + size).min(trace.len());
+            out.extend(gateway.push_chunk(&trace.samples[offset..end]));
+            offset = end;
+            i += 1;
+        }
+        out.extend(gateway.finish());
+        prop_assert_eq!(&out, &whole, "chunk cycle {:?}", chunk_cycle);
+    }
 }

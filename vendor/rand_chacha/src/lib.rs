@@ -96,6 +96,7 @@ impl SeedableRng for ChaCha8Rng {
 }
 
 impl RngCore for ChaCha8Rng {
+    #[inline]
     fn next_u32(&mut self) -> u32 {
         if self.index >= WORDS_PER_BLOCK {
             self.refill();
@@ -105,6 +106,7 @@ impl RngCore for ChaCha8Rng {
         word
     }
 
+    #[inline]
     fn next_u64(&mut self) -> u64 {
         let lo = self.next_u32() as u64;
         let hi = self.next_u32() as u64;
@@ -139,6 +141,58 @@ mod tests {
         let first_block: Vec<u32> = (0..WORDS_PER_BLOCK).map(|_| rng.next_u32()).collect();
         let second_block: Vec<u32> = (0..WORDS_PER_BLOCK).map(|_| rng.next_u32()).collect();
         assert_ne!(first_block, second_block);
+    }
+
+    /// An independent copy of the textbook scalar double-round block,
+    /// pinning the keystream word for word. Any future rewrite of `refill`
+    /// (e.g. a SIMD row-vector formulation) must keep matching this
+    /// reference exactly, or every seeded noise draw in the workspace
+    /// changes.
+    fn scalar_block(state: &[u32; WORDS_PER_BLOCK]) -> [u32; WORDS_PER_BLOCK] {
+        fn qr(s: &mut [u32; WORDS_PER_BLOCK], a: usize, b: usize, c: usize, d: usize) {
+            s[a] = s[a].wrapping_add(s[b]);
+            s[d] = (s[d] ^ s[a]).rotate_left(16);
+            s[c] = s[c].wrapping_add(s[d]);
+            s[b] = (s[b] ^ s[c]).rotate_left(12);
+            s[a] = s[a].wrapping_add(s[b]);
+            s[d] = (s[d] ^ s[a]).rotate_left(8);
+            s[c] = s[c].wrapping_add(s[d]);
+            s[b] = (s[b] ^ s[c]).rotate_left(7);
+        }
+        let mut w = *state;
+        for _ in 0..4 {
+            qr(&mut w, 0, 4, 8, 12);
+            qr(&mut w, 1, 5, 9, 13);
+            qr(&mut w, 2, 6, 10, 14);
+            qr(&mut w, 3, 7, 11, 15);
+            qr(&mut w, 0, 5, 10, 15);
+            qr(&mut w, 1, 6, 11, 12);
+            qr(&mut w, 2, 7, 8, 13);
+            qr(&mut w, 3, 4, 9, 14);
+        }
+        let mut out = [0u32; WORDS_PER_BLOCK];
+        for (o, (a, b)) in out.iter_mut().zip(w.iter().zip(state.iter())) {
+            *o = a.wrapping_add(*b);
+        }
+        out
+    }
+
+    #[test]
+    fn refill_matches_scalar_reference() {
+        for seed in [0u64, 1, 7, 0xDEAD_BEEF, u64::MAX] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut reference_state = rng.state;
+            for _ in 0..5 {
+                let want = scalar_block(&reference_state);
+                let got: Vec<u32> = (0..WORDS_PER_BLOCK).map(|_| rng.next_u32()).collect();
+                assert_eq!(got, want, "seed {seed}");
+                let (lo, carry) = reference_state[12].overflowing_add(1);
+                reference_state[12] = lo;
+                if carry {
+                    reference_state[13] = reference_state[13].wrapping_add(1);
+                }
+            }
+        }
     }
 
     #[test]
