@@ -5,7 +5,11 @@
 //! * [`aloba`] — Aloba's moving-average RSSI-pattern detector and uplink model;
 //! * [`envelope_rx`] — a conventional envelope-detector receiver (the ~30 dB
 //!   worse sensitivity baseline of §5.2.1);
-//! * [`detector`] — the shared packet-detection interface used by Fig. 21.
+//! * [`detector`] — the shared packet-detection interface used by Fig. 21;
+//! * [`receiver`] — the [`DetectionReceiver`] adapter that runs any
+//!   [`PacketDetector`] behind the workspace-wide `saiyan::Receiver`
+//!   backend trait, so the baselines slot into the same harnesses as the
+//!   real receivers.
 
 #![warn(missing_docs)]
 
@@ -13,8 +17,10 @@ pub mod aloba;
 pub mod detector;
 pub mod envelope_rx;
 pub mod plora;
+pub mod receiver;
 
 pub use aloba::{aloba_uplink_ber, AlobaDetector, ALOBA_DETECTION_SENSITIVITY_DBM};
 pub use detector::PacketDetector;
 pub use envelope_rx::EnvelopeReceiver;
 pub use plora::{plora_uplink_ber, PLoRaDetector, PLORA_DETECTION_SENSITIVITY_DBM};
+pub use receiver::DetectionReceiver;

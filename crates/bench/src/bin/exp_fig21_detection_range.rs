@@ -3,7 +3,7 @@
 
 use netsim::{detection_range, Scenario};
 use rfsim::units::{Dbm, Meters};
-use saiyan_bench::{fmt, Table};
+use saiyan_bench::{fmt, Runner};
 
 fn main() {
     let systems = [
@@ -14,29 +14,30 @@ fn main() {
     let outdoor = Scenario::outdoor_default(Meters(1.0));
     let indoor = Scenario::indoor(Meters(1.0), 1);
 
-    let mut table = Table::new(
+    let mut runner = Runner::new(
+        "fig21_detection_range",
         "Fig. 21: packet detection range (m)",
         &["system", "outdoor LOS", "indoor NLOS (1 wall)"],
     );
-    let mut json_rows = Vec::new();
     let mut outdoor_ranges = Vec::new();
     for (name, sens) in systems {
         let out = detection_range(&outdoor, Dbm(sens)).value();
         let ind = detection_range(&indoor, Dbm(sens)).value();
         outdoor_ranges.push(out);
-        table.add_row(vec![name.to_string(), fmt(out, 1), fmt(ind, 1)]);
-        json_rows.push(serde_json::json!({
-            "system": name,
-            "outdoor_m": out,
-            "indoor_m": ind,
-        }));
+        runner.row(
+            vec![name.to_string(), fmt(out, 1), fmt(ind, 1)],
+            serde_json::json!({
+                "system": name,
+                "outdoor_m": out,
+                "indoor_m": ind,
+            }),
+        );
     }
-    table.print();
-    println!(
+    runner.footer(format!(
         "Gain over PLoRa: {:.2}x, over Aloba: {:.2}x (paper: 3.26x and 4.52x outdoors;",
         outdoor_ranges[0] / outdoor_ranges[1],
         outdoor_ranges[0] / outdoor_ranges[2]
-    );
-    println!("2.63x and 3.56x indoors, where Saiyan reaches 44.2 m).");
-    saiyan_bench::write_json("fig21_detection_range", &serde_json::json!(json_rows));
+    ));
+    runner.footer("2.63x and 3.56x indoors, where Saiyan reaches 44.2 m).");
+    runner.finish();
 }

@@ -4,14 +4,14 @@
 
 use netsim::Scenario;
 use rfsim::units::Meters;
-use saiyan_bench::{fmt, fmt_ber, Table};
+use saiyan_bench::{fmt, fmt_ber, Runner};
 
 fn main() {
-    let mut table = Table::new(
+    let mut runner = Runner::new(
+        "fig22_sensitivity",
         "Fig. 22: RSS and BER over distance (outdoor, SF7/500 kHz/K=2, Super Saiyan)",
         &["distance (m)", "RSS (dBm)", "BER"],
     );
-    let mut json_rows = Vec::new();
     let mut sensitivity_estimate = None;
     for d in (10..=190).step_by(10) {
         let s = Scenario::outdoor_default(Meters(d as f64));
@@ -20,23 +20,23 @@ fn main() {
         if ber <= 1e-3 {
             sensitivity_estimate = Some(rss);
         }
-        table.add_row(vec![fmt(d as f64, 0), fmt(rss, 1), fmt_ber(ber)]);
-        json_rows.push(serde_json::json!({
-            "distance_m": d,
-            "rss_dbm": rss,
-            "ber": ber,
-        }));
-    }
-    table.print();
-    if let Some(sens) = sensitivity_estimate {
-        println!(
-            "Measured sensitivity (lowest RSS with BER <= 1e-3): {:.1} dBm (paper: -85.8 dBm,",
-            sens
+        runner.row(
+            vec![fmt(d as f64, 0), fmt(rss, 1), fmt_ber(ber)],
+            serde_json::json!({
+                "distance_m": d,
+                "rss_dbm": rss,
+                "ber": ber,
+            }),
         );
-        println!(
+    }
+    if let Some(sens) = sensitivity_estimate {
+        runner.footer(format!(
+            "Measured sensitivity (lowest RSS with BER <= 1e-3): {sens:.1} dBm (paper: -85.8 dBm,"
+        ));
+        runner.footer(format!(
             "which is ~30 dB better than the conventional envelope detector at {:.1} dBm).",
             saiyan::CONVENTIONAL_ENVELOPE_DETECTOR_SENSITIVITY_DBM
-        );
+        ));
     }
-    saiyan_bench::write_json("fig22_sensitivity", &serde_json::json!(json_rows));
+    runner.finish();
 }

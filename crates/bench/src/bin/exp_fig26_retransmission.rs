@@ -2,28 +2,29 @@
 //! PLoRa and Aloba tags equipped with Saiyan's feedback demodulation.
 
 use netsim::{RetransmissionStudy, UplinkSystem};
-use saiyan_bench::{fmt, Table};
+use saiyan_bench::{fmt, Runner};
 
 fn main() {
-    let mut table = Table::new(
+    let plora = RetransmissionStudy::paper(UplinkSystem::PLoRa);
+    let aloba = RetransmissionStudy::paper(UplinkSystem::Aloba);
+    let mut runner = Runner::new(
+        "fig26_retransmission",
         "Fig. 26: PRR vs number of retransmissions (100 m link)",
         &["retransmissions", "PLoRa + Saiyan", "Aloba + Saiyan"],
     );
-    let plora = RetransmissionStudy::paper(UplinkSystem::PLoRa);
-    let aloba = RetransmissionStudy::paper(UplinkSystem::Aloba);
-    let mut json_rows = Vec::new();
     for n in 0..=4u32 {
         let p = plora.prr(n);
         let a = aloba.prr(n);
-        table.add_row(vec![n.to_string(), fmt(p * 100.0, 1), fmt(a * 100.0, 1)]);
-        json_rows.push(serde_json::json!({
-            "retransmissions": n,
-            "plora_prr": p,
-            "aloba_prr": a,
-        }));
+        runner.row(
+            vec![n.to_string(), fmt(p * 100.0, 1), fmt(a * 100.0, 1)],
+            serde_json::json!({
+                "retransmissions": n,
+                "plora_prr": p,
+                "aloba_prr": a,
+            }),
+        );
     }
-    table.print();
-    println!("Paper: PLoRa starts at 81.8% and Aloba at 45.6% without retransmission;");
-    println!("Aloba climbs to 70.1% / 83.3% / 95.5% with 1 / 2 / 3 retransmissions.");
-    saiyan_bench::write_json("fig26_retransmission", &serde_json::json!(json_rows));
+    runner.footer("Paper: PLoRa starts at 81.8% and Aloba at 45.6% without retransmission;");
+    runner.footer("Aloba climbs to 70.1% / 83.3% / 95.5% with 1 / 2 / 3 retransmissions.");
+    runner.finish();
 }

@@ -2,7 +2,7 @@
 //! jammed channel (CDF of per-window PRR).
 
 use netsim::{empirical_cdf, median, ChannelHoppingStudy};
-use saiyan_bench::{fmt, Table};
+use saiyan_bench::{fmt, Runner};
 
 fn main() {
     let study = ChannelHoppingStudy::paper();
@@ -14,10 +14,6 @@ fn main() {
         .collect();
     let after: Vec<f64> = windows.iter().filter(|w| w.hopped).map(|w| w.prr).collect();
 
-    let mut table = Table::new(
-        "Fig. 27: CDF of per-window PRR before / after channel hopping",
-        &["percentile", "PRR before hop (%)", "PRR after hop (%)"],
-    );
     let cdf_before = empirical_cdf(&before);
     let cdf_after = empirical_cdf(&after);
     let lookup = |cdf: &[(f64, f64)], q: f64| -> f64 {
@@ -26,27 +22,32 @@ fn main() {
             .map(|(v, _)| *v)
             .unwrap_or_else(|| cdf.last().map(|(v, _)| *v).unwrap_or(0.0))
     };
-    let mut json_rows = Vec::new();
+    let mut runner = Runner::new(
+        "fig27_channel_hopping",
+        "Fig. 27: CDF of per-window PRR before / after channel hopping",
+        &["percentile", "PRR before hop (%)", "PRR after hop (%)"],
+    );
     for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
         let b = lookup(&cdf_before, q);
         let a = lookup(&cdf_after, q);
-        table.add_row(vec![
-            format!("{:.0}%", q * 100.0),
-            fmt(b * 100.0, 1),
-            fmt(a * 100.0, 1),
-        ]);
-        json_rows.push(serde_json::json!({
-            "percentile": q,
-            "prr_before": b,
-            "prr_after": a,
-        }));
+        runner.row(
+            vec![
+                format!("{:.0}%", q * 100.0),
+                fmt(b * 100.0, 1),
+                fmt(a * 100.0, 1),
+            ],
+            serde_json::json!({
+                "percentile": q,
+                "prr_before": b,
+                "prr_after": a,
+            }),
+        );
     }
-    table.print();
-    println!(
+    runner.footer(format!(
         "Median PRR: {:.1}% while jammed -> {:.1}% after the hop command",
         median(&before) * 100.0,
         median(&after) * 100.0
-    );
-    println!("(paper: 47% -> 92%).");
-    saiyan_bench::write_json("fig27_channel_hopping", &serde_json::json!(json_rows));
+    ));
+    runner.footer("(paper: 47% -> 92%).");
+    runner.finish();
 }

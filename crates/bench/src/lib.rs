@@ -3,12 +3,17 @@
 //! Each `exp_*` binary in `src/bin/` regenerates one table or figure of the
 //! paper (see DESIGN.md §4 for the index). They all print an aligned text
 //! table to stdout — the same rows/series the paper plots — and optionally
-//! dump the data as JSON under `results/` for plotting.
+//! dump the data as JSON under `results/` for plotting. The sweep → table →
+//! JSON → floor-gate loop they share lives in [`runner::Runner`].
 
 #![warn(missing_docs)]
 
+pub mod runner;
+
 use std::fs;
 use std::path::PathBuf;
+
+pub use runner::{trial_seeds, Runner};
 
 /// A simple aligned text table used by every experiment binary.
 #[derive(Debug, Clone)]

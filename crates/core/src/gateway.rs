@@ -88,6 +88,14 @@ pub struct GatewayConfig {
     pub queue_depth: usize,
     /// FIR length of each non-passthrough channelizer.
     pub channelizer_taps: usize,
+    /// Lockstep mode: [`Gateway::push_chunk`] waits for every channel to
+    /// finish the chunk before returning. This sacrifices pipelining (the
+    /// producer idles while the workers run) but makes packet *release
+    /// timing* a pure function of the input: after each chunk, every packet
+    /// past the watermark is out. The discrete-event network engine relies
+    /// on this for bit-reproducible MAC feedback schedules; throughput
+    /// workloads should leave it off.
+    pub lockstep: bool,
 }
 
 impl GatewayConfig {
@@ -100,6 +108,7 @@ impl GatewayConfig {
             worker_threads: 0,
             queue_depth: 4,
             channelizer_taps: ChannelizerSpec::DEFAULT_TAPS,
+            lockstep: false,
         }
     }
 
@@ -131,6 +140,13 @@ impl GatewayConfig {
     /// (≈ 3 bins) must fit inside the inter-channel guard bands.
     pub fn with_channelizer_taps(mut self, taps: usize) -> Self {
         self.channelizer_taps = taps;
+        self
+    }
+
+    /// Returns a copy with lockstep mode switched on or off (see
+    /// [`GatewayConfig::lockstep`]).
+    pub fn with_lockstep(mut self, lockstep: bool) -> Self {
+        self.lockstep = lockstep;
         self
     }
 }
@@ -247,6 +263,7 @@ struct ChannelPipeline {
 pub struct Gateway {
     wideband_rate: f64,
     channel_ids: Vec<u8>,
+    lockstep: bool,
     /// Release horizon (seconds): no channel can still produce a packet whose
     /// payload started more than this far behind its consumed stream time.
     horizon: f64,
@@ -348,6 +365,7 @@ impl Gateway {
         Gateway {
             wideband_rate: config.wideband_rate,
             channel_ids: config.channels.iter().map(|c| c.id).collect(),
+            lockstep: config.lockstep,
             horizon,
             inputs,
             reports: report_rx,
@@ -369,18 +387,36 @@ impl Gateway {
 
     /// Pushes one wideband chunk and returns the packets whose position in
     /// the merged stream is now settled (possibly none — they keep
-    /// accumulating until every channel has caught up past them).
+    /// accumulating until every channel has caught up past them). In
+    /// lockstep mode ([`GatewayConfig::lockstep`]) this waits for every
+    /// channel to finish the chunk first, so the returned batch is a pure
+    /// function of the input stream so far.
     pub fn push_chunk(&mut self, chunk: &[Iq]) -> Vec<GatewayPacket> {
         if chunk.is_empty() {
             return Vec::new();
         }
+        assert!(
+            !self.inputs.is_empty(),
+            "gateway already flushed; push_chunk would drop samples"
+        );
         let shared = Arc::new(chunk.to_vec());
         for tx in &self.inputs {
             tx.send(Job::Chunk(Arc::clone(&shared)))
                 .expect("gateway worker exited unexpectedly");
         }
-        while let Ok(report) = self.reports.try_recv() {
-            self.integrate(report);
+        if self.lockstep {
+            // One report per channel per chunk, whatever the worker count.
+            for _ in 0..self.acked.len() {
+                let report = self
+                    .reports
+                    .recv()
+                    .expect("gateway worker exited unexpectedly");
+                self.integrate(report);
+            }
+        } else {
+            while let Ok(report) = self.reports.try_recv() {
+                self.integrate(report);
+            }
         }
         self.release(false)
     }
@@ -400,18 +436,30 @@ impl Gateway {
     /// Flushes every channel, joins the worker pool and returns the
     /// remaining packets in merged order.
     pub fn finish(mut self) -> Vec<GatewayPacket> {
-        for tx in &self.inputs {
-            tx.send(Job::Flush)
-                .expect("gateway worker exited unexpectedly");
-        }
-        while self.acked.iter().any(|a| a.is_finite()) {
-            match self.reports.recv() {
-                Ok(report) => self.integrate(report),
-                Err(_) => break,
+        self.flush_in_place()
+    }
+
+    /// [`Gateway::finish`] through a mutable reference — the form the
+    /// [`crate::receiver::Receiver`] trait needs. After the first call the
+    /// worker pool is gone: further non-empty [`Gateway::push_chunk`] calls
+    /// panic (the stream has ended), while repeated flushes are harmless
+    /// no-ops.
+    pub fn flush_in_place(&mut self) -> Vec<GatewayPacket> {
+        if !self.inputs.is_empty() {
+            for tx in &self.inputs {
+                tx.send(Job::Flush)
+                    .expect("gateway worker exited unexpectedly");
             }
-        }
-        for handle in self.handles.drain(..) {
-            handle.join().expect("gateway worker panicked");
+            while self.acked.iter().any(|a| a.is_finite()) {
+                match self.reports.recv() {
+                    Ok(report) => self.integrate(report),
+                    Err(_) => break,
+                }
+            }
+            for handle in self.handles.drain(..) {
+                handle.join().expect("gateway worker panicked");
+            }
+            self.inputs.clear();
         }
         self.release(true)
     }

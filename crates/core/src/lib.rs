@@ -18,6 +18,9 @@
 //! * [`gateway`] — the multi-channel streaming gateway: a wideband
 //!   channelizer feeding a bank of streaming demodulators on a worker pool,
 //!   merged into one time-ordered packet stream;
+//! * [`receiver`] — the [`Receiver`] backend trait (feed chunks → drain
+//!   decoded packets) unifying the streaming demodulator, the gateway, and
+//!   the baseline detectors behind one harness-facing interface;
 //! * [`sensitivity`] — calibrated RSS→BER link-abstraction models;
 //! * [`metrics`] — BER / throughput / PRR counting;
 //! * [`power`] — tag-level power accounting (PCB and ASIC budgets).
@@ -36,6 +39,7 @@ pub mod frontend;
 pub mod gateway;
 pub mod metrics;
 pub mod power;
+pub mod receiver;
 pub mod sampler;
 pub mod sensitivity;
 pub mod streaming;
@@ -54,6 +58,7 @@ pub use metrics::{
     packet_error_rate, throughput_bps, throughput_from_ber, ErrorCounts, DEMODULATION_BER_THRESHOLD,
 };
 pub use power::{TagPowerModel, HARVESTER_AVERAGE_UW, STANDARD_LORA_RECEIVER_MW};
+pub use receiver::Receiver;
 pub use sampler::{table1_sampling_rates, SampledStream, SamplingRateEntry, VoltageSampler};
 pub use sensitivity::{
     SensitivityConfig, CONVENTIONAL_ENVELOPE_DETECTOR_SENSITIVITY_DBM, SUPER_SAIYAN_SENSITIVITY_DBM,

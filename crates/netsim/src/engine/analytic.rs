@@ -1,0 +1,195 @@
+//! Analytical engine backend: the same scheduler, traffic models and MAC
+//! machinery as the waveform path, with the air interface replaced by the
+//! calibrated link abstraction.
+//!
+//! A transmission occupies its channel for the packet's real airtime;
+//! same-channel overlaps collide (both losers), surviving transmissions are
+//! delivered with the scenario's [`LinkModel`](super::scenario::LinkModel)
+//! probability, and a co-channel jammer suppresses its channel outright
+//! until the access point hops away. Because receptions run through the
+//! identical [`AccessPoint::ingest_frame`](saiyan_mac::AccessPoint) path as
+//! the waveform backend, the two fidelity levels share every line of MAC
+//! behaviour — only the PHY differs.
+
+use std::time::Instant;
+
+use rand::Rng;
+use saiyan_mac::packet::UplinkPacket;
+
+use super::harness::{Ev, MacHarness};
+use super::report::EngineOutcome;
+use super::scenario::EngineScenario;
+use super::scheduler::EventQueue;
+
+/// A transmission whose airtime is in flight; `ok` may still be flipped by
+/// a later same-channel collision before the `Reception` event resolves it.
+struct PendingRx {
+    packet: UplinkPacket,
+    channel: usize,
+    ok: bool,
+}
+
+/// Runs the scenario's analytical path.
+pub(crate) fn run(scenario: &EngineScenario) -> EngineOutcome {
+    let start_wall = Instant::now();
+    let packet_dur = scenario.packet_duration_s();
+    let mut harness = MacHarness::new(scenario);
+    let link_p = harness.link_success_p();
+    let mut queue: EventQueue<Ev> = EventQueue::new();
+    let mut end_time: f64 = scenario.lead_in_s;
+    let schedule = |queue: &mut EventQueue<Ev>, end_time: &mut f64, t: f64, ev: Ev| {
+        *end_time = end_time.max(t + packet_dur);
+        queue.push(t, ev);
+    };
+
+    for tag in 0..scenario.n_tags as u16 {
+        let mut rng = MacHarness::traffic_rng(scenario, tag);
+        for t in
+            scenario
+                .traffic
+                .arrivals(scenario.readings_per_tag, scenario.phase_s(tag), &mut rng)
+        {
+            schedule(&mut queue, &mut end_time, t, Ev::Arrival { tag });
+        }
+    }
+    if let Some(jam) = scenario.jammer {
+        schedule(&mut queue, &mut end_time, jam.at_s, Ev::JammerOn);
+        let first_scan = scenario.lead_in_s + scenario.scan_interval_s;
+        if first_scan < end_time {
+            queue.push(first_scan, Ev::SpectrumScan);
+        }
+    }
+
+    let mut pending: Vec<PendingRx> = Vec::new();
+    // Per-channel airtime occupancy: (latest end time, index of that
+    // transmission in `pending`).
+    let mut busy: Vec<Option<(f64, usize)>> = vec![None; scenario.n_channels];
+
+    while let Some((t, ev)) = queue.pop() {
+        match ev {
+            Ev::Arrival { tag } => {
+                let packet = harness.arrival(t, tag);
+                schedule(
+                    &mut queue,
+                    &mut end_time,
+                    t,
+                    Ev::Transmit {
+                        tag,
+                        packet,
+                        attempt: 0,
+                    },
+                );
+            }
+            Ev::Transmit {
+                tag,
+                packet,
+                attempt,
+            } => {
+                // The tag's radio is half-duplex and serial: defer a
+                // transmission that would overlap its own airtime.
+                if let Some(free) = harness.reserve_tx(tag, t) {
+                    schedule(
+                        &mut queue,
+                        &mut end_time,
+                        free,
+                        Ev::Transmit {
+                            tag,
+                            packet,
+                            attempt,
+                        },
+                    );
+                    continue;
+                }
+                let channel = harness.pick_channel(tag);
+                if harness.suppressed(tag, packet.sequence, attempt) {
+                    harness.report.suppressed_transmissions += 1;
+                    continue;
+                }
+                harness.report.uplink_transmissions += 1;
+                let mut ok = link_p >= 1.0 || harness.phy_rng.gen::<f64>() < link_p;
+                if let Some(jam) = scenario.jammer {
+                    if harness.jammed && channel == jam.channel {
+                        ok = false;
+                    }
+                }
+                if let Some((busy_until, other)) = busy[channel] {
+                    if t < busy_until {
+                        // Same-channel overlap: both transmissions die.
+                        if pending[other].ok {
+                            pending[other].ok = false;
+                            harness.report.collisions += 1;
+                        }
+                        if ok {
+                            harness.report.collisions += 1;
+                            ok = false;
+                        }
+                    }
+                }
+                let index = pending.len();
+                let rx_end = t + packet_dur;
+                pending.push(PendingRx {
+                    packet,
+                    channel,
+                    ok,
+                });
+                busy[channel] = match busy[channel] {
+                    Some((until, idx)) if until > rx_end => Some((until, idx)),
+                    _ => Some((rx_end, index)),
+                };
+                schedule(&mut queue, &mut end_time, rx_end, Ev::Reception { index });
+            }
+            Ev::Reception { index } => {
+                let rx = &pending[index];
+                if rx.ok {
+                    let channel = rx.channel as u8;
+                    let bytes = rx.packet.to_bytes();
+                    for request in harness.ingest(channel, t, &bytes) {
+                        schedule(
+                            &mut queue,
+                            &mut end_time,
+                            t + scenario.feedback_delay_s,
+                            Ev::Downlink { packet: request },
+                        );
+                    }
+                }
+            }
+            Ev::Downlink { packet } => {
+                for (tag, reply) in harness.deliver_downlink(&packet) {
+                    schedule(
+                        &mut queue,
+                        &mut end_time,
+                        t + scenario.turnaround_s,
+                        Ev::Transmit {
+                            tag,
+                            packet: reply,
+                            attempt: 1,
+                        },
+                    );
+                }
+            }
+            Ev::SpectrumScan => {
+                if let Some(hop) = harness.spectrum_scan() {
+                    schedule(
+                        &mut queue,
+                        &mut end_time,
+                        t + scenario.feedback_delay_s,
+                        Ev::Downlink { packet: hop },
+                    );
+                }
+                // Keep scanning while the deployment is still active; a raw
+                // push so scans never extend the activity watermark.
+                if t + scenario.scan_interval_s < end_time {
+                    queue.push(t + scenario.scan_interval_s, Ev::SpectrumScan);
+                }
+            }
+            Ev::JammerOn => harness.jammed = true,
+        }
+    }
+
+    let mut report = harness.into_report(end_time);
+    report.backend = "analytic".to_string();
+    EngineOutcome {
+        report,
+        wall_s: start_wall.elapsed().as_secs_f64(),
+    }
+}

@@ -1,0 +1,293 @@
+//! Shared MAC-layer state machine for both engine backends.
+//!
+//! The analytical and waveform backends differ only in *how a transmission
+//! becomes a reception* (a calibrated coin flip vs. actual demodulation).
+//! Everything on either side of the air interface — tag sessions with their
+//! retransmission buffers, the access point with its ARQ trackers and
+//! hopping controller, channel selection per MAC policy, delivery
+//! bookkeeping, energy billing — is this harness, so the two fidelity
+//! levels can never drift apart in MAC behaviour.
+
+use std::collections::HashMap;
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rfsim::units::Meters;
+use saiyan::TagPowerModel;
+use saiyan_mac::hopping::ChannelTable;
+use saiyan_mac::packet::{Addressing, Command, DownlinkPacket, TagId, UplinkPacket};
+use saiyan_mac::tag::{TagAction, TagSession};
+use saiyan_mac::AccessPoint;
+
+use crate::backscatter::BackscatterScenario;
+
+use super::report::EngineReport;
+use super::scenario::{EngineScenario, LinkModel, MacPolicy};
+
+/// Seed salts so the traffic / MAC / PHY sub-streams never alias.
+pub(crate) const TRAFFIC_SALT: u64 = 0x7123_4AB1;
+pub(crate) const MAC_SALT: u64 = 0x00C4_71F3;
+pub(crate) const PHY_SALT: u64 = 0x9E37_79B9;
+
+/// Events both engine backends schedule. `Reception` is only used by the
+/// analytical backend (the waveform backend's receptions come out of the
+/// receiver); the others are shared.
+pub(crate) enum Ev {
+    /// A tag generates a sensor reading.
+    Arrival {
+        /// The generating tag.
+        tag: u16,
+    },
+    /// A tag puts an uplink frame on the air.
+    Transmit {
+        /// The transmitting tag.
+        tag: u16,
+        /// The frame.
+        packet: UplinkPacket,
+        /// 0 for the first attempt, ≥ 1 for ARQ replays.
+        attempt: u32,
+    },
+    /// The access point transmits a downlink command.
+    Downlink {
+        /// The command.
+        packet: DownlinkPacket,
+    },
+    /// An analytical-path transmission finishes its airtime.
+    Reception {
+        /// Index into the backend's pending-reception table.
+        index: usize,
+    },
+    /// The access point scans its current channel's spectrum.
+    SpectrumScan,
+    /// The jammer switches on.
+    JammerOn,
+}
+
+/// The shared MAC state. See the [module docs](self).
+pub(crate) struct MacHarness {
+    pub scenario: EngineScenario,
+    pub report: EngineReport,
+    sessions: Vec<TagSession>,
+    pub ap: AccessPoint,
+    /// Per-tag base channel (start of the policy schedule; moved by hops).
+    tag_channel: Vec<usize>,
+    /// Per-tag transmission counter driving the hopping rotation.
+    tag_round: Vec<u64>,
+    /// Per-tag radio-busy horizon: a tag cannot start a transmission while
+    /// one is still on the air (plus a short inter-packet guard).
+    tag_busy_until: Vec<f64>,
+    /// Outstanding readings: `(tag, sequence)` → generation time.
+    outstanding: HashMap<(u16, u8), f64>,
+    /// MAC-side randomness (downlink delivery, ALOHA channel picks).
+    pub mac_rng: ChaCha8Rng,
+    /// PHY-side randomness (per-packet power/CFO, link coin flips).
+    pub phy_rng: ChaCha8Rng,
+    energy_per_command_j: f64,
+    /// Analytical-path per-transmission success probability (cached).
+    link_p: f64,
+    /// Whether the jammer is currently on.
+    pub jammed: bool,
+}
+
+impl MacHarness {
+    pub fn new(scenario: &EngineScenario) -> Self {
+        scenario.validate();
+        // A channel table with exactly the engine's channels, 500 kHz apart
+        // in the paper's 433 MHz band, shared by the AP's hopping controller
+        // and every tag session.
+        let table = ChannelTable {
+            channels: (0..scenario.n_channels)
+                .map(|i| 433.0e6 + i as f64 * 0.5e6)
+                .collect(),
+        };
+        let initial = scenario
+            .jammer
+            .map(|j| j.channel as u8)
+            .unwrap_or(0)
+            .min(scenario.n_channels as u8 - 1);
+        let mut ap = AccessPoint::new(table.clone(), initial, scenario.max_retries)
+            .expect("initial channel exists");
+        let sessions: Vec<TagSession> = (0..scenario.n_tags)
+            .map(|i| {
+                ap.register_tag(TagId(i as u16));
+                TagSession::new(TagId(i as u16), table.clone(), initial)
+                    .expect("initial channel exists")
+            })
+            .collect();
+        let energy_per_command_j = TagPowerModel::asic().packet_energy_joules(&scenario.lora, 8);
+        let link_p = match scenario.link {
+            LinkModel::Ideal => 1.0,
+            LinkModel::FixedPrr(p) => p.clamp(0.0, 1.0),
+            LinkModel::Backscatter {
+                tag_to_tx_m,
+                system,
+            } => BackscatterScenario::fig2(Meters(tag_to_tx_m))
+                .prr(system, scenario.frame_bytes() * 8),
+        };
+        let report = EngineReport {
+            policy: scenario.mac.label().to_string(),
+            traffic: scenario.traffic.label().to_string(),
+            tags: scenario.n_tags,
+            channels: scenario.n_channels,
+            ..EngineReport::default()
+        };
+        MacHarness {
+            report,
+            sessions,
+            ap,
+            tag_channel: (0..scenario.n_tags)
+                .map(|i| i % scenario.n_channels)
+                .collect(),
+            tag_round: vec![0; scenario.n_tags],
+            tag_busy_until: vec![f64::NEG_INFINITY; scenario.n_tags],
+            outstanding: HashMap::new(),
+            mac_rng: ChaCha8Rng::seed_from_u64(scenario.seed ^ MAC_SALT),
+            phy_rng: ChaCha8Rng::seed_from_u64(scenario.seed ^ PHY_SALT),
+            energy_per_command_j,
+            link_p,
+            jammed: false,
+            scenario: scenario.clone(),
+        }
+    }
+
+    /// The analytical path's per-transmission link success probability.
+    pub fn link_success_p(&self) -> f64 {
+        self.link_p
+    }
+
+    /// A fresh RNG for the traffic schedule of one tag.
+    pub fn traffic_rng(scenario: &EngineScenario, tag: u16) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(scenario.seed ^ TRAFFIC_SALT ^ ((tag as u64) << 32))
+    }
+
+    /// A tag generates one reading at time `t`; returns the frame to put on
+    /// the air.
+    pub fn arrival(&mut self, t: f64, tag: u16) -> UplinkPacket {
+        self.report.readings_generated += 1;
+        let mut payload = vec![tag as u8, (tag >> 8) as u8];
+        payload.resize(self.scenario.payload_bytes, 0xA5);
+        match self.sessions[tag as usize].send_reading(payload) {
+            TagAction::Transmit(packet) => {
+                self.outstanding.insert((tag, packet.sequence), t);
+                packet
+            }
+            other => unreachable!("send_reading returned {other:?}"),
+        }
+    }
+
+    /// Reserves the tag's radio for a transmission starting at `t`.
+    /// A single backscatter tag cannot transmit two packets at once: if the
+    /// radio is still busy (previous packet's airtime plus a 4-symbol
+    /// guard), returns the time the caller should defer the transmission
+    /// to; otherwise reserves the airtime and returns `None`.
+    pub fn reserve_tx(&mut self, tag: u16, t: f64) -> Option<f64> {
+        let idx = tag as usize;
+        if t < self.tag_busy_until[idx] {
+            return Some(self.tag_busy_until[idx]);
+        }
+        self.tag_busy_until[idx] =
+            t + self.scenario.packet_duration_s() + 4.0 * self.scenario.lora.symbol_duration();
+        None
+    }
+
+    /// Picks the channel for a tag's next transmission per the MAC policy.
+    pub fn pick_channel(&mut self, tag: u16) -> usize {
+        let idx = tag as usize;
+        let round = self.tag_round[idx];
+        self.tag_round[idx] += 1;
+        let n = self.scenario.n_channels;
+        match self.scenario.mac {
+            MacPolicy::Fixed => self.tag_channel[idx],
+            MacPolicy::Hopping => (self.tag_channel[idx] + round as usize) % n,
+            MacPolicy::Aloha => self.mac_rng.gen_range(0..n),
+        }
+    }
+
+    /// Whether the injected-loss rule suppresses this transmission.
+    pub fn suppressed(&self, tag: u16, sequence: u8, attempt: u32) -> bool {
+        attempt == 0 && self.scenario.drop_first_attempt.contains(&(tag, sequence))
+    }
+
+    /// Ingests one decoded uplink frame at the access point: delivery
+    /// bookkeeping plus the retransmission requests the frame triggered
+    /// (the caller schedules them as downlink events).
+    pub fn ingest(&mut self, channel: u8, end_time: f64, bytes: &[u8]) -> Vec<DownlinkPacket> {
+        let Ok(ingest) = self.ap.ingest_frame(channel, end_time, bytes) else {
+            return Vec::new();
+        };
+        if ingest.duplicate {
+            self.report.duplicates += 1;
+        } else if let Some(gen_t) = self.outstanding.remove(&(ingest.tag.0, ingest.sequence)) {
+            self.report.readings_delivered += 1;
+            self.report.delivered_payload_bits += (self.scenario.payload_bytes * 8) as u64;
+            self.report.latencies_s.push(end_time - gen_t);
+        }
+        ingest.retransmission_requests
+    }
+
+    /// Delivers one downlink command to the tag population; returns the
+    /// `(tag, reply)` retransmissions to schedule.
+    pub fn deliver_downlink(&mut self, packet: &DownlinkPacket) -> Vec<(u16, UplinkPacket)> {
+        self.report.downlink_commands += 1;
+        match packet.command {
+            Command::Retransmit { .. } => self.report.retransmission_requests += 1,
+            Command::ChannelHop { .. } => self.report.channel_hops += 1,
+            _ => {}
+        }
+        let mut replies = Vec::new();
+        for i in 0..self.sessions.len() {
+            // Every tag in range wakes its demodulator for the command.
+            self.report.tag_demodulation_energy_j += self.energy_per_command_j;
+            let addressed = match packet.addressing {
+                Addressing::Unicast(id) => id.0 as usize == i,
+                Addressing::Multicast { .. } | Addressing::Broadcast => true,
+            };
+            if !addressed {
+                continue;
+            }
+            let p = self.scenario.downlink_success;
+            if p < 1.0 && self.mac_rng.gen::<f64>() >= p {
+                continue;
+            }
+            if let Command::ChannelHop { channel } = packet.command {
+                // Hop semantics: tags based on the jammed channel (all tags,
+                // absent a jammer) move their schedule to the new channel.
+                let from = self.scenario.jammer.map(|j| j.channel);
+                let moves = from.is_none() || from == Some(self.tag_channel[i]);
+                if moves && (channel as usize) < self.scenario.n_channels {
+                    self.tag_channel[i] = channel as usize;
+                }
+            }
+            if let Ok(actions) = self.sessions[i].on_downlink(packet, &mut self.mac_rng) {
+                for action in actions {
+                    if let TagAction::Transmit(reply) = action {
+                        if !reply.is_ack {
+                            replies.push((i as u16, reply));
+                        }
+                    }
+                }
+            }
+        }
+        replies
+    }
+
+    /// One access-point spectrum scan of its current channel; returns the
+    /// hop command to broadcast if the channel reads as jammed.
+    pub fn spectrum_scan(&mut self) -> Option<DownlinkPacket> {
+        let current = self.ap.hopping.current;
+        let jam_here = self.jammed
+            && self
+                .scenario
+                .jammer
+                .is_some_and(|j| j.channel == current as usize);
+        let level = if jam_here { -40.0 } else { -95.0 };
+        self.ap.on_spectrum_scan(current, level)
+    }
+
+    /// Finalises the report.
+    pub fn into_report(mut self, duration_s: f64) -> EngineReport {
+        self.report.duration_s = duration_s;
+        self.report
+    }
+}

@@ -1,0 +1,131 @@
+//! Engine run statistics: PRR, goodput, delivery latency.
+
+/// Statistics accumulated over one engine run. Everything in here is a pure
+/// function of the scenario and its seed — the determinism suite compares
+/// whole reports across chunk sizes and worker counts.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EngineReport {
+    /// Receiver backend the run used (`analytic` for the link-model path).
+    pub backend: String,
+    /// MAC policy label.
+    pub policy: String,
+    /// Traffic model label.
+    pub traffic: String,
+    /// Tag population.
+    pub tags: usize,
+    /// Channel count.
+    pub channels: usize,
+    /// Sensor readings generated across all tags.
+    pub readings_generated: usize,
+    /// Distinct readings delivered to the access point.
+    pub readings_delivered: usize,
+    /// Duplicate data frames the access point ingested.
+    pub duplicates: usize,
+    /// Detection-only packets (empty-symbol markers from baseline backends).
+    pub detections: usize,
+    /// Uplink transmissions put on the air (including retransmissions).
+    pub uplink_transmissions: usize,
+    /// Transmissions suppressed by the injected-loss rule.
+    pub suppressed_transmissions: usize,
+    /// Transmissions lost to same-channel collisions (analytical path).
+    pub collisions: usize,
+    /// Downlink commands transmitted by the access point.
+    pub downlink_commands: usize,
+    /// Retransmission requests among them.
+    pub retransmission_requests: usize,
+    /// Channel-hop commands broadcast.
+    pub channel_hops: usize,
+    /// Payload bits of distinct delivered readings.
+    pub delivered_payload_bits: u64,
+    /// Energy all tags spent demodulating downlink commands (joules).
+    pub tag_demodulation_energy_j: f64,
+    /// Per-delivery latency samples (seconds, generation → delivery).
+    pub latencies_s: Vec<f64>,
+    /// Simulated duration (seconds).
+    pub duration_s: f64,
+}
+
+impl EngineReport {
+    /// Packet reception ratio: delivered / generated readings.
+    pub fn prr(&self) -> f64 {
+        if self.readings_generated == 0 {
+            return 0.0;
+        }
+        self.readings_delivered as f64 / self.readings_generated as f64
+    }
+
+    /// Delivered payload bits per simulated second.
+    pub fn goodput_bps(&self) -> f64 {
+        if self.duration_s <= 0.0 {
+            return 0.0;
+        }
+        self.delivered_payload_bits as f64 / self.duration_s
+    }
+
+    /// Mean delivery latency (seconds; 0 when nothing was delivered).
+    pub fn latency_mean_s(&self) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
+        self.latencies_s.iter().sum::<f64>() / self.latencies_s.len() as f64
+    }
+
+    /// Latency percentile (`q` in `[0, 1]`; 0 when nothing was delivered).
+    pub fn latency_percentile_s(&self, q: f64) -> f64 {
+        if self.latencies_s.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.latencies_s.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Mean transmissions per delivered reading (1.0 = loss-free).
+    pub fn transmissions_per_delivery(&self) -> f64 {
+        if self.readings_delivered == 0 {
+            return 0.0;
+        }
+        self.uplink_transmissions as f64 / self.readings_delivered as f64
+    }
+}
+
+/// An engine run's deterministic report plus its (non-deterministic) wall
+/// time, kept apart so reports can be compared for bit-reproducibility.
+#[derive(Debug, Clone)]
+pub struct EngineOutcome {
+    /// The deterministic statistics.
+    pub report: EngineReport,
+    /// Wall-clock seconds the run took.
+    pub wall_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics_handle_empty_and_populated_runs() {
+        let empty = EngineReport::default();
+        assert_eq!(empty.prr(), 0.0);
+        assert_eq!(empty.goodput_bps(), 0.0);
+        assert_eq!(empty.latency_mean_s(), 0.0);
+        assert_eq!(empty.latency_percentile_s(0.95), 0.0);
+
+        let report = EngineReport {
+            readings_generated: 10,
+            readings_delivered: 8,
+            uplink_transmissions: 12,
+            delivered_payload_bits: 8 * 24,
+            latencies_s: vec![0.1, 0.3, 0.2, 0.4],
+            duration_s: 4.0,
+            ..EngineReport::default()
+        };
+        assert!((report.prr() - 0.8).abs() < 1e-12);
+        assert!((report.goodput_bps() - 48.0).abs() < 1e-12);
+        assert!((report.latency_mean_s() - 0.25).abs() < 1e-12);
+        assert!((report.latency_percentile_s(0.0) - 0.1).abs() < 1e-12);
+        assert!((report.latency_percentile_s(1.0) - 0.4).abs() < 1e-12);
+        assert!((report.transmissions_per_delivery() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,337 @@
+//! Scenario description for the discrete-event network engine.
+//!
+//! One [`EngineScenario`] drives both fidelity levels: the analytical
+//! backend (link-abstraction coin flips with collision tracking) and the
+//! waveform backend (bounded-chunk IQ synthesis through a real receiver).
+//! Everything the two backends need — tag population, channel grid, traffic
+//! model, MAC policy, power/CFO/noise draws, ARQ budget, injected losses,
+//! jammer — lives here, so a sweep can swap backends without touching the
+//! workload definition.
+
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+
+use crate::backscatter::UplinkSystem;
+use crate::multichannel::MultiChannelConfig;
+
+use super::traffic::TrafficModel;
+
+/// How tags choose their transmit channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacPolicy {
+    /// Tag `i` stays on channel `i mod n_channels`.
+    Fixed,
+    /// Orthogonal rotation: tag `i`'s `j`-th transmission goes on channel
+    /// `(i + j) mod n_channels` — the collision-free hopping schedule the
+    /// paper's multi-tag evaluation uses.
+    Hopping,
+    /// Every transmission picks a uniformly random channel (slotted-ALOHA
+    /// style); same-channel overlaps collide.
+    Aloha,
+}
+
+impl MacPolicy {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MacPolicy::Fixed => "fixed",
+            MacPolicy::Hopping => "hopping",
+            MacPolicy::Aloha => "aloha",
+        }
+    }
+
+    /// All policies, in sweep order.
+    pub const ALL: [MacPolicy; 3] = [MacPolicy::Fixed, MacPolicy::Hopping, MacPolicy::Aloha];
+}
+
+/// Per-transmission delivery model for the analytical backend. The waveform
+/// backend ignores this — its losses come out of the actual demodulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkModel {
+    /// Every non-colliding transmission is delivered.
+    Ideal,
+    /// Every non-colliding transmission succeeds with this probability.
+    FixedPrr(f64),
+    /// PRR from the calibrated two-hop backscatter link (Fig. 2).
+    Backscatter {
+        /// Tag-to-carrier distance (metres).
+        tag_to_tx_m: f64,
+        /// The uplink system the tags use.
+        system: UplinkSystem,
+    },
+}
+
+/// A jammer that appears mid-run on one channel. The access point's
+/// spectrum scans detect it and its [`saiyan_mac::HoppingController`]
+/// broadcasts a hop command; tags that demodulate the command reschedule
+/// their future transmissions onto the new channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JammerSpec {
+    /// Time (seconds) at which the jammer switches on.
+    pub at_s: f64,
+    /// The jammed channel index.
+    pub channel: usize,
+    /// Power penalty (dB, negative) applied to waveform-path emissions on
+    /// the jammed channel — the SINR collapse a co-channel jammer causes.
+    pub penalty_db: f64,
+}
+
+/// The full workload description for one engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineScenario {
+    /// Per-channel PHY parameters (all channels share them).
+    pub lora: LoraParams,
+    /// Number of channels in the grid (500 kHz spacing, centred).
+    pub n_channels: usize,
+    /// Wideband rate = `decimation × lora.sample_rate()` (waveform path).
+    pub decimation: usize,
+    /// Number of tags.
+    pub n_tags: usize,
+    /// Readings each tag generates.
+    pub readings_per_tag: usize,
+    /// Uplink MAC-frame payload bytes (the wire frame adds a 5-byte header).
+    pub payload_bytes: usize,
+    /// When tags generate readings.
+    pub traffic: TrafficModel,
+    /// How tags choose channels.
+    pub mac: MacPolicy,
+    /// Retransmission-request budget per lost reading.
+    pub max_retries: u32,
+    /// Analytical-path delivery model.
+    pub link: LinkModel,
+    /// Mean receive power at the gateway (dBm).
+    pub base_power_dbm: f64,
+    /// Uniform per-packet power spread (± dB).
+    pub power_spread_db: f64,
+    /// Maximum per-packet CFO (Hz, drawn uniformly in ±).
+    pub max_cfo_hz: f64,
+    /// Wideband channel noise (dBm; None = noiseless).
+    pub noise_power_dbm: Option<f64>,
+    /// Probability a downlink command is demodulated by a tag.
+    pub downlink_success: f64,
+    /// Access-point turnaround: a feedback command for a packet that ended
+    /// at `t` is on the air at `t + feedback_delay_s`. On the waveform path
+    /// this must cover the gateway's release horizon plus one synthesis
+    /// chunk (see [`EngineScenario::min_feedback_delay_s`]), so the feedback
+    /// schedule is identical whatever the chunk size.
+    pub feedback_delay_s: f64,
+    /// Tag turnaround between receiving a command and retransmitting.
+    pub turnaround_s: f64,
+    /// Quiet lead-in before the first reading (seconds); the streaming
+    /// threshold tracker seeds its noise estimate here.
+    pub lead_in_s: f64,
+    /// Access-point spectrum-scan period (seconds; only scanned while a
+    /// jammer is configured).
+    pub scan_interval_s: f64,
+    /// Optional mid-run jammer.
+    pub jammer: Option<JammerSpec>,
+    /// Injected losses: the *first* transmission attempt of these
+    /// `(tag, sequence)` pairs is suppressed, so only the ARQ loop can
+    /// recover the reading.
+    pub drop_first_attempt: Vec<(u16, u8)>,
+    /// Waveform-path synthesis chunk size (wideband samples).
+    pub chunk_samples: usize,
+    /// Master seed; traffic, MAC and PHY draws use salted sub-streams.
+    pub seed: u64,
+}
+
+impl EngineScenario {
+    /// The paper-style grid workload: SF7 / 250 kHz / K = 2 channels at 2×
+    /// oversampling on a 500 kHz grid digitised at `decimation = 6`
+    /// (3 Msps wideband for 4 channels), periodic traffic at the tightest
+    /// collision-free interval for the tag count, and a clean link.
+    pub fn grid(n_tags: usize, n_channels: usize, readings_per_tag: usize) -> Self {
+        let lora = LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz250,
+            BitsPerChirp::new(2).expect("valid"),
+        )
+        .with_oversampling(2);
+        let mut scenario = EngineScenario {
+            lora,
+            n_channels,
+            decimation: 6,
+            n_tags,
+            readings_per_tag,
+            payload_bytes: 3,
+            traffic: TrafficModel::Periodic {
+                interval_s: 1.0,
+                jitter_s: 0.0,
+            },
+            mac: MacPolicy::Fixed,
+            max_retries: 2,
+            link: LinkModel::Ideal,
+            base_power_dbm: -43.0,
+            power_spread_db: 1.5,
+            max_cfo_hz: 500.0,
+            noise_power_dbm: Some(-85.0),
+            downlink_success: 1.0,
+            feedback_delay_s: 0.0,
+            turnaround_s: 0.0,
+            lead_in_s: 0.0,
+            scan_interval_s: 0.25,
+            jammer: None,
+            drop_first_attempt: Vec::new(),
+            chunk_samples: 16_384,
+            seed: 0x5A1A,
+        };
+        let t_sym = lora.symbol_duration();
+        scenario.lead_in_s = 4.0 * t_sym;
+        scenario.turnaround_s = 4.0 * t_sym;
+        scenario.feedback_delay_s = scenario.min_feedback_delay_s();
+        scenario.traffic = TrafficModel::Periodic {
+            interval_s: scenario.safe_periodic_interval_s(),
+            jitter_s: 0.0,
+        };
+        scenario
+    }
+
+    /// Returns a copy with a different MAC policy.
+    pub fn with_mac(mut self, mac: MacPolicy) -> Self {
+        self.mac = mac;
+        self
+    }
+
+    /// Returns a copy with a different traffic model.
+    pub fn with_traffic(mut self, traffic: TrafficModel) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different synthesis chunk size, keeping the
+    /// feedback delay valid for it.
+    pub fn with_chunk_samples(mut self, chunk_samples: usize) -> Self {
+        self.chunk_samples = chunk_samples.max(1);
+        self.feedback_delay_s = self.feedback_delay_s.max(self.min_feedback_delay_s());
+        self
+    }
+
+    /// Uplink wire-frame length: 5 header bytes plus the payload.
+    pub fn frame_bytes(&self) -> usize {
+        5 + self.payload_bytes
+    }
+
+    /// Payload length in chirp symbols for the fixed-length receivers.
+    pub fn payload_symbols(&self) -> usize {
+        let bits = self.frame_bytes() * 8;
+        let k = self.lora.bits_per_chirp.bits() as usize;
+        assert_eq!(bits % k, 0, "frame bits {bits} not divisible by K {k}");
+        bits / k
+    }
+
+    /// Wideband sample rate (Hz) of the waveform path.
+    pub fn wideband_rate(&self) -> f64 {
+        self.lora.sample_rate() * self.decimation as f64
+    }
+
+    /// PHY parameters used to modulate at the wideband rate.
+    pub fn wideband_lora(&self) -> LoraParams {
+        self.lora
+            .with_oversampling(self.lora.oversampling * self.decimation as u32)
+    }
+
+    /// Channel offsets (Hz) from the wideband centre.
+    pub fn offsets_hz(&self) -> Vec<f64> {
+        MultiChannelConfig::grid_offsets(self.n_channels)
+    }
+
+    /// On-air duration of one uplink packet (preamble + sync + payload).
+    pub fn packet_duration_s(&self) -> f64 {
+        self.lora.packet_duration(self.payload_symbols())
+    }
+
+    /// The gateway's merge-release horizon for this payload length (must
+    /// match `saiyan::gateway`): no packet can still surface once every
+    /// channel consumed `payload_symbols + 4` symbols past its start.
+    pub fn horizon_s(&self) -> f64 {
+        (self.payload_symbols() as f64 + 4.0) * self.lora.symbol_duration()
+    }
+
+    /// Smallest feedback delay that keeps the waveform-path MAC schedule
+    /// chunk-size invariant: the release horizon plus one chunk plus slack.
+    pub fn min_feedback_delay_s(&self) -> f64 {
+        self.horizon_s()
+            + self.chunk_samples as f64 / self.wideband_rate()
+            + 2.0 * self.lora.symbol_duration()
+    }
+
+    /// Tightest periodic interval at which the Fixed and Hopping policies
+    /// stay collision-free: each channel serves `ceil(n_tags / n_channels)`
+    /// tags per round, each needing a packet slot plus ARQ slack.
+    pub fn safe_periodic_interval_s(&self) -> f64 {
+        let per_channel = self.n_tags.div_ceil(self.n_channels.max(1));
+        let slot = self.packet_duration_s() + 4.0 * self.lora.symbol_duration();
+        per_channel as f64 * slot * 1.25
+    }
+
+    /// Per-tag phase stagger (seconds) for reading `0`: spreads the tag
+    /// population evenly over one periodic interval.
+    pub fn phase_s(&self, tag: u16) -> f64 {
+        let interval = match self.traffic {
+            TrafficModel::Periodic { interval_s, .. } => interval_s,
+            _ => self.safe_periodic_interval_s(),
+        };
+        self.lead_in_s + tag as f64 * interval / self.n_tags.max(1) as f64
+    }
+
+    /// Panics if the scenario is internally inconsistent.
+    pub fn validate(&self) {
+        assert!(self.n_tags > 0, "need at least one tag");
+        assert!(self.n_channels > 0, "need at least one channel");
+        assert!(self.decimation >= 1, "decimation must be at least 1");
+        assert!(self.readings_per_tag > 0, "need at least one reading");
+        assert!(self.payload_bytes > 0, "need a payload");
+        assert!(
+            (0.0..=1.0).contains(&self.downlink_success),
+            "downlink_success must be a probability"
+        );
+        assert!(self.chunk_samples > 0, "chunk_samples must be positive");
+        let _ = self.payload_symbols();
+        // The channel grid must fit inside the wideband Nyquist range.
+        let nyquist = self.wideband_rate() / 2.0;
+        for offset in self.offsets_hz() {
+            assert!(
+                offset >= -nyquist && offset + self.lora.bw.hz() <= nyquist,
+                "channel at offset {offset} Hz falls outside the wideband Nyquist range ±{nyquist}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_scenario_is_consistent() {
+        let s = EngineScenario::grid(12, 4, 3);
+        s.validate();
+        assert_eq!(s.frame_bytes(), 8);
+        assert_eq!(s.payload_symbols(), 32);
+        assert!((s.wideband_rate() - 3.0e6).abs() < 1e-6);
+        assert!(s.feedback_delay_s >= s.min_feedback_delay_s());
+        // Three tags per channel: the safe interval covers three slots.
+        assert!(s.safe_periodic_interval_s() > 3.0 * s.packet_duration_s());
+        // Phases spread over one interval.
+        assert!(s.phase_s(11) > s.phase_s(0));
+    }
+
+    #[test]
+    fn chunk_size_changes_keep_the_feedback_delay_valid() {
+        let s = EngineScenario::grid(4, 4, 2).with_chunk_samples(1 << 20);
+        assert!(s.feedback_delay_s >= s.min_feedback_delay_s());
+    }
+
+    #[test]
+    #[should_panic(expected = "Nyquist")]
+    fn an_oversubscribed_grid_is_rejected() {
+        let mut s = EngineScenario::grid(4, 8, 1);
+        s.decimation = 6;
+        s.validate();
+    }
+}

@@ -1,4 +1,4 @@
-//! Discrete-event network simulation of a Saiyan deployment.
+//! Discrete-event network simulation of a Saiyan deployment (legacy path).
 //!
 //! Ties the whole stack together over time: an access point and a set of
 //! backscatter tags exchange uplink readings and downlink feedback over
@@ -6,6 +6,12 @@
 //! models. Packet loss triggers reactive retransmission requests, a jammer
 //! can appear mid-run and trigger a channel hop, and every exchange is
 //! billed against the tag's energy budget.
+//!
+//! This is the original, single-purpose analytical simulator behind the
+//! §5.3 case-study numbers. New work should use [`crate::engine`], which
+//! generalises it behind one scenario API (pluggable traffic models, MAC
+//! policies, collision tracking) and adds a waveform path that streams
+//! synthesized IQ through a real receiver with live MAC feedback.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;

@@ -14,8 +14,12 @@
 //! * [`backscatter`] — the two-hop backscatter uplink (Fig. 2);
 //! * [`casestudy`] — retransmission, channel hopping and multi-tag ALOHA
 //!   case studies (Figs. 26/27, §4.4);
-//! * [`event`] — a discrete-event simulation of a whole deployment
-//!   (access point + tags + jammer) built on the MAC session machines.
+//! * [`engine`] — **the discrete-event network engine**: one
+//!   scenario-driven simulator with pluggable traffic models and MAC
+//!   policies, runnable analytically or at waveform level with chunked IQ
+//!   streamed through a real receiver and live MAC feedback;
+//! * [`event`] — the legacy analytical deployment simulation the engine
+//!   generalises (kept for its calibrated §5.3 case-study numbers).
 //!
 //! See DESIGN.md for how the link abstraction is calibrated against the
 //! paper's headline measurements and EXPERIMENTS.md for per-figure results.
@@ -24,6 +28,7 @@
 
 pub mod backscatter;
 pub mod casestudy;
+pub mod engine;
 pub mod event;
 pub mod longtrace;
 pub mod multichannel;
@@ -35,6 +40,10 @@ pub use backscatter::{BackscatterScenario, UplinkSystem};
 pub use casestudy::{
     empirical_cdf, median, multi_tag_acknowledgement, ChannelHoppingStudy, HoppingWindow,
     MultiTagRound, RetransmissionStudy,
+};
+pub use engine::{
+    EngineOutcome, EngineReport, EngineScenario, JammerSpec, LinkModel, MacPolicy, NetworkEngine,
+    TrafficModel, WaveformSpec,
 };
 pub use event::{DeploymentConfig, DeploymentSim, DeploymentStats};
 pub use longtrace::{

@@ -1,0 +1,143 @@
+//! The network engine's waveform synthesis is the `longtrace` golden path,
+//! generalised: a single-tag, single-channel engine scenario must produce a
+//! sample stream *bit-identical* to [`generate_long_trace`] on the matching
+//! packet list and noise seed, and the streaming receiver must decode both
+//! identically.
+
+use std::sync::{Arc, Mutex};
+
+use lora_phy::downlink::bytes_to_symbols;
+use lora_phy::iq::Iq;
+use netsim::engine::{EngineScenario, NetworkEngine, TrafficModel};
+use netsim::longtrace::{generate_long_trace, LongTraceConfig, TracePacket};
+use saiyan::config::{SaiyanConfig, Variant};
+use saiyan::gateway::GatewayPacket;
+use saiyan::receiver::Receiver;
+use saiyan::StreamingDemodulator;
+use saiyan_mac::packet::{TagId, UplinkPacket};
+
+/// Wraps the streaming demodulator, capturing both the raw samples the
+/// engine feeds it and the packets it releases.
+struct Tee {
+    inner: StreamingDemodulator,
+    samples: Arc<Mutex<Vec<Iq>>>,
+    packets: Arc<Mutex<Vec<GatewayPacket>>>,
+}
+
+impl Receiver for Tee {
+    fn backend_name(&self) -> &'static str {
+        "tee"
+    }
+    fn input_rate(&self) -> f64 {
+        Receiver::input_rate(&self.inner)
+    }
+    fn feed(&mut self, chunk: &[Iq]) -> Vec<GatewayPacket> {
+        self.samples.lock().unwrap().extend_from_slice(chunk);
+        let packets = Receiver::feed(&mut self.inner, chunk);
+        self.packets.lock().unwrap().extend(packets.iter().cloned());
+        packets
+    }
+    fn flush(&mut self) -> Vec<GatewayPacket> {
+        let packets = Receiver::flush(&mut self.inner);
+        self.packets.lock().unwrap().extend(packets.iter().cloned());
+        packets
+    }
+}
+
+#[test]
+fn single_tag_engine_scenario_matches_the_longtrace_golden_path() {
+    const READINGS: usize = 3;
+    const INTERVAL_SYMBOLS: f64 = 64.0;
+
+    // A deterministic single-tag, single-channel scenario with no random
+    // PHY impairments: arrivals on an exact symbol grid, fixed power.
+    let mut scenario = EngineScenario::grid(1, 1, READINGS);
+    scenario.decimation = 1;
+    scenario.power_spread_db = 0.0;
+    scenario.max_cfo_hz = 0.0;
+    scenario.noise_power_dbm = Some(-82.0);
+    let t_sym = scenario.lora.symbol_duration();
+    scenario.lead_in_s = 4.0 * t_sym;
+    scenario.traffic = TrafficModel::Periodic {
+        interval_s: INTERVAL_SYMBOLS * t_sym,
+        jitter_s: 0.0,
+    };
+    scenario.feedback_delay_s = scenario.min_feedback_delay_s();
+    let lora = scenario.lora;
+    let k = lora.bits_per_chirp;
+    let payload_symbols = scenario.payload_symbols();
+    let rx_config = SaiyanConfig::narrowband_streaming(lora, Variant::Vanilla);
+
+    // The longtrace reference: the exact frames the engine's tag will send,
+    // at the exact gaps its periodic schedule produces.
+    let frame = |seq: u8| UplinkPacket {
+        source: TagId(0),
+        sequence: seq,
+        is_ack: false,
+        payload: vec![0, 0, 0xA5],
+    };
+    let packet_symbols_duration = payload_symbols as f64 + 12.25; // preamble + sync
+    let packets: Vec<TracePacket> = (0..READINGS as u8)
+        .map(|seq| {
+            let gap = if seq == 0 {
+                4.0
+            } else {
+                INTERVAL_SYMBOLS - packet_symbols_duration
+            };
+            TracePacket::new(
+                bytes_to_symbols(&frame(seq).to_bytes(), k),
+                scenario.base_power_dbm,
+                gap,
+            )
+        })
+        .collect();
+    let mut trace_config = LongTraceConfig::new(lora).with_noise(-82.0);
+    trace_config.seed = scenario.seed;
+    let (trace, truth) = generate_long_trace(&trace_config, &packets);
+    assert_eq!(truth.len(), READINGS);
+    let reference =
+        StreamingDemodulator::new(rx_config.clone(), payload_symbols).run_to_end(&trace);
+    assert_eq!(reference.len(), READINGS, "golden path decodes everything");
+
+    // Run the engine, teeing the synthesized stream and decoded packets.
+    let samples = Arc::new(Mutex::new(Vec::new()));
+    let packets_log = Arc::new(Mutex::new(Vec::new()));
+    let (samples_handle, packets_handle) = (Arc::clone(&samples), Arc::clone(&packets_log));
+    let out = NetworkEngine::new(scenario).run_waveform_with(move |spec| {
+        assert!((spec.wideband_rate - lora.sample_rate()).abs() < 1e-6);
+        Box::new(Tee {
+            inner: StreamingDemodulator::new(rx_config, payload_symbols),
+            samples: samples_handle,
+            packets: packets_handle,
+        })
+    });
+    assert_eq!(out.report.readings_delivered, READINGS, "{:?}", out.report);
+
+    // 1. The synthesized stream is bit-identical to the longtrace output
+    //    over the longtrace's full length (the engine only appends extra
+    //    flush tail beyond it).
+    let stream = samples.lock().unwrap();
+    assert!(
+        stream.len() >= trace.len(),
+        "engine stream {} shorter than the longtrace {}",
+        stream.len(),
+        trace.len()
+    );
+    assert_eq!(
+        &stream[..trace.len()],
+        &trace.samples[..],
+        "engine synthesis diverged from generate_long_trace"
+    );
+
+    // 2. The streaming receiver decodes both streams identically.
+    let decoded = packets_log.lock().unwrap();
+    assert_eq!(decoded.len(), READINGS);
+    for (packet, golden) in decoded.iter().zip(&reference) {
+        assert_eq!(packet.channel, 0);
+        assert_eq!(packet.result, *golden);
+    }
+    // And the decodes carry the transmitted frames.
+    for (i, golden) in reference.iter().enumerate() {
+        assert_eq!(golden.symbols, truth[i].symbols);
+    }
+}

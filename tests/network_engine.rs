@@ -1,0 +1,185 @@
+//! End-to-end MAC behaviour of the discrete-event network engine: ARQ
+//! recovery of injected losses, hopping-schedule conformance on the real
+//! waveform path, jammer-driven channel hops, ALOHA collisions, and the
+//! detection-only baseline backends.
+
+use std::sync::{Arc, Mutex};
+
+use baselines::{AlobaDetector, DetectionReceiver};
+use lora_phy::iq::Iq;
+use netsim::engine::{EngineScenario, JammerSpec, MacPolicy, NetworkEngine};
+use saiyan::gateway::{Gateway, GatewayPacket};
+use saiyan::receiver::Receiver;
+use saiyan_mac::packet::UplinkPacket;
+
+/// Wraps a receiver and logs every packet it releases, so tests can inspect
+/// per-packet channels/times that the aggregate report does not carry.
+struct Recording<R: Receiver> {
+    inner: R,
+    log: Arc<Mutex<Vec<GatewayPacket>>>,
+}
+
+impl<R: Receiver> Receiver for Recording<R> {
+    fn backend_name(&self) -> &'static str {
+        self.inner.backend_name()
+    }
+    fn input_rate(&self) -> f64 {
+        self.inner.input_rate()
+    }
+    fn feed(&mut self, chunk: &[Iq]) -> Vec<GatewayPacket> {
+        let packets = self.inner.feed(chunk);
+        self.log.lock().unwrap().extend(packets.iter().cloned());
+        packets
+    }
+    fn flush(&mut self) -> Vec<GatewayPacket> {
+        let packets = self.inner.flush();
+        self.log.lock().unwrap().extend(packets.iter().cloned());
+        packets
+    }
+}
+
+#[test]
+fn arq_recovers_injected_losses_on_the_waveform_path() {
+    let mut scenario = EngineScenario::grid(2, 4, 4);
+    scenario.drop_first_attempt = vec![(0, 1)];
+    let out = NetworkEngine::new(scenario.clone()).run_waveform();
+    let r = &out.report;
+    assert_eq!(r.readings_generated, 8);
+    assert_eq!(r.suppressed_transmissions, 1, "the injected loss fired");
+    assert!(
+        r.retransmission_requests >= 1,
+        "the gap raised an ARQ request"
+    );
+    assert_eq!(
+        r.readings_delivered, 8,
+        "ARQ recovered the dropped reading ({r:?})"
+    );
+    // The recovered reading paid the ARQ round trip: its latency clearly
+    // exceeds the clean single-packet latency.
+    let max_latency = r.latencies_s.iter().cloned().fold(0.0f64, f64::max);
+    let min_latency = r.latencies_s.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(
+        max_latency > min_latency + scenario.feedback_delay_s,
+        "recovered latency {max_latency} vs clean {min_latency}"
+    );
+
+    // The analytical backend recovers through the identical MAC machinery.
+    let analytic = NetworkEngine::new(scenario).run_analytic();
+    assert_eq!(analytic.report.readings_delivered, 8);
+    assert!(analytic.report.retransmission_requests >= 1);
+}
+
+#[test]
+fn hopping_policy_follows_the_rotation_schedule_on_air() {
+    let scenario = EngineScenario::grid(4, 4, 3).with_mac(MacPolicy::Hopping);
+    let engine = NetworkEngine::new(scenario.clone());
+    let gateway_config = engine.default_gateway_config();
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let log_handle = Arc::clone(&log);
+    let out = engine.run_waveform_with(move |_spec| {
+        Box::new(Recording {
+            inner: Gateway::new(gateway_config),
+            log: log_handle,
+        })
+    });
+    assert_eq!(out.report.readings_delivered, 12, "{:?}", out.report);
+    let packets = log.lock().unwrap();
+    assert_eq!(packets.len(), 12);
+    for p in packets.iter() {
+        let bytes = p
+            .result
+            .to_bytes(scenario.lora.bits_per_chirp, scenario.frame_bytes());
+        let frame = UplinkPacket::from_bytes(&bytes).expect("decoded frame parses");
+        // Tag i starts on channel i % 4 and rotates by one channel per
+        // transmission: its j-th packet must fly on (i + j) mod 4.
+        let expected = (frame.source.0 as usize + frame.sequence as usize) % 4;
+        assert_eq!(
+            p.channel as usize, expected,
+            "tag {} seq {} arrived on channel {}",
+            frame.source.0, frame.sequence, p.channel
+        );
+    }
+}
+
+#[test]
+fn a_jammer_triggers_a_hopping_controller_hop_and_recovery() {
+    let mut scenario = EngineScenario::grid(1, 2, 12);
+    scenario.jammer = Some(JammerSpec {
+        at_s: 0.10,
+        channel: 0,
+        penalty_db: -60.0,
+    });
+    scenario.scan_interval_s = 0.05;
+    let out = NetworkEngine::new(scenario.clone()).run_analytic();
+    let r = &out.report;
+    assert!(r.channel_hops >= 1, "no hop happened: {r:?}");
+    assert!(
+        r.prr() > 0.6,
+        "the deployment should recover by hopping: {r:?}"
+    );
+    // Without the hop mechanism (no jammer detection possible on a one-scan
+    // -free run), the same jam window would keep losing packets: check the
+    // jammed window actually caused losses before the hop.
+    assert!(
+        r.readings_delivered < r.readings_generated || r.retransmission_requests > 0,
+        "the jammer had no observable effect: {r:?}"
+    );
+
+    // The waveform path must hop too: the scan chain may not depend on the
+    // event queue being momentarily non-empty between synthesis chunks.
+    let wave = NetworkEngine::new(scenario).run_waveform();
+    assert!(
+        wave.report.channel_hops >= 1,
+        "no hop on the waveform path: {:?}",
+        wave.report
+    );
+    assert!(
+        wave.report.prr() > 0.5,
+        "waveform path should recover by hopping: {:?}",
+        wave.report
+    );
+}
+
+#[test]
+fn aloha_random_channels_collide_while_fixed_stays_clean() {
+    let base = EngineScenario::grid(8, 4, 3);
+    let fixed = NetworkEngine::new(base.clone().with_mac(MacPolicy::Fixed)).run_analytic();
+    let aloha = NetworkEngine::new(base.with_mac(MacPolicy::Aloha)).run_analytic();
+    assert_eq!(fixed.report.collisions, 0);
+    assert!(
+        (fixed.report.prr() - 1.0).abs() < 1e-12,
+        "{:?}",
+        fixed.report
+    );
+    assert!(aloha.report.collisions > 0);
+    assert!(
+        aloha.report.prr() < fixed.report.prr(),
+        "ALOHA {} vs fixed {}",
+        aloha.report.prr(),
+        fixed.report.prr()
+    );
+}
+
+#[test]
+fn detection_only_backends_count_detections_instead_of_deliveries() {
+    let mut scenario = EngineScenario::grid(2, 1, 2);
+    scenario.decimation = 1; // single channel at the channel rate
+    scenario.feedback_delay_s = scenario.min_feedback_delay_s();
+    // The detectors estimate their noise baselines from quiet stretches:
+    // give the stream a realistic noise lead-in before the first packet.
+    scenario.lead_in_s = 30.0 * scenario.lora.symbol_duration();
+    let lora = scenario.lora;
+    let engine = NetworkEngine::new(scenario);
+    let out = engine.run_waveform_with(|spec| {
+        assert!((spec.wideband_rate - lora.sample_rate()).abs() < 1e-6);
+        Box::new(DetectionReceiver::new(AlobaDetector::new(lora), lora))
+    });
+    let r = &out.report;
+    assert_eq!(r.backend, "Aloba");
+    assert_eq!(r.readings_generated, 4);
+    assert_eq!(
+        r.detections, 4,
+        "every packet on the air should be detected: {r:?}"
+    );
+    assert_eq!(r.readings_delivered, 0, "detectors cannot decode");
+}
