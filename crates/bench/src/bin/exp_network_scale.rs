@@ -12,9 +12,19 @@
 //! its same-channel collisions pull PRR down; Fixed and Hopping stay
 //! collision-free and must deliver (nearly) everything.
 //!
+//! The analytic backend shards tags into spatial cells
+//! (`--cells`, `0` = auto ≈ 8 Ki tags/cell) advanced by a worker pool
+//! (`--workers`) in conservative lookahead windows, so the scaling axis
+//! runs 10² … 10⁶ tags; its rows report a `x realtime` speed factor.
+//! Waveform rows only run up to `--waveform-cap` tags (default 100) — the
+//! IQ chain at a million tags is neither feasible nor the point.
+//!
 //! CLI: `--tags 8,24,100` `--readings 2` `--policies fixed,hopping,aloha`
-//! `--backend both|waveform|analytic` `--check-floor <min PRR>` (the gate
-//! applies to the worst waveform-path PRR among the non-ALOHA policies).
+//! `--backend both|waveform|analytic` `--cells 0` `--workers 1`
+//! `--waveform-cap 100` `--max-wall-s <budget>` (exits non-zero if the
+//! whole sweep's wall time exceeds it) `--check-floor <min PRR>` (the gate
+//! applies to the worst waveform-path PRR among the non-ALOHA policies,
+//! falling back to the worst analytic-path one when no waveform row ran).
 //! Results land in `results/network_scale.json` and `BENCH_network.json`.
 
 use netsim::engine::{EngineOutcome, EngineReport, EngineScenario, MacPolicy, NetworkEngine};
@@ -96,6 +106,18 @@ fn main() {
         "waveform" => (false, true),
         other => panic!("unknown backend {other:?} (both|waveform|analytic)"),
     };
+    let cells: usize = arg_value("--cells")
+        .map(|v| v.parse().expect("cells"))
+        .unwrap_or(0);
+    let workers: usize = arg_value("--workers")
+        .map(|v| v.parse().expect("workers"))
+        .unwrap_or(1);
+    // The waveform path synthesizes real IQ; past this population it is
+    // pure wall-clock with no extra information, so it stays capped.
+    let waveform_cap: usize = arg_value("--waveform-cap")
+        .map(|v| v.parse().expect("waveform-cap"))
+        .unwrap_or(100);
+    let max_wall_s: Option<f64> = arg_value("--max-wall-s").map(|v| v.parse().expect("max-wall-s"));
 
     let mut runner = Runner::new(
         "network_scale",
@@ -103,6 +125,7 @@ fn main() {
         &[
             "backend",
             "tags",
+            "cells",
             "policy",
             "delivered",
             "PRR",
@@ -115,6 +138,8 @@ fn main() {
         ],
     );
     let mut gate_prr = f64::INFINITY;
+    let mut analytic_gate_prr = f64::INFINITY;
+    let mut total_wall_s = 0.0;
 
     for &tags in &tag_counts {
         for &policy in &policies {
@@ -124,13 +149,17 @@ fn main() {
             if run_analytic {
                 backends.push(("analytic", Vec::new()));
             }
-            if run_waveform {
+            if run_waveform && tags <= waveform_cap {
                 backends.push(("waveform", Vec::new()));
             }
+            let mut analytic_cells = 1;
             for seed in trial_seeds(0x5A1A, trials) {
                 let scenario = EngineScenario::grid(tags, 4, readings)
                     .with_mac(policy)
-                    .with_seed(seed);
+                    .with_seed(seed)
+                    .with_cells(cells)
+                    .with_workers(workers);
+                analytic_cells = scenario.analytic_cells;
                 let engine = NetworkEngine::new(scenario);
                 for (name, outcomes) in backends.iter_mut() {
                     outcomes.push(if *name == "analytic" {
@@ -142,19 +171,29 @@ fn main() {
             }
             for (backend, outcomes) in backends {
                 let outcome = aggregate(outcomes);
+                total_wall_s += outcome.wall_s;
                 let r = &outcome.report;
-                let realtime = if backend == "waveform" && outcome.wall_s > 0.0 {
+                let realtime = if outcome.wall_s > 0.0 {
                     r.duration_s / outcome.wall_s
                 } else {
                     f64::NAN
                 };
-                if backend == "waveform" && policy != MacPolicy::Aloha {
-                    gate_prr = gate_prr.min(r.prr());
+                if policy != MacPolicy::Aloha {
+                    if backend == "waveform" {
+                        gate_prr = gate_prr.min(r.prr());
+                    } else {
+                        analytic_gate_prr = analytic_gate_prr.min(r.prr());
+                    }
                 }
                 runner.row(
                     vec![
                         backend.to_string(),
                         tags.to_string(),
+                        if backend == "analytic" {
+                            analytic_cells.to_string()
+                        } else {
+                            "-".to_string()
+                        },
                         r.policy.clone(),
                         format!("{}/{}", r.readings_delivered, r.readings_generated),
                         fmt(r.prr(), 3),
@@ -172,6 +211,9 @@ fn main() {
                     serde_json::json!({
                         "backend": backend,
                         "tags": tags,
+                        "cells": if backend == "analytic" { analytic_cells } else { 1 },
+                        "workers": if backend == "analytic" { workers.max(1) } else { 1 },
+                        "realtime_factor": realtime,
                         "policy": r.policy.clone(),
                         "readings_generated": r.readings_generated,
                         "readings_delivered": r.readings_delivered,
@@ -191,9 +233,16 @@ fn main() {
     }
 
     runner.footer(format!(
-        "Waveform rows ran the full IQ chain: chunked synthesis -> 4-channel lockstep gateway -> \
-         MAC ingest, {readings} reading(s) per tag, {trials} seeded trial(s) per row."
+        "Waveform rows (tags <= {waveform_cap}) ran the full IQ chain: chunked synthesis -> \
+         4-channel lockstep gateway -> MAC ingest, {readings} reading(s) per tag, {trials} \
+         seeded trial(s) per row."
     ));
+    runner.footer(
+        "Analytic rows shard the population into spatial cells (conservative lookahead \
+         windows, bit-reproducible for a fixed seed across worker counts); `x realtime` is \
+         simulated seconds per wall second."
+            .to_string(),
+    );
     runner.footer(
         "ALOHA draws a random channel per transmission, so its collisions are the point; \
          Fixed/Hopping schedules are collision-free and gate the CI floor."
@@ -201,13 +250,21 @@ fn main() {
     );
     if run_waveform && gate_prr.is_finite() {
         runner.gate("waveform PRR (worst non-ALOHA policy)", gate_prr);
+    } else if analytic_gate_prr.is_finite() {
+        runner.gate("analytic PRR (worst non-ALOHA policy)", analytic_gate_prr);
     } else {
         assert!(
             saiyan_bench::check_floor_arg().is_none(),
-            "--check-floor gates the waveform-path PRR of the non-ALOHA policies; this \
-             invocation produced no such row (backend {backend:?}, policies {policies:?})"
+            "--check-floor gates the non-ALOHA PRR, but this invocation produced no \
+             non-ALOHA row (backend {backend:?}, policies {policies:?})"
         );
     }
     runner.snapshot("BENCH_network.json");
     runner.finish();
+    if let Some(budget) = max_wall_s {
+        assert!(
+            total_wall_s <= budget,
+            "sweep wall time {total_wall_s:.1}s exceeded the --max-wall-s budget {budget:.1}s"
+        );
+    }
 }

@@ -10,7 +10,9 @@
 //! * [`rate`] — margin-based rate adaptation;
 //! * [`aloha`] — slotted ALOHA for multi-tag acknowledgements;
 //! * [`tag`] / [`ap`] — the tag-side and access-point-side session state
-//!   machines that tie the mechanisms together.
+//!   machines that tie the mechanisms together;
+//! * [`session_table`] — flat struct-of-arrays session state, the same
+//!   semantics compacted for city-scale simulated populations.
 
 #![warn(missing_docs)]
 
@@ -21,6 +23,7 @@ pub mod hopping;
 pub mod packet;
 pub mod rate;
 pub mod retransmission;
+pub mod session_table;
 pub mod tag;
 
 pub use aloha::{analytic_success_probability, simulate_round, AlohaRound, AlohaState};
@@ -30,4 +33,5 @@ pub use hopping::{ChannelTable, HoppingController, TagChannelState};
 pub use packet::{Addressing, Command, DownlinkPacket, TagId, UplinkPacket};
 pub use rate::{apply_rate_command, RateAdapter};
 pub use retransmission::{prr_with_retransmissions, ArqTracker, RetransmissionBuffer};
+pub use session_table::SessionTable;
 pub use tag::{TagAction, TagSession};

@@ -1,193 +1,577 @@
-//! Analytical engine backend: the same scheduler, traffic models and MAC
-//! machinery as the waveform path, with the air interface replaced by the
-//! calibrated link abstraction.
+//! Analytical engine backend: the scheduler, traffic models and MAC
+//! semantics of the waveform path with the air interface replaced by the
+//! calibrated link abstraction — sharded into spatial cells for city-scale
+//! populations.
+//!
+//! ## Physics
 //!
 //! A transmission occupies its channel for the packet's real airtime;
-//! same-channel overlaps collide (both losers), surviving transmissions are
-//! delivered with the scenario's [`LinkModel`](super::scenario::LinkModel)
-//! probability, and a co-channel jammer suppresses its channel outright
-//! until the access point hops away. Because receptions run through the
-//! identical [`AccessPoint::ingest_frame`](saiyan_mac::AccessPoint) path as
-//! the waveform backend, the two fidelity levels share every line of MAC
-//! behaviour — only the PHY differs.
+//! same-channel overlaps collide (every overlapped party dies exactly once
+//! — [`ChannelOccupancy`] tracks the full in-flight set, not just the
+//! latest-ending transmission), surviving transmissions are delivered with
+//! the scenario's [`LinkModel`](super::scenario::LinkModel) probability,
+//! and a co-channel jammer suppresses its channel outright until the access
+//! point hops away.
+//!
+//! ## Sharding
+//!
+//! Tags are partitioned into [`EngineScenario::analytic_cells`] contiguous
+//! ranges — spatial cells, each an independent collision domain with its
+//! own calendar event queue ([`CalendarQueue`]), flat struct-of-arrays
+//! session state ([`SessionTable`]), access-point shard (forward-only
+//! sequence expectations, reception bitmaps, lazy ARQ trackers, a hopping
+//! controller) and salted RNG sub-streams (cell 0 reproduces the
+//! single-cell engine's streams exactly). A worker pool advances cells in
+//! lockstep conservative lookahead windows — at least `feedback_delay_s`
+//! wide, so a cell never needs mid-window state from a peer; the only
+//! cross-cell signal is the global activity watermark exchanged at window
+//! barriers, which keeps idle cells' spectrum scans alive while the
+//! deployment is active anywhere. Because cells share no mutable state
+//! inside a window, the merged report is bit-identical whatever the worker
+//! count; per-cell reports merge in cell order and delivery latencies merge
+//! by delivery time, so the report is also independent of the cell
+//! partition wherever cells are physically independent (collision-free
+//! workloads).
+//!
+//! The MAC state machines mirror `saiyan_mac` exactly — sequence windows
+//! are pinned to [`AccessPoint`] constants and the session-table replay
+//! window is cross-checked against the real
+//! [`TagSession`](saiyan_mac::TagSession) ring buffer by the `saiyan_mac`
+//! unit suite — so the two fidelity levels can not drift apart in MAC
+//! behaviour.
 
+use std::collections::HashMap;
+use std::thread;
 use std::time::Instant;
 
 use rand::Rng;
-use saiyan_mac::packet::UplinkPacket;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use saiyan::TagPowerModel;
+use saiyan_mac::hopping::{ChannelTable, HoppingController};
+use saiyan_mac::packet::{Addressing, Command, DownlinkPacket, TagId};
+use saiyan_mac::retransmission::ArqTracker;
+use saiyan_mac::session_table::SessionTable;
+use saiyan_mac::AccessPoint;
 
-use super::harness::{Ev, MacHarness};
-use super::report::EngineOutcome;
-use super::scenario::EngineScenario;
-use super::scheduler::EventQueue;
+use super::harness::{MacHarness, MAC_SALT, PHY_SALT, TRAFFIC_SALT};
+use super::occupancy::ChannelOccupancy;
+use super::report::{EngineOutcome, EngineReport};
+use super::scenario::{EngineScenario, MacPolicy};
+use super::scheduler::CalendarQueue;
+
+/// Compact per-cell event: payloads are regenerated from the tag id, never
+/// stored, so an event is a couple of words however large the population.
+enum CellEv {
+    /// A tag generates a sensor reading.
+    Arrival { tag: u32 },
+    /// A tag puts sequence `sequence` on the air (attempt 0 = first try,
+    /// 1 = ARQ replay).
+    Transmit { tag: u32, sequence: u8, attempt: u8 },
+    /// A transmission finishes its airtime.
+    Reception { index: u32 },
+    /// The access-point shard transmits a downlink command.
+    Downlink { packet: DownlinkPacket },
+    /// The access-point shard scans its current channel.
+    SpectrumScan,
+}
 
 /// A transmission whose airtime is in flight; `ok` may still be flipped by
 /// a later same-channel collision before the `Reception` event resolves it.
 struct PendingRx {
-    packet: UplinkPacket,
-    channel: usize,
+    tag: u32,
+    sequence: u8,
     ok: bool,
+}
+
+/// Scenario-derived constants shared (immutably) by every cell and worker.
+struct RunParams<'a> {
+    scenario: &'a EngineScenario,
+    packet_dur: f64,
+    /// Inter-packet guard a tag's half-duplex radio needs (4 symbols).
+    guard_s: f64,
+    link_p: f64,
+    energy_per_command_j: f64,
+    payload_bits: u64,
+    table: ChannelTable,
+    initial_channel: u8,
+}
+
+impl<'a> RunParams<'a> {
+    fn new(scenario: &'a EngineScenario) -> Self {
+        RunParams {
+            scenario,
+            packet_dur: scenario.packet_duration_s(),
+            guard_s: 4.0 * scenario.lora.symbol_duration(),
+            link_p: scenario.link_success_p(),
+            energy_per_command_j: TagPowerModel::asic().packet_energy_joules(&scenario.lora, 8),
+            payload_bits: (scenario.payload_bytes * 8) as u64,
+            // The same 433 MHz / 500 kHz table the shared harness builds.
+            table: ChannelTable {
+                channels: (0..scenario.n_channels)
+                    .map(|i| 433.0e6 + i as f64 * 0.5e6)
+                    .collect(),
+            },
+            initial_channel: scenario
+                .jammer
+                .map(|j| j.channel as u8)
+                .unwrap_or(0)
+                .min(scenario.n_channels as u8 - 1),
+        }
+    }
+}
+
+/// Per-cell RNG sub-stream: cell 0 reproduces the single-cell engine's
+/// stream exactly; later cells get disjoint keys far above the tag-id bits.
+fn cell_stream(salted_seed: u64, cell: usize) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(salted_seed ^ ((cell as u64) << 40))
+}
+
+/// One spatial cell: an independent collision domain over a contiguous tag
+/// range, with its own event queue, sessions, AP shard and RNG streams.
+struct Cell {
+    base: u32,
+    len: u32,
+    queue: CalendarQueue<CellEv>,
+    sessions: SessionTable,
+    /// AP shard: next expected sequence per tag (−1 = no frame seen yet).
+    /// Forward-only, per `AccessPoint::ingest_frame` semantics.
+    next_expected: Vec<i16>,
+    /// AP shard: bitmap over the 256-sequence space of received frames.
+    received: Vec<[u64; 4]>,
+    /// AP shard: ARQ trackers, materialised lazily for lossy tags only.
+    arq: HashMap<u32, ArqTracker>,
+    /// Outstanding readings: `(local tag, sequence)` → generation time.
+    outstanding: HashMap<(u32, u8), f64>,
+    hopping: HoppingController,
+    occupancy: Vec<ChannelOccupancy>,
+    pending: Vec<PendingRx>,
+    /// `(delivery time, latency)` pairs, recorded in delivery order.
+    deliveries: Vec<(f64, f64)>,
+    mac_rng: ChaCha8Rng,
+    phy_rng: ChaCha8Rng,
+    /// Activity watermark: every *activity* event extends it past its own
+    /// airtime (scans and the jammer do not — they are not tag activity).
+    end_time: f64,
+    report: EngineReport,
+    newly_collided: Vec<u32>,
+    missing_scratch: Vec<u8>,
+}
+
+impl Cell {
+    fn new(p: &RunParams, cell_idx: usize, arrivals_buf: &mut Vec<f64>) -> Self {
+        let s = p.scenario;
+        let (base, end) = s.cell_range(cell_idx);
+        let len = end - base;
+        let n_ch = s.n_channels;
+        let sessions =
+            SessionTable::new(len as usize, |local| ((base as usize + local) % n_ch) as u8);
+
+        // Build every tag's arrival schedule up front (deterministic: one
+        // salted stream per tag, consumed in tag order). Jitter-free
+        // periodic traffic draws nothing, so the per-tag ChaCha key setup
+        // is skipped wholesale — a million key schedules saved.
+        let randomized = s.traffic.is_randomized();
+        let mut shared_rng = ChaCha8Rng::seed_from_u64(s.seed ^ TRAFFIC_SALT);
+        let mut schedule: Vec<(f64, u32)> = Vec::new();
+        let mut end_time = s.lead_in_s;
+        for tag in base..end {
+            let mut own_rng;
+            let rng = if randomized {
+                own_rng = MacHarness::traffic_rng(s, tag);
+                &mut own_rng
+            } else {
+                &mut shared_rng
+            };
+            s.traffic
+                .arrivals_into(s.readings_per_tag, s.phase_s(tag), rng, arrivals_buf);
+            for &t in arrivals_buf.iter() {
+                end_time = end_time.max(t + p.packet_dur);
+                schedule.push((t, tag));
+            }
+        }
+        let span = (end_time - s.lead_in_s).max(p.packet_dur) * 1.25
+            + s.feedback_delay_s
+            + 16.0 * p.packet_dur;
+        let mut queue = CalendarQueue::for_span(s.lead_in_s, span, schedule.len() * 3 + 16);
+        for &(t, tag) in &schedule {
+            queue.push(t, CellEv::Arrival { tag });
+        }
+        if s.jammer.is_some() {
+            let first_scan = s.lead_in_s + s.scan_interval_s;
+            if first_scan < end_time {
+                queue.push(first_scan, CellEv::SpectrumScan);
+            }
+        }
+
+        Cell {
+            base,
+            len,
+            queue,
+            sessions,
+            next_expected: vec![-1; len as usize],
+            received: vec![[0u64; 4]; len as usize],
+            arq: HashMap::new(),
+            outstanding: HashMap::new(),
+            hopping: HoppingController::new(p.table.clone(), p.initial_channel, -70.0)
+                .expect("initial channel exists"),
+            occupancy: vec![ChannelOccupancy::new(); n_ch],
+            pending: Vec::new(),
+            deliveries: Vec::new(),
+            mac_rng: cell_stream(s.seed ^ MAC_SALT, cell_idx),
+            phy_rng: cell_stream(s.seed ^ PHY_SALT, cell_idx),
+            end_time,
+            report: EngineReport::default(),
+            newly_collided: Vec::new(),
+            missing_scratch: Vec::new(),
+        }
+    }
+
+    /// Schedules an activity event, extending the watermark past its
+    /// airtime.
+    fn schedule(&mut self, t: f64, packet_dur: f64, ev: CellEv) {
+        self.end_time = self.end_time.max(t + packet_dur);
+        self.queue.push(t, ev);
+    }
+
+    /// Handles every event strictly before `window_end`. `global_floor` is
+    /// the deployment-wide activity watermark as of the last window
+    /// barrier (conservative: it only ever lags the true maximum).
+    fn advance(&mut self, p: &RunParams, window_end: f64, global_floor: f64) {
+        while let Some((t, ev)) = self.queue.pop_before(window_end) {
+            match ev {
+                CellEv::Arrival { tag } => self.on_arrival(p, t, tag),
+                CellEv::Transmit {
+                    tag,
+                    sequence,
+                    attempt,
+                } => self.on_transmit(p, t, tag, sequence, attempt),
+                CellEv::Reception { index } => self.on_reception(p, t, index),
+                CellEv::Downlink { packet } => self.on_downlink(p, t, &packet),
+                CellEv::SpectrumScan => self.on_scan(p, t, global_floor),
+            }
+        }
+    }
+
+    fn on_arrival(&mut self, p: &RunParams, t: f64, tag: u32) {
+        self.report.readings_generated += 1;
+        let local = (tag - self.base) as usize;
+        let sequence = self.sessions.allocate_sequence(local);
+        self.outstanding.insert((local as u32, sequence), t);
+        self.schedule(
+            t,
+            p.packet_dur,
+            CellEv::Transmit {
+                tag,
+                sequence,
+                attempt: 0,
+            },
+        );
+    }
+
+    fn on_transmit(&mut self, p: &RunParams, t: f64, tag: u32, sequence: u8, attempt: u8) {
+        let local = (tag - self.base) as usize;
+        // The tag's radio is half-duplex and serial: defer a transmission
+        // that would overlap its own airtime (plus the guard).
+        let busy_until = self.sessions.busy_until(local);
+        if t < busy_until {
+            self.schedule(
+                busy_until,
+                p.packet_dur,
+                CellEv::Transmit {
+                    tag,
+                    sequence,
+                    attempt,
+                },
+            );
+            return;
+        }
+        self.sessions.reserve(local, t + p.packet_dur + p.guard_s);
+        let round = self.sessions.next_round(local);
+        let n = p.scenario.n_channels;
+        let channel = match p.scenario.mac {
+            MacPolicy::Fixed => self.sessions.channel(local) as usize,
+            MacPolicy::Hopping => (self.sessions.channel(local) as usize + round as usize) % n,
+            MacPolicy::Aloha => self.mac_rng.gen_range(0..n),
+        };
+        if attempt == 0 && p.scenario.drop_first_attempt.contains(&(tag, sequence)) {
+            self.report.suppressed_transmissions += 1;
+            return;
+        }
+        self.report.uplink_transmissions += 1;
+        let mut ok = p.link_p >= 1.0 || self.phy_rng.gen::<f64>() < p.link_p;
+        if let Some(jam) = p.scenario.jammer {
+            // The jammer timeline is a pure function of time — no phantom
+            // activity event needed (or allowed: it must not extend the
+            // watermark).
+            if t >= jam.at_s && channel == jam.channel {
+                ok = false;
+            }
+        }
+        let rx_end = t + p.packet_dur;
+        let index = self.pending.len() as u32;
+        self.newly_collided.clear();
+        let collided = self.occupancy[channel].begin(t, rx_end, index, &mut self.newly_collided);
+        for i in 0..self.newly_collided.len() {
+            let victim = self.newly_collided[i] as usize;
+            if self.pending[victim].ok {
+                self.pending[victim].ok = false;
+                self.report.collisions += 1;
+            }
+        }
+        if collided && ok {
+            self.report.collisions += 1;
+            ok = false;
+        }
+        self.pending.push(PendingRx { tag, sequence, ok });
+        self.schedule(rx_end, p.packet_dur, CellEv::Reception { index });
+    }
+
+    fn on_reception(&mut self, p: &RunParams, t: f64, index: u32) {
+        let rx = &self.pending[index as usize];
+        if rx.ok {
+            let (tag, sequence) = (rx.tag, rx.sequence);
+            self.ingest(p, t, tag, sequence);
+        }
+    }
+
+    /// The AP shard ingests one delivered frame: `AccessPoint::ingest_frame`
+    /// over flat state — forward-only expectation, gap detection, duplicate
+    /// bitmap, delivery bookkeeping, ARQ requests (scheduled as downlinks).
+    fn ingest(&mut self, p: &RunParams, t: f64, tag: u32, sequence: u8) {
+        let local = (tag - self.base) as usize;
+        self.missing_scratch.clear();
+        match self.next_expected[local] {
+            -1 => self.next_expected[local] = sequence.wrapping_add(1) as i16,
+            expected => {
+                let expected = expected as u8;
+                let forward = sequence.wrapping_sub(expected);
+                let backward = expected.wrapping_sub(sequence);
+                if forward <= AccessPoint::MAX_SEQUENCE_GAP {
+                    for d in 0..forward {
+                        self.missing_scratch.push(expected.wrapping_add(d));
+                    }
+                    self.next_expected[local] = sequence.wrapping_add(1) as i16;
+                } else if backward <= AccessPoint::REPLAY_WINDOW {
+                    // An old frame replayed: keep the expectation.
+                } else {
+                    self.next_expected[local] = sequence.wrapping_add(1) as i16;
+                }
+            }
+        }
+        let word = &mut self.received[local][(sequence >> 6) as usize];
+        let bit = 1u64 << (sequence & 63);
+        let duplicate = *word & bit != 0;
+        *word |= bit;
+        if let Some(tracker) = self.arq.get_mut(&(local as u32)) {
+            tracker.record_reception(sequence);
+        }
+        if duplicate {
+            self.report.duplicates += 1;
+        } else if let Some(gen_t) = self.outstanding.remove(&(local as u32, sequence)) {
+            self.report.readings_delivered += 1;
+            self.report.delivered_payload_bits += p.payload_bits;
+            self.deliveries.push((t, t - gen_t));
+        }
+        if !self.missing_scratch.is_empty() {
+            let missing = std::mem::take(&mut self.missing_scratch);
+            let tracker = self
+                .arq
+                .entry(local as u32)
+                .or_insert_with(|| ArqTracker::new(TagId(local as u16), p.scenario.max_retries));
+            for &seq in &missing {
+                tracker.record_loss(seq);
+            }
+            for &seq in &missing {
+                let granted = self
+                    .arq
+                    .get_mut(&(local as u32))
+                    .expect("created above")
+                    .request_for(seq);
+                if granted {
+                    self.schedule(
+                        t + p.scenario.feedback_delay_s,
+                        p.packet_dur,
+                        CellEv::Downlink {
+                            packet: DownlinkPacket {
+                                addressing: Addressing::Unicast(TagId(local as u16)),
+                                command: Command::Retransmit { sequence: seq },
+                            },
+                        },
+                    );
+                }
+            }
+            self.missing_scratch = missing;
+        }
+    }
+
+    fn on_downlink(&mut self, p: &RunParams, t: f64, packet: &DownlinkPacket) {
+        self.report.downlink_commands += 1;
+        match packet.command {
+            Command::Retransmit { .. } => self.report.retransmission_requests += 1,
+            Command::ChannelHop { .. } => self.report.channel_hops += 1,
+            _ => {}
+        }
+        // Every tag in the cell wakes its demodulator for the command.
+        self.report.tag_demodulation_energy_j += self.len as f64 * p.energy_per_command_j;
+        let ds = p.scenario.downlink_success;
+        match packet.addressing {
+            Addressing::Unicast(id) => {
+                let local = id.0 as usize;
+                if ds < 1.0 && self.mac_rng.gen::<f64>() >= ds {
+                    return;
+                }
+                if let Command::Retransmit { sequence } = packet.command {
+                    // Replay only what the session's ring buffer still
+                    // holds; the payload is regenerated from the tag id at
+                    // delivery, so nothing is stored.
+                    if self.sessions.can_replay(local, sequence) {
+                        let tag = self.base + local as u32;
+                        self.schedule(
+                            t + p.scenario.turnaround_s,
+                            p.packet_dur,
+                            CellEv::Transmit {
+                                tag,
+                                sequence,
+                                attempt: 1,
+                            },
+                        );
+                    }
+                }
+            }
+            Addressing::Multicast { .. } | Addressing::Broadcast => {
+                for local in 0..self.len as usize {
+                    if ds < 1.0 && self.mac_rng.gen::<f64>() >= ds {
+                        continue;
+                    }
+                    if let Command::ChannelHop { channel } = packet.command {
+                        // Hop semantics: tags based on the jammed channel
+                        // (all tags, absent a jammer) move their schedule.
+                        let from = p.scenario.jammer.map(|j| j.channel);
+                        let moves =
+                            from.is_none() || from == Some(self.sessions.channel(local) as usize);
+                        if moves && (channel as usize) < p.scenario.n_channels {
+                            self.sessions.set_channel(local, channel);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_scan(&mut self, p: &RunParams, t: f64, global_floor: f64) {
+        let current = self.hopping.current;
+        let jam_here = p
+            .scenario
+            .jammer
+            .is_some_and(|j| t >= j.at_s && j.channel == current as usize);
+        let level = if jam_here { -40.0 } else { -95.0 };
+        if self.hopping.record_interference(current, level).is_ok() {
+            if let Some(hop) = self.hopping.maybe_hop() {
+                self.schedule(
+                    t + p.scenario.feedback_delay_s,
+                    p.packet_dur,
+                    CellEv::Downlink { packet: hop },
+                );
+            }
+        }
+        // Keep scanning while the deployment is still active — anywhere:
+        // the conservative global watermark keeps idle cells' scan chains
+        // alive. A raw push so scans never extend the watermark.
+        let horizon = self.end_time.max(global_floor);
+        if t + p.scenario.scan_interval_s < horizon {
+            self.queue
+                .push(t + p.scenario.scan_interval_s, CellEv::SpectrumScan);
+        }
+    }
 }
 
 /// Runs the scenario's analytical path.
 pub(crate) fn run(scenario: &EngineScenario) -> EngineOutcome {
     let start_wall = Instant::now();
-    let packet_dur = scenario.packet_duration_s();
-    let mut harness = MacHarness::new(scenario);
-    let link_p = harness.link_success_p();
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut end_time: f64 = scenario.lead_in_s;
-    let schedule = |queue: &mut EventQueue<Ev>, end_time: &mut f64, t: f64, ev: Ev| {
-        *end_time = end_time.max(t + packet_dur);
-        queue.push(t, ev);
+    scenario.validate();
+    let p = RunParams::new(scenario);
+
+    let mut arrivals_buf = Vec::new();
+    let mut cells: Vec<Cell> = (0..scenario.analytic_cells)
+        .map(|c| Cell::new(&p, c, &mut arrivals_buf))
+        .collect();
+
+    // Conservative lookahead: wide enough that no event scheduled inside a
+    // window can precede the window (feedback, turnaround and scan chains
+    // all point forwards by at least these bounds), coarse enough that
+    // barrier overhead vanishes against per-window work.
+    let mut floor = cells
+        .iter()
+        .map(|c| c.end_time)
+        .fold(scenario.lead_in_s, f64::max);
+    let lookahead = scenario
+        .feedback_delay_s
+        .max(scenario.scan_interval_s)
+        .max(4.0 * p.packet_dur)
+        .max((floor - scenario.lead_in_s) / 1024.0)
+        .max(1e-6);
+    let workers = scenario.analytic_workers.min(cells.len()).max(1);
+
+    loop {
+        let next = cells
+            .iter_mut()
+            .filter_map(|c| c.queue.peek_time())
+            .fold(f64::INFINITY, f64::min);
+        if !next.is_finite() {
+            break;
+        }
+        let window_end = next + lookahead;
+        if workers == 1 {
+            for cell in &mut cells {
+                cell.advance(&p, window_end, floor);
+            }
+        } else {
+            let per = cells.len().div_ceil(workers);
+            thread::scope(|scope| {
+                for chunk in cells.chunks_mut(per) {
+                    scope.spawn(|| {
+                        for cell in chunk {
+                            cell.advance(&p, window_end, floor);
+                        }
+                    });
+                }
+            });
+        }
+        // Window barrier: exchange the global activity watermark.
+        floor = cells.iter().fold(floor, |f, c| f.max(c.end_time));
+    }
+
+    // Deterministic merge: counters in cell order, latencies by delivery
+    // time (cells record deliveries in time order, so a stable sort makes
+    // the merged vector independent of the cell partition).
+    let mut report = EngineReport {
+        backend: "analytic".to_string(),
+        policy: scenario.mac.label().to_string(),
+        traffic: scenario.traffic.label().to_string(),
+        tags: scenario.n_tags,
+        channels: scenario.n_channels,
+        duration_s: floor,
+        ..EngineReport::default()
     };
-
-    for tag in 0..scenario.n_tags as u16 {
-        let mut rng = MacHarness::traffic_rng(scenario, tag);
-        for t in
-            scenario
-                .traffic
-                .arrivals(scenario.readings_per_tag, scenario.phase_s(tag), &mut rng)
-        {
-            schedule(&mut queue, &mut end_time, t, Ev::Arrival { tag });
-        }
+    let mut deliveries: Vec<(f64, f64)> = Vec::new();
+    for cell in &mut cells {
+        let r = &cell.report;
+        report.readings_generated += r.readings_generated;
+        report.readings_delivered += r.readings_delivered;
+        report.duplicates += r.duplicates;
+        report.uplink_transmissions += r.uplink_transmissions;
+        report.suppressed_transmissions += r.suppressed_transmissions;
+        report.collisions += r.collisions;
+        report.downlink_commands += r.downlink_commands;
+        report.retransmission_requests += r.retransmission_requests;
+        report.channel_hops += r.channel_hops;
+        report.delivered_payload_bits += r.delivered_payload_bits;
+        report.tag_demodulation_energy_j += r.tag_demodulation_energy_j;
+        deliveries.append(&mut cell.deliveries);
     }
-    if let Some(jam) = scenario.jammer {
-        schedule(&mut queue, &mut end_time, jam.at_s, Ev::JammerOn);
-        let first_scan = scenario.lead_in_s + scenario.scan_interval_s;
-        if first_scan < end_time {
-            queue.push(first_scan, Ev::SpectrumScan);
-        }
-    }
-
-    let mut pending: Vec<PendingRx> = Vec::new();
-    // Per-channel airtime occupancy: (latest end time, index of that
-    // transmission in `pending`).
-    let mut busy: Vec<Option<(f64, usize)>> = vec![None; scenario.n_channels];
-
-    while let Some((t, ev)) = queue.pop() {
-        match ev {
-            Ev::Arrival { tag } => {
-                let packet = harness.arrival(t, tag);
-                schedule(
-                    &mut queue,
-                    &mut end_time,
-                    t,
-                    Ev::Transmit {
-                        tag,
-                        packet,
-                        attempt: 0,
-                    },
-                );
-            }
-            Ev::Transmit {
-                tag,
-                packet,
-                attempt,
-            } => {
-                // The tag's radio is half-duplex and serial: defer a
-                // transmission that would overlap its own airtime.
-                if let Some(free) = harness.reserve_tx(tag, t) {
-                    schedule(
-                        &mut queue,
-                        &mut end_time,
-                        free,
-                        Ev::Transmit {
-                            tag,
-                            packet,
-                            attempt,
-                        },
-                    );
-                    continue;
-                }
-                let channel = harness.pick_channel(tag);
-                if harness.suppressed(tag, packet.sequence, attempt) {
-                    harness.report.suppressed_transmissions += 1;
-                    continue;
-                }
-                harness.report.uplink_transmissions += 1;
-                let mut ok = link_p >= 1.0 || harness.phy_rng.gen::<f64>() < link_p;
-                if let Some(jam) = scenario.jammer {
-                    if harness.jammed && channel == jam.channel {
-                        ok = false;
-                    }
-                }
-                if let Some((busy_until, other)) = busy[channel] {
-                    if t < busy_until {
-                        // Same-channel overlap: both transmissions die.
-                        if pending[other].ok {
-                            pending[other].ok = false;
-                            harness.report.collisions += 1;
-                        }
-                        if ok {
-                            harness.report.collisions += 1;
-                            ok = false;
-                        }
-                    }
-                }
-                let index = pending.len();
-                let rx_end = t + packet_dur;
-                pending.push(PendingRx {
-                    packet,
-                    channel,
-                    ok,
-                });
-                busy[channel] = match busy[channel] {
-                    Some((until, idx)) if until > rx_end => Some((until, idx)),
-                    _ => Some((rx_end, index)),
-                };
-                schedule(&mut queue, &mut end_time, rx_end, Ev::Reception { index });
-            }
-            Ev::Reception { index } => {
-                let rx = &pending[index];
-                if rx.ok {
-                    let channel = rx.channel as u8;
-                    let bytes = rx.packet.to_bytes();
-                    for request in harness.ingest(channel, t, &bytes) {
-                        schedule(
-                            &mut queue,
-                            &mut end_time,
-                            t + scenario.feedback_delay_s,
-                            Ev::Downlink { packet: request },
-                        );
-                    }
-                }
-            }
-            Ev::Downlink { packet } => {
-                for (tag, reply) in harness.deliver_downlink(&packet) {
-                    schedule(
-                        &mut queue,
-                        &mut end_time,
-                        t + scenario.turnaround_s,
-                        Ev::Transmit {
-                            tag,
-                            packet: reply,
-                            attempt: 1,
-                        },
-                    );
-                }
-            }
-            Ev::SpectrumScan => {
-                if let Some(hop) = harness.spectrum_scan() {
-                    schedule(
-                        &mut queue,
-                        &mut end_time,
-                        t + scenario.feedback_delay_s,
-                        Ev::Downlink { packet: hop },
-                    );
-                }
-                // Keep scanning while the deployment is still active; a raw
-                // push so scans never extend the activity watermark.
-                if t + scenario.scan_interval_s < end_time {
-                    queue.push(t + scenario.scan_interval_s, Ev::SpectrumScan);
-                }
-            }
-            Ev::JammerOn => harness.jammed = true,
-        }
-    }
-
-    let mut report = harness.into_report(end_time);
-    report.backend = "analytic".to_string();
+    deliveries.sort_by(|a, b| a.0.total_cmp(&b.0));
+    report.latencies_s = deliveries.into_iter().map(|(_, lat)| lat).collect();
     EngineOutcome {
         report,
         wall_s: start_wall.elapsed().as_secs_f64(),

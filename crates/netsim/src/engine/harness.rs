@@ -13,26 +13,22 @@ use std::collections::HashMap;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use rfsim::units::Meters;
 use saiyan::TagPowerModel;
 use saiyan_mac::hopping::ChannelTable;
 use saiyan_mac::packet::{Addressing, Command, DownlinkPacket, TagId, UplinkPacket};
 use saiyan_mac::tag::{TagAction, TagSession};
 use saiyan_mac::AccessPoint;
 
-use crate::backscatter::BackscatterScenario;
-
 use super::report::EngineReport;
-use super::scenario::{EngineScenario, LinkModel, MacPolicy};
+use super::scenario::{EngineScenario, MacPolicy};
 
 /// Seed salts so the traffic / MAC / PHY sub-streams never alias.
 pub(crate) const TRAFFIC_SALT: u64 = 0x7123_4AB1;
 pub(crate) const MAC_SALT: u64 = 0x00C4_71F3;
 pub(crate) const PHY_SALT: u64 = 0x9E37_79B9;
 
-/// Events both engine backends schedule. `Reception` is only used by the
-/// analytical backend (the waveform backend's receptions come out of the
-/// receiver); the others are shared.
+/// Events the waveform backend schedules. (The sharded analytic backend
+/// has its own compact per-cell event type.)
 pub(crate) enum Ev {
     /// A tag generates a sensor reading.
     Arrival {
@@ -52,11 +48,6 @@ pub(crate) enum Ev {
     Downlink {
         /// The command.
         packet: DownlinkPacket,
-    },
-    /// An analytical-path transmission finishes its airtime.
-    Reception {
-        /// Index into the backend's pending-reception table.
-        index: usize,
     },
     /// The access point scans its current channel's spectrum.
     SpectrumScan,
@@ -84,8 +75,6 @@ pub(crate) struct MacHarness {
     /// PHY-side randomness (per-packet power/CFO, link coin flips).
     pub phy_rng: ChaCha8Rng,
     energy_per_command_j: f64,
-    /// Analytical-path per-transmission success probability (cached).
-    link_p: f64,
     /// Whether the jammer is currently on.
     pub jammed: bool,
 }
@@ -116,15 +105,6 @@ impl MacHarness {
             })
             .collect();
         let energy_per_command_j = TagPowerModel::asic().packet_energy_joules(&scenario.lora, 8);
-        let link_p = match scenario.link {
-            LinkModel::Ideal => 1.0,
-            LinkModel::FixedPrr(p) => p.clamp(0.0, 1.0),
-            LinkModel::Backscatter {
-                tag_to_tx_m,
-                system,
-            } => BackscatterScenario::fig2(Meters(tag_to_tx_m))
-                .prr(system, scenario.frame_bytes() * 8),
-        };
         let report = EngineReport {
             policy: scenario.mac.label().to_string(),
             traffic: scenario.traffic.label().to_string(),
@@ -145,19 +125,13 @@ impl MacHarness {
             mac_rng: ChaCha8Rng::seed_from_u64(scenario.seed ^ MAC_SALT),
             phy_rng: ChaCha8Rng::seed_from_u64(scenario.seed ^ PHY_SALT),
             energy_per_command_j,
-            link_p,
             jammed: false,
             scenario: scenario.clone(),
         }
     }
 
-    /// The analytical path's per-transmission link success probability.
-    pub fn link_success_p(&self) -> f64 {
-        self.link_p
-    }
-
     /// A fresh RNG for the traffic schedule of one tag.
-    pub fn traffic_rng(scenario: &EngineScenario, tag: u16) -> ChaCha8Rng {
+    pub fn traffic_rng(scenario: &EngineScenario, tag: u32) -> ChaCha8Rng {
         ChaCha8Rng::seed_from_u64(scenario.seed ^ TRAFFIC_SALT ^ ((tag as u64) << 32))
     }
 
@@ -206,7 +180,11 @@ impl MacHarness {
 
     /// Whether the injected-loss rule suppresses this transmission.
     pub fn suppressed(&self, tag: u16, sequence: u8, attempt: u32) -> bool {
-        attempt == 0 && self.scenario.drop_first_attempt.contains(&(tag, sequence))
+        attempt == 0
+            && self
+                .scenario
+                .drop_first_attempt
+                .contains(&(tag as u32, sequence))
     }
 
     /// Ingests one decoded uplink frame at the access point: delivery

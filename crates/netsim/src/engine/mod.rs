@@ -10,7 +10,10 @@
 //! fidelity levels:
 //!
 //! * [`NetworkEngine::run_analytic`] — link-abstraction coin flips with
-//!   real airtime collision tracking; fast enough for huge sweeps;
+//!   real airtime collision tracking ([`occupancy::ChannelOccupancy`]),
+//!   sharded into spatial cells over a worker pool with conservative
+//!   lookahead windows; a million-tag city completes faster than realtime
+//!   and stays bit-reproducible for a fixed seed across worker counts;
 //! * [`NetworkEngine::run_waveform`] — IQ synthesized in bounded chunks and
 //!   streamed straight into a real receiver (by default a lockstep
 //!   multi-channel [`Gateway`] — see
@@ -20,14 +23,17 @@
 //!   tags the scenario carries, and the whole run is bit-reproducible for a
 //!   fixed seed across chunk sizes and worker counts.
 //!
-//! Both paths share the same scheduler ([`scheduler::EventQueue`]), the
-//! same MAC harness, and the same [`EngineReport`] (PRR, goodput, delivery
+//! Both paths share the same scheduler module — the waveform path pops the
+//! reference [`scheduler::EventQueue`] heap, the analytic cells pop the
+//! O(1) [`scheduler::CalendarQueue`] cross-checked against it — the same
+//! MAC semantics, and the same [`EngineReport`] (PRR, goodput, delivery
 //! latency), so "how much does real demodulation change the answer?" is a
 //! one-argument diff. Receiver backends are swappable through the
 //! `saiyan::Receiver` trait via [`NetworkEngine::run_waveform_with`] — the
 //! plain streaming demodulator and the `baselines` detection adapters slot
 //! in the same way.
 
+pub mod occupancy;
 pub mod report;
 pub mod scenario;
 pub mod scheduler;

@@ -1,0 +1,130 @@
+//! Per-channel airtime occupancy for the analytic backend's collision
+//! accounting.
+//!
+//! The engine used to remember only the *latest-ending* transmission per
+//! channel, which misses a third transmission that overlaps an
+//! earlier-but-still-in-flight one and undercounts collisions under ALOHA
+//! load (the undercount is invisible while every packet has the same
+//! airtime, but poisons results the moment airtimes differ — mixed
+//! spreading factors, ARQ fragments). [`ChannelOccupancy`] tracks the full
+//! set of in-flight transmissions per channel, pruned by end time, and
+//! reports every overlapped party exactly once so the caller can mark it
+//! dead and count the collision.
+
+/// One transmission still on the air.
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    end_s: f64,
+    token: u32,
+    collided: bool,
+}
+
+/// The set of in-flight transmissions on one channel.
+#[derive(Debug, Clone, Default)]
+pub struct ChannelOccupancy {
+    in_flight: Vec<InFlight>,
+}
+
+impl ChannelOccupancy {
+    /// Creates an idle channel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a transmission occupying `[start_s, end_s)` identified by
+    /// `token`. Transmissions whose airtime already ended are pruned; every
+    /// remaining one overlaps the new transmission (its start was earlier
+    /// and its end is still ahead). Tokens of overlapped transmissions that
+    /// had not collided before are appended to `newly_collided` — each
+    /// party is reported dead exactly once, however many transmissions pile
+    /// on later. Returns whether the *new* transmission collided.
+    ///
+    /// Callers must register transmissions in non-decreasing start order
+    /// (the discrete-event loop guarantees this).
+    pub fn begin(
+        &mut self,
+        start_s: f64,
+        end_s: f64,
+        token: u32,
+        newly_collided: &mut Vec<u32>,
+    ) -> bool {
+        self.in_flight.retain(|tx| tx.end_s > start_s);
+        let collided = !self.in_flight.is_empty();
+        for tx in &mut self.in_flight {
+            if !tx.collided {
+                tx.collided = true;
+                newly_collided.push(tx.token);
+            }
+        }
+        self.in_flight.push(InFlight {
+            end_s,
+            token,
+            collided,
+        });
+        collided
+    }
+
+    /// Number of transmissions currently tracked (stale entries are only
+    /// pruned lazily on [`ChannelOccupancy::begin`]).
+    pub fn tracked(&self) -> usize {
+        self.in_flight.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_transmissions_never_collide() {
+        let mut ch = ChannelOccupancy::new();
+        let mut hit = Vec::new();
+        assert!(!ch.begin(0.0, 1.0, 0, &mut hit));
+        assert!(!ch.begin(1.0, 2.0, 1, &mut hit));
+        assert!(!ch.begin(2.5, 3.0, 2, &mut hit));
+        assert!(hit.is_empty());
+        assert_eq!(ch.tracked(), 1);
+    }
+
+    #[test]
+    fn a_triple_overlap_kills_all_three_exactly_once() {
+        let mut ch = ChannelOccupancy::new();
+        let mut hit = Vec::new();
+        assert!(!ch.begin(0.0, 1.0, 0, &mut hit));
+        assert!(ch.begin(0.2, 1.2, 1, &mut hit));
+        assert_eq!(hit, vec![0]);
+        hit.clear();
+        // The third overlaps both; neither is re-reported.
+        assert!(ch.begin(0.4, 1.4, 2, &mut hit));
+        assert!(hit.is_empty());
+    }
+
+    #[test]
+    fn an_overlap_with_an_early_long_packet_is_not_missed() {
+        // The regression the latest-ending tracker got wrong: a long packet
+        // (token 0) outlives a short one (token 1); a third starting after
+        // the short one ended still overlaps the long one.
+        let mut ch = ChannelOccupancy::new();
+        let mut hit = Vec::new();
+        assert!(!ch.begin(0.0, 10.0, 0, &mut hit));
+        assert!(ch.begin(0.1, 0.2, 1, &mut hit));
+        assert_eq!(hit, vec![0]);
+        hit.clear();
+        assert!(ch.begin(5.0, 5.1, 2, &mut hit), "long packet still on air");
+        assert!(hit.is_empty(), "token 0 was already reported");
+    }
+
+    #[test]
+    fn the_channel_clears_after_airtimes_end() {
+        let mut ch = ChannelOccupancy::new();
+        let mut hit = Vec::new();
+        assert!(!ch.begin(0.0, 1.0, 0, &mut hit));
+        assert!(ch.begin(0.5, 1.5, 1, &mut hit));
+        assert_eq!(hit, vec![0]);
+        hit.clear();
+        // Both ended by t = 2: a fresh transmission is clean.
+        assert!(!ch.begin(2.0, 3.0, 2, &mut hit));
+        assert!(hit.is_empty());
+        assert_eq!(ch.tracked(), 1);
+    }
+}

@@ -9,11 +9,16 @@
 //! workload definition.
 
 use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use rfsim::units::Meters;
 
-use crate::backscatter::UplinkSystem;
+use crate::backscatter::{BackscatterScenario, UplinkSystem};
 use crate::multichannel::MultiChannelConfig;
 
 use super::traffic::TrafficModel;
+
+/// Largest tag population one analytic cell (or the waveform path, which is
+/// a single cell by construction) can hold: cell-local wire ids are `u16`.
+pub const MAX_TAGS_PER_CELL: usize = 1 << 16;
 
 /// How tags choose their transmit channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,9 +132,17 @@ pub struct EngineScenario {
     /// Injected losses: the *first* transmission attempt of these
     /// `(tag, sequence)` pairs is suppressed, so only the ARQ loop can
     /// recover the reading.
-    pub drop_first_attempt: Vec<(u16, u8)>,
+    pub drop_first_attempt: Vec<(u32, u8)>,
     /// Waveform-path synthesis chunk size (wideband samples).
     pub chunk_samples: usize,
+    /// Analytic-path spatial cells: tags are partitioned into this many
+    /// contiguous ranges, each an independent collision domain with its own
+    /// event queue, access-point shard and RNG streams. `1` reproduces the
+    /// single-cell engine exactly.
+    pub analytic_cells: usize,
+    /// Worker threads advancing analytic cells in lockstep lookahead
+    /// windows. The report is bit-identical whatever the worker count.
+    pub analytic_workers: usize,
     /// Master seed; traffic, MAC and PHY draws use salted sub-streams.
     pub seed: u64,
 }
@@ -172,6 +185,8 @@ impl EngineScenario {
             jammer: None,
             drop_first_attempt: Vec::new(),
             chunk_samples: 16_384,
+            analytic_cells: 1,
+            analytic_workers: 1,
             seed: 0x5A1A,
         };
         let t_sym = lora.symbol_duration();
@@ -209,6 +224,47 @@ impl EngineScenario {
         self.chunk_samples = chunk_samples.max(1);
         self.feedback_delay_s = self.feedback_delay_s.max(self.min_feedback_delay_s());
         self
+    }
+
+    /// Returns a copy partitioned into `cells` analytic cells (`0` = auto:
+    /// roughly 8 Ki tags per cell).
+    pub fn with_cells(mut self, cells: usize) -> Self {
+        self.analytic_cells = if cells == 0 {
+            self.n_tags.div_ceil(8192).max(1)
+        } else {
+            cells
+        };
+        self
+    }
+
+    /// Returns a copy with a different analytic worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.analytic_workers = workers.max(1);
+        self
+    }
+
+    /// The global tag-id range `[start, end)` of one analytic cell: a
+    /// balanced contiguous partition, so neighbouring tags (which a spatial
+    /// deployment would place in the same cell) share a collision domain.
+    pub fn cell_range(&self, cell: usize) -> (u32, u32) {
+        assert!(cell < self.analytic_cells, "cell index out of range");
+        let n = self.n_tags as u64;
+        let c = self.analytic_cells as u64;
+        let start = (cell as u64 * n / c) as u32;
+        let end = ((cell as u64 + 1) * n / c) as u32;
+        (start, end)
+    }
+
+    /// The analytic path's per-transmission link success probability.
+    pub fn link_success_p(&self) -> f64 {
+        match self.link {
+            LinkModel::Ideal => 1.0,
+            LinkModel::FixedPrr(p) => p.clamp(0.0, 1.0),
+            LinkModel::Backscatter {
+                tag_to_tx_m,
+                system,
+            } => BackscatterScenario::fig2(Meters(tag_to_tx_m)).prr(system, self.frame_bytes() * 8),
+        }
     }
 
     /// Uplink wire-frame length: 5 header bytes plus the payload.
@@ -271,7 +327,7 @@ impl EngineScenario {
 
     /// Per-tag phase stagger (seconds) for reading `0`: spreads the tag
     /// population evenly over one periodic interval.
-    pub fn phase_s(&self, tag: u16) -> f64 {
+    pub fn phase_s(&self, tag: u32) -> f64 {
         let interval = match self.traffic {
             TrafficModel::Periodic { interval_s, .. } => interval_s,
             _ => self.safe_periodic_interval_s(),
@@ -291,6 +347,20 @@ impl EngineScenario {
             "downlink_success must be a probability"
         );
         assert!(self.chunk_samples > 0, "chunk_samples must be positive");
+        assert!(self.analytic_cells >= 1, "need at least one analytic cell");
+        assert!(
+            self.analytic_cells <= self.n_tags,
+            "more analytic cells ({}) than tags ({})",
+            self.analytic_cells,
+            self.n_tags
+        );
+        assert!(self.analytic_workers >= 1, "need at least one worker");
+        assert!(
+            self.n_tags.div_ceil(self.analytic_cells) <= MAX_TAGS_PER_CELL,
+            "a cell would hold more than {MAX_TAGS_PER_CELL} tags (u16 wire ids): \
+             raise analytic_cells"
+        );
+        assert!(self.n_tags <= u32::MAX as usize, "tag ids are u32");
         let _ = self.payload_symbols();
         // The channel grid must fit inside the wideband Nyquist range.
         let nyquist = self.wideband_rate() / 2.0;
@@ -319,6 +389,26 @@ mod tests {
         assert!(s.safe_periodic_interval_s() > 3.0 * s.packet_duration_s());
         // Phases spread over one interval.
         assert!(s.phase_s(11) > s.phase_s(0));
+    }
+
+    #[test]
+    fn cell_ranges_partition_the_population() {
+        let s = EngineScenario::grid(1000, 4, 1)
+            .with_cells(7)
+            .with_workers(3);
+        s.validate();
+        let mut covered = 0u32;
+        for c in 0..s.analytic_cells {
+            let (lo, hi) = s.cell_range(c);
+            assert_eq!(lo, covered, "cell {c} is not contiguous");
+            assert!(hi > lo, "cell {c} is empty");
+            covered = hi;
+        }
+        assert_eq!(covered, 1000);
+        // Auto-sizing keeps every cell under the u16 wire-id ceiling.
+        let big = EngineScenario::grid(100_000, 4, 1).with_cells(0);
+        assert!(big.n_tags.div_ceil(big.analytic_cells) <= MAX_TAGS_PER_CELL);
+        big.validate();
     }
 
     #[test]

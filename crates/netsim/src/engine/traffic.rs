@@ -47,11 +47,37 @@ impl TrafficModel {
         }
     }
 
+    /// Whether the model consumes randomness at all. A deterministic model
+    /// lets the engine skip seeding one RNG stream per tag — at a million
+    /// tags that is a million ChaCha key setups saved.
+    pub fn is_randomized(&self) -> bool {
+        match self {
+            TrafficModel::Periodic { jitter_s, .. } => *jitter_s > 0.0,
+            TrafficModel::Poisson { .. } | TrafficModel::Bursty { .. } => true,
+        }
+    }
+
     /// Times (seconds) at which one tag generates `readings` readings,
     /// starting from `phase_s`. Draws come from `rng` in a fixed order, so
     /// the schedule depends only on the seed, the phase and the count.
     pub fn arrivals(&self, readings: usize, phase_s: f64, rng: &mut ChaCha8Rng) -> Vec<f64> {
-        let mut out = Vec::with_capacity(readings);
+        let mut out = Vec::new();
+        self.arrivals_into(readings, phase_s, rng, &mut out);
+        out
+    }
+
+    /// [`TrafficModel::arrivals`] into a caller-owned buffer (cleared
+    /// first), so per-tag schedule generation at city scale reuses one
+    /// allocation.
+    pub fn arrivals_into(
+        &self,
+        readings: usize,
+        phase_s: f64,
+        rng: &mut ChaCha8Rng,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.reserve(readings);
         match *self {
             TrafficModel::Periodic {
                 interval_s,
@@ -81,23 +107,28 @@ impl TrafficModel {
                 mean_burst_interval_s,
             } => {
                 assert!(burst > 0, "burst size must be positive");
+                assert!(intra_gap_s >= 0.0, "intra-burst gap must be non-negative");
                 assert!(
                     mean_burst_interval_s > 0.0,
                     "burst interval must be positive"
                 );
+                // The inter-burst gap is measured from the END of the
+                // previous burst (its last reading), not its start:
+                // otherwise a short exponential draw against a long
+                // intra-burst span emits non-monotone timestamps.
                 let mut t = phase_s;
                 let mut emitted = 0;
                 while emitted < readings {
-                    t += exponential(mean_burst_interval_s, rng);
+                    let start = t + exponential(mean_burst_interval_s, rng);
                     let in_this_burst = burst.min(readings - emitted);
                     for j in 0..in_this_burst {
-                        out.push(t + j as f64 * intra_gap_s);
+                        out.push(start + j as f64 * intra_gap_s);
                     }
+                    t = start + (in_this_burst - 1) as f64 * intra_gap_s;
                     emitted += in_this_burst;
                 }
             }
         }
-        out
     }
 }
 
@@ -150,6 +181,49 @@ mod tests {
             assert!(a[0] >= 1.0, "{}", model.label());
             assert_ne!(a, model.arrivals(20, 1.0, &mut rng(8)));
         }
+    }
+
+    #[test]
+    fn bursty_stays_monotone_under_adversarial_ratios() {
+        // Regression: with an intra-burst span (3 × 5 s) dwarfing the mean
+        // inter-burst draw (10 ms), the old start-anchored accumulator
+        // emitted later bursts *inside* earlier ones. Measuring the gap
+        // from the previous burst's end keeps every schedule sorted; the
+        // engine_scale proptest sweeps this over random ratios and seeds.
+        let model = TrafficModel::Bursty {
+            burst: 4,
+            intra_gap_s: 5.0,
+            mean_burst_interval_s: 0.01,
+        };
+        for seed in 0..32 {
+            let times = model.arrivals(40, 1.0, &mut rng(seed));
+            assert!(
+                times.windows(2).all(|w| w[0] < w[1]),
+                "non-monotone schedule at seed {seed}: {times:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_into_reuses_the_buffer_and_matches_arrivals() {
+        let model = TrafficModel::Poisson {
+            mean_interval_s: 0.5,
+        };
+        let direct = model.arrivals(10, 2.0, &mut rng(42));
+        let mut buf = vec![f64::NAN; 3]; // stale content must be cleared
+        model.arrivals_into(10, 2.0, &mut rng(42), &mut buf);
+        assert_eq!(direct, buf);
+        assert!(!model.is_randomized() || buf.len() == 10);
+        assert!(!TrafficModel::Periodic {
+            interval_s: 1.0,
+            jitter_s: 0.0
+        }
+        .is_randomized());
+        assert!(TrafficModel::Periodic {
+            interval_s: 1.0,
+            jitter_s: 0.1
+        }
+        .is_randomized());
     }
 
     #[test]

@@ -100,18 +100,27 @@ pub(crate) fn run(scenario: &EngineScenario, receiver: &mut dyn Receiver) -> Eng
         queue.push(t, ev);
     };
 
+    assert!(
+        scenario.n_tags <= super::scenario::MAX_TAGS_PER_CELL,
+        "the waveform path is a single cell ({} tags max; wire ids are u16): \
+         larger populations run on the sharded analytic backend",
+        super::scenario::MAX_TAGS_PER_CELL
+    );
     for tag in 0..scenario.n_tags as u16 {
-        let mut rng = MacHarness::traffic_rng(scenario, tag);
-        for t in
-            scenario
-                .traffic
-                .arrivals(scenario.readings_per_tag, scenario.phase_s(tag), &mut rng)
-        {
+        let mut rng = MacHarness::traffic_rng(scenario, tag as u32);
+        for t in scenario.traffic.arrivals(
+            scenario.readings_per_tag,
+            scenario.phase_s(tag as u32),
+            &mut rng,
+        ) {
             schedule(&mut queue, &mut end_time, t, Ev::Arrival { tag });
         }
     }
     if let Some(jam) = scenario.jammer {
-        schedule(&mut queue, &mut end_time, jam.at_s, Ev::JammerOn);
+        // A raw push, like the scans below: the jammer switching on is not
+        // tag activity, so it must not extend the watermark by a phantom
+        // packet duration (that inflated `duration_s` and deflated goodput).
+        queue.push(jam.at_s, Ev::JammerOn);
         let first_scan = scenario.lead_in_s + scenario.scan_interval_s;
         if first_scan < end_time {
             queue.push(first_scan, Ev::SpectrumScan);
@@ -131,9 +140,11 @@ pub(crate) fn run(scenario: &EngineScenario, receiver: &mut dyn Receiver) -> Eng
     loop {
         let total = ((end_time + tail_s) * fs).round() as u64;
         if pos >= total {
+            // Only non-activity events (a jammer firing after the last
+            // packet) may outlive the synthesized stream.
             debug_assert!(
-                queue.is_empty(),
-                "events scheduled beyond the synthesis end"
+                queue.peek_time().is_none_or(|t| t >= end_time),
+                "activity events scheduled beyond the synthesis end"
             );
             break;
         }
@@ -222,7 +233,6 @@ pub(crate) fn run(scenario: &EngineScenario, receiver: &mut dyn Receiver) -> Eng
                     }
                 }
                 Ev::JammerOn => harness.jammed = true,
-                Ev::Reception { .. } => unreachable!("waveform path has no Reception events"),
             }
         }
 
