@@ -187,6 +187,17 @@ impl<D: PacketDetector> Receiver for DetectionReceiver<D> {
         }
         out
     }
+
+    fn reset(&mut self) {
+        // The detector itself is stateless across captures; the adapter's
+        // segmentation state is everything a stream carries.
+        self.buf.clear();
+        self.buf_start = 0;
+        self.noise_floor = None;
+        self.noise_context.clear();
+        self.burst.clear();
+        self.burst_start = None;
+    }
 }
 
 #[cfg(test)]

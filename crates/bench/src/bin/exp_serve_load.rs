@@ -1,0 +1,245 @@
+//! Serving-layer load test: throughput vs concurrent client streams.
+//!
+//! Spins up a [`ServeDaemon`] over a pooled receiver executor, then replays
+//! the same golden-style multi-packet capture from N concurrent clients
+//! (each a producer thread pushing raw byte frames, exactly the ingest path
+//! a network front-end would use) for increasing N. Reports, per client
+//! count: aggregate ingest rate, aggregate realtime factor, delivered-packet
+//! ratio (decoded / expected across all streams), and chunks shed by
+//! backpressure — the throughput-vs-clients curve for the serving layer.
+//!
+//! The daemon instance persists across client counts, so later rows also
+//! exercise receiver recycling (the `reused` column counts checkouts served
+//! from the pool instead of a rebuild).
+//!
+//! Flags:
+//!
+//! * `--streams 1,2,4,8` — client counts to sweep (default shown).
+//! * `--queue <frames>` — ingest queue bound per stream (default 8).
+//! * `--policy block|drop-oldest` — backpressure policy (default `block`;
+//!   blocking mode is lossless, so its delivered ratio is the decode rate).
+//! * `--speed <M>` — pace each client at M× realtime (default 0 = unpaced,
+//!   measuring capacity).
+//! * `--check-floor <x>` — CI gate: exit non-zero if the delivered-packet
+//!   ratio at the highest client count drops below `x`.
+//!
+//! Results land in `results/serve_load.json` and the top-level
+//! `BENCH_serve.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use netsim::longtrace::{generate_long_trace, random_payloads, LongTraceConfig, TracePacket};
+use saiyan::config::{SaiyanConfig, Variant};
+use saiyan::{BoxedReceiver, PooledExecutor, ReceiverExecutor, StreamingDemodulator};
+use saiyan_bench::{check_floor_arg, enforce_floor, fmt, write_json, write_json_at, Table};
+use saiyan_serve::{samples_to_bytes, BackpressurePolicy, ServeConfig, ServeDaemon};
+
+const PACKETS: usize = 6;
+const PAYLOAD_SYMBOLS: usize = 16;
+const CHUNK_SAMPLES: usize = 4096;
+
+fn arg_value(name: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+fn main() {
+    let streams: Vec<usize> = arg_value("--streams")
+        .unwrap_or_else(|| "1,2,4,8".into())
+        .split(',')
+        .map(|s| s.trim().parse().expect("--streams takes integers"))
+        .collect();
+    let queue_depth: usize = arg_value("--queue")
+        .map(|v| v.parse().expect("--queue takes an integer"))
+        .unwrap_or(8);
+    let policy = match arg_value("--policy").as_deref() {
+        None | Some("block") => BackpressurePolicy::Block,
+        Some("drop-oldest") => BackpressurePolicy::DropOldest,
+        Some(other) => panic!("--policy must be block or drop-oldest, got {other:?}"),
+    };
+    let speed: f64 = arg_value("--speed")
+        .map(|v| v.parse().expect("--speed takes a number"))
+        .unwrap_or(0.0);
+
+    let lora = LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).expect("valid"),
+    );
+    let k = lora.bits_per_chirp;
+    let payloads = random_payloads(PACKETS, PAYLOAD_SYMBOLS, k, 0x5E7F_10AD);
+    let trace_cfg = LongTraceConfig::new(lora).with_noise(-82.0);
+    let packets: Vec<TracePacket> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            TracePacket::new(
+                p.clone(),
+                -48.0 - (i % 3) as f64 * 2.0,
+                if i == 0 { 4.0 } else { 16.0 },
+            )
+        })
+        .collect();
+    let (trace, truth) = generate_long_trace(&trace_cfg, &packets);
+    let bytes = Arc::new(samples_to_bytes(&trace.samples));
+    let chunk_bytes = CHUNK_SAMPLES * saiyan_serve::wire::BYTES_PER_SAMPLE;
+    println!(
+        "trace: {} packets, {} samples ({:.1} ms of air time); {} byte frames of {} samples per client",
+        truth.len(),
+        trace.len(),
+        trace.duration() * 1e3,
+        bytes.len().div_ceil(chunk_bytes),
+        CHUNK_SAMPLES,
+    );
+
+    // Production-profile receivers behind a pool sized for the largest sweep
+    // point, shared by every row so later rows hit warm (reset) instances.
+    let factory = {
+        let cfg = SaiyanConfig::paper_default(lora, Variant::Vanilla).high_throughput();
+        Arc::new(move || {
+            Box::new(StreamingDemodulator::new(cfg.clone(), PAYLOAD_SYMBOLS)) as BoxedReceiver
+        })
+    };
+    let max_streams = streams.iter().copied().max().unwrap_or(1);
+    let executor = Arc::new(PooledExecutor::new(factory, max_streams));
+    let daemon = ServeDaemon::new(
+        executor.clone() as Arc<dyn saiyan::ReceiverExecutor>,
+        ServeConfig::default()
+            .with_queue_depth(queue_depth)
+            .with_policy(policy),
+    );
+
+    let mut table = Table::new(
+        "Serving-layer load: throughput vs concurrent clients",
+        &[
+            "clients",
+            "delivered",
+            "ratio",
+            "dropped chunks",
+            "Msamples/s",
+            "x realtime (aggregate)",
+            "reused",
+        ],
+    );
+    let mut json_rows = Vec::new();
+    let mut headline_ratio = f64::NAN;
+    let mut headline_realtime = f64::NAN;
+    let mut headline_drops = 0u64;
+    let chunk_period = if speed > 0.0 {
+        Duration::from_secs_f64(CHUNK_SAMPLES as f64 / trace.sample_rate / speed)
+    } else {
+        Duration::ZERO
+    };
+    for &n in &streams {
+        let start = Instant::now();
+        let clients: Vec<std::thread::JoinHandle<(usize, u64)>> = (0..n)
+            .map(|i| {
+                let handle = daemon
+                    .open_stream(format!("load-{n}-{i}"))
+                    .expect("daemon running");
+                let bytes = Arc::clone(&bytes);
+                std::thread::spawn(move || {
+                    let mut next = Instant::now();
+                    for chunk in bytes.chunks(chunk_bytes) {
+                        if !chunk_period.is_zero() {
+                            next += chunk_period;
+                            if let Some(wait) = next.checked_duration_since(Instant::now()) {
+                                std::thread::sleep(wait);
+                            }
+                        }
+                        if handle.send_bytes(chunk.to_vec()).is_err() {
+                            break;
+                        }
+                    }
+                    let report = handle.wait();
+                    (report.packets.len(), report.stats.dropped_chunks)
+                })
+            })
+            .collect();
+        let mut delivered = 0usize;
+        let mut dropped = 0u64;
+        for client in clients {
+            let (packets, drops) = client.join().expect("client thread");
+            delivered += packets;
+            dropped += drops;
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let expected = n * truth.len();
+        let ratio = delivered as f64 / expected as f64;
+        let aggregate_sps = (n * trace.len()) as f64 / elapsed;
+        let realtime = aggregate_sps / trace.sample_rate;
+        headline_ratio = ratio;
+        headline_realtime = realtime;
+        headline_drops = dropped;
+        table.add_row(vec![
+            n.to_string(),
+            format!("{delivered}/{expected}"),
+            fmt(ratio, 3),
+            dropped.to_string(),
+            fmt(aggregate_sps / 1e6, 2),
+            fmt(realtime, 1),
+            executor.reused().to_string(),
+        ]);
+        json_rows.push(serde_json::json!({
+            "clients": n,
+            "delivered": delivered,
+            "expected": expected,
+            "delivered_ratio": ratio,
+            "dropped_chunks": dropped,
+            "samples_per_sec": aggregate_sps,
+            "realtime_factor": realtime,
+            "pool_reused": executor.reused(),
+        }));
+    }
+    let final_snapshot = daemon.shutdown();
+    table.print();
+    println!(
+        "Policy {:?}, queue depth {queue_depth}, speed {}; pool built {} receivers, reused {}.",
+        policy,
+        if speed > 0.0 {
+            format!("{speed}x realtime")
+        } else {
+            "unpaced".into()
+        },
+        executor.built(),
+        executor.reused(),
+    );
+    if policy == BackpressurePolicy::Block {
+        assert_eq!(
+            headline_drops, 0,
+            "blocking backpressure must never shed frames"
+        );
+        println!("blocking mode: zero dropped chunks across the sweep, as required.");
+    }
+    let summary = serde_json::json!({
+        "bench": "exp_serve_load",
+        "sample_rate": trace.sample_rate,
+        "chunk_samples": CHUNK_SAMPLES,
+        "queue_depth": queue_depth,
+        "policy": match policy {
+            BackpressurePolicy::Block => "block",
+            BackpressurePolicy::DropOldest => "drop-oldest",
+        },
+        "speed": speed,
+        "max_clients": max_streams,
+        "delivered_ratio_headline": headline_ratio,
+        "realtime_factor_headline": headline_realtime,
+        "streams_served": final_snapshot.streams_opened,
+        "packets_total": final_snapshot.packets_total,
+        "rows": serde_json::json!(json_rows.clone()),
+    });
+    write_json("serve_load", &serde_json::json!(json_rows));
+    write_json_at("BENCH_serve.json", &summary);
+    enforce_floor(
+        "delivered-packet ratio at max concurrency",
+        headline_ratio,
+        check_floor_arg(),
+    );
+}

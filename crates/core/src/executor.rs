@@ -1,0 +1,192 @@
+//! Receiver executors: how a harness obtains and recycles [`Receiver`]s.
+//!
+//! The same receive stack runs in two deployments. *Embedded* — an
+//! experiment binary or the network engine builds a receiver, streams one
+//! capture through it, and drops it. *Served* — a long-running daemon
+//! multiplexes many sequential streams and cannot afford to rebuild a
+//! [`crate::gateway::Gateway`] (channelizer FIR design, worker-pool spawn)
+//! per stream. [`ReceiverExecutor`] abstracts that choice behind a
+//! checkout/checkin pair, so the serving layer is written once:
+//!
+//! * [`FreshExecutor`] builds a new receiver per checkout and drops it at
+//!   checkin — exactly the embedded lifecycle.
+//! * [`PooledExecutor`] keeps a bounded free list; checkin calls
+//!   [`Receiver::reset`] (which restores the pristine just-constructed
+//!   state, so a recycled instance decodes bit-identically to a fresh one)
+//!   and parks the instance for the next checkout.
+//!
+//! Executors are shared across stream-worker threads by `Arc`, so both
+//! methods take `&self`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::receiver::Receiver;
+
+/// A boxed receiver that can move to a stream-worker thread.
+pub type BoxedReceiver = Box<dyn Receiver + Send>;
+
+/// Builds receiver instances for an executor. Shared and called from
+/// multiple threads, hence `Send + Sync`.
+pub type ReceiverFactory = Arc<dyn Fn() -> BoxedReceiver + Send + Sync>;
+
+/// Provides receiver instances to stream workers and takes them back when a
+/// stream ends. See the [module docs](self).
+pub trait ReceiverExecutor: Send + Sync {
+    /// Obtains a receiver in pristine state for a new stream.
+    fn checkout(&self) -> BoxedReceiver;
+
+    /// Returns a receiver whose stream has ended (already flushed by the
+    /// caller). The executor may recycle or drop it.
+    fn checkin(&self, receiver: BoxedReceiver);
+
+    /// Receivers currently parked for reuse (0 for non-pooling executors).
+    fn idle(&self) -> usize {
+        0
+    }
+
+    /// Checkouts served from the pool rather than the factory (0 for
+    /// non-pooling executors) — a telemetry counter.
+    fn reused(&self) -> u64 {
+        0
+    }
+}
+
+/// The embedded lifecycle: every checkout builds a fresh receiver, every
+/// checkin drops it.
+pub struct FreshExecutor {
+    factory: ReceiverFactory,
+}
+
+impl FreshExecutor {
+    /// Creates an executor over the given factory.
+    pub fn new(factory: ReceiverFactory) -> Self {
+        FreshExecutor { factory }
+    }
+}
+
+impl ReceiverExecutor for FreshExecutor {
+    fn checkout(&self) -> BoxedReceiver {
+        (self.factory)()
+    }
+
+    fn checkin(&self, receiver: BoxedReceiver) {
+        drop(receiver);
+    }
+}
+
+/// The served lifecycle: a bounded free list of reset instances.
+///
+/// `max_idle` bounds the parked instances (a [`crate::gateway::Gateway`]
+/// holds a worker pool and scratch buffers; parking hundreds would defeat
+/// the bounded-memory goal). Checkouts beyond the parked supply fall back to
+/// the factory, so the pool never limits concurrency — only rebuild cost.
+pub struct PooledExecutor {
+    factory: ReceiverFactory,
+    free: Mutex<Vec<BoxedReceiver>>,
+    max_idle: usize,
+    reused: AtomicU64,
+    built: AtomicU64,
+}
+
+impl PooledExecutor {
+    /// Creates a pool parking at most `max_idle` idle receivers.
+    pub fn new(factory: ReceiverFactory, max_idle: usize) -> Self {
+        PooledExecutor {
+            factory,
+            free: Mutex::new(Vec::new()),
+            max_idle: max_idle.max(1),
+            reused: AtomicU64::new(0),
+            built: AtomicU64::new(0),
+        }
+    }
+
+    /// Receivers built by the factory so far — a telemetry counter.
+    pub fn built(&self) -> u64 {
+        self.built.load(Ordering::Relaxed)
+    }
+}
+
+impl ReceiverExecutor for PooledExecutor {
+    fn checkout(&self) -> BoxedReceiver {
+        let parked = self.free.lock().expect("pool lock").pop();
+        match parked {
+            Some(rx) => {
+                self.reused.fetch_add(1, Ordering::Relaxed);
+                rx
+            }
+            None => {
+                self.built.fetch_add(1, Ordering::Relaxed);
+                (self.factory)()
+            }
+        }
+    }
+
+    fn checkin(&self, mut receiver: BoxedReceiver) {
+        let free = self.free.lock().expect("pool lock");
+        if free.len() < self.max_idle {
+            // Reset *inside* the lock would serialize gateway rebuilds across
+            // streams; do it before parking instead.
+            drop(free);
+            receiver.reset();
+            let mut free = self.free.lock().expect("pool lock");
+            if free.len() < self.max_idle {
+                free.push(receiver);
+            }
+        }
+    }
+
+    fn idle(&self) -> usize {
+        self.free.lock().expect("pool lock").len()
+    }
+
+    fn reused(&self) -> u64 {
+        self.reused.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{SaiyanConfig, Variant};
+    use crate::streaming::StreamingDemodulator;
+    use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+
+    fn factory() -> ReceiverFactory {
+        let lora = LoraParams::new(
+            SpreadingFactor::Sf7,
+            Bandwidth::Khz500,
+            BitsPerChirp::new(2).unwrap(),
+        );
+        Arc::new(move || {
+            let cfg = SaiyanConfig::paper_default(lora, Variant::Vanilla);
+            Box::new(StreamingDemodulator::new(cfg, 4)) as BoxedReceiver
+        })
+    }
+
+    #[test]
+    fn fresh_executor_never_parks() {
+        let exec = FreshExecutor::new(factory());
+        let rx = exec.checkout();
+        exec.checkin(rx);
+        assert_eq!(exec.idle(), 0);
+        assert_eq!(exec.reused(), 0);
+    }
+
+    #[test]
+    fn pooled_executor_recycles_up_to_max_idle() {
+        let exec = PooledExecutor::new(factory(), 2);
+        let a = exec.checkout();
+        let b = exec.checkout();
+        let c = exec.checkout();
+        assert_eq!(exec.built(), 3);
+        exec.checkin(a);
+        exec.checkin(b);
+        exec.checkin(c); // beyond max_idle: dropped
+        assert_eq!(exec.idle(), 2);
+        let _again = exec.checkout();
+        assert_eq!(exec.idle(), 1);
+        assert_eq!(exec.reused(), 1);
+        assert_eq!(exec.built(), 3);
+    }
+}

@@ -177,6 +177,9 @@ struct ChannelReport {
     /// Channel stream time (seconds) consumed so far; `f64::INFINITY` once
     /// the channel has been flushed.
     acked_time: f64,
+    /// The channel demodulator's point-in-time SNR estimate (dB), a
+    /// telemetry gauge (see [`StreamingDemodulator::snr_estimate_db`]).
+    snr_db: f64,
 }
 
 /// A pending packet in the merge heap, ordered by (payload start, channel).
@@ -261,6 +264,9 @@ struct ChannelPipeline {
 /// assert_eq!(packets[0].result.symbols, symbols);
 /// ```
 pub struct Gateway {
+    /// The configuration the gateway was built from, kept so
+    /// [`Gateway::reset`] can rebuild a pristine instance.
+    config: GatewayConfig,
     wideband_rate: f64,
     channel_ids: Vec<u8>,
     lockstep: bool,
@@ -272,6 +278,8 @@ pub struct Gateway {
     handles: Vec<JoinHandle<()>>,
     /// Per-channel consumed stream time (seconds).
     acked: Vec<f64>,
+    /// Per-channel last reported SNR estimate (dB) — a telemetry gauge.
+    snr_db: Vec<f64>,
     heap: BinaryHeap<MergeEntry>,
 }
 
@@ -371,8 +379,36 @@ impl Gateway {
             reports: report_rx,
             handles,
             acked: vec![0.0; n_channels],
+            snr_db: vec![0.0; n_channels],
             heap: BinaryHeap::new(),
+            config,
         }
+    }
+
+    /// Returns the gateway to its pristine just-constructed state: any
+    /// unreleased packets are discarded, the worker pool is torn down and
+    /// respawned, and every channel pipeline (channelizer FIR history,
+    /// demodulator threshold tracker, detection window) starts fresh. After
+    /// `reset` the gateway decodes any stream bit-identically to a freshly
+    /// built [`Gateway::new`] — the property pooled serving relies on
+    /// (`tests/receiver_reset.rs`).
+    pub fn reset(&mut self) {
+        // Join the old pool first so no detached worker outlives the reset.
+        self.flush_in_place();
+        let config = self.config.clone();
+        *self = Gateway::new(config);
+    }
+
+    /// Per-channel point-in-time SNR estimates (dB), indexed like
+    /// [`GatewayConfig::channels`] — a telemetry gauge updated from each
+    /// worker report (see [`StreamingDemodulator::snr_estimate_db`]).
+    pub fn channel_snr_db(&self) -> &[f64] {
+        &self.snr_db
+    }
+
+    /// The served channel ids, indexed like [`GatewayConfig::channels`].
+    pub fn channel_ids(&self) -> &[u8] {
+        &self.channel_ids
     }
 
     /// The wideband input sample rate (Hz).
@@ -497,6 +533,7 @@ impl Gateway {
             });
         }
         self.acked[report.index] = self.acked[report.index].max(report.acked_time);
+        self.snr_db[report.index] = report.snr_db;
     }
 
     /// Pops every packet whose ordering is settled: all channels have
@@ -538,6 +575,7 @@ fn worker_loop(
                             index: p.index,
                             packets,
                             acked_time,
+                            snr_db: p.demod.snr_estimate_db(),
                         })
                         .is_err()
                     {
@@ -552,6 +590,7 @@ fn worker_loop(
                         index: p.index,
                         packets,
                         acked_time: f64::INFINITY,
+                        snr_db: p.demod.snr_estimate_db(),
                     });
                 }
                 return;

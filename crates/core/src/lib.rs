@@ -21,6 +21,8 @@
 //! * [`receiver`] — the [`Receiver`] backend trait (feed chunks → drain
 //!   decoded packets) unifying the streaming demodulator, the gateway, and
 //!   the baseline detectors behind one harness-facing interface;
+//! * [`executor`] — receiver checkout/checkin executors: build-per-stream
+//!   (embedded) or a reset-and-reuse pool (served);
 //! * [`sensitivity`] — calibrated RSS→BER link-abstraction models;
 //! * [`metrics`] — BER / throughput / PRR counting;
 //! * [`power`] — tag-level power accounting (PCB and ASIC budgets).
@@ -35,6 +37,7 @@ pub mod decoder;
 pub mod demodulator;
 pub mod duty;
 pub mod error;
+pub mod executor;
 pub mod frontend;
 pub mod gateway;
 pub mod metrics;
@@ -52,6 +55,9 @@ pub use decoder::{PeakDecoder, PreambleTiming, SymbolPeak};
 pub use demodulator::{DemodResult, SaiyanDemodulator};
 pub use duty::DutyCycleSchedule;
 pub use error::SaiyanError;
+pub use executor::{
+    BoxedReceiver, FreshExecutor, PooledExecutor, ReceiverExecutor, ReceiverFactory,
+};
 pub use frontend::{Frontend, StreamingFrontend};
 pub use gateway::{Gateway, GatewayChannel, GatewayConfig, GatewayPacket};
 pub use metrics::{

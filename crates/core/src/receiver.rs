@@ -20,7 +20,12 @@
 //!   boundaries must not change *what* is eventually emitted, only the
 //!   batching (every implementation in this workspace is chunk invariant).
 //! * `flush` ends the stream and returns the remainder; the receiver must
-//!   not be fed afterwards.
+//!   not be fed afterwards — until `reset` returns it to its pristine state.
+//! * `reset` discards every piece of carried state (FIR delay lines, noise
+//!   RNGs, threshold trackers, detection windows, pending packets) so the
+//!   instance decodes a new stream bit-identically to a freshly constructed
+//!   one. This is what lets a serving layer pool receiver instances across
+//!   sequential streams instead of rebuilding them.
 //! * Packets are emitted in non-decreasing `payload_start_time` order.
 
 use lora_phy::iq::Iq;
@@ -44,8 +49,21 @@ pub trait Receiver {
     fn feed(&mut self, chunk: &[Iq]) -> Vec<GatewayPacket>;
 
     /// Flushes the stream and returns the remaining packets. The receiver
-    /// must not be fed again afterwards.
+    /// must not be fed again afterwards (until [`Receiver::reset`]).
     fn flush(&mut self) -> Vec<GatewayPacket>;
+
+    /// Returns the receiver to its pristine just-constructed state so it can
+    /// serve a new stream, discarding all carried state. Afterwards the
+    /// instance must decode any stream bit-identically to a freshly built
+    /// one (`tests/receiver_reset.rs` pins this for every backend).
+    fn reset(&mut self);
+
+    /// Per-channel point-in-time SNR estimates (dB) — telemetry gauges, one
+    /// entry per served channel (single-channel backends report one entry).
+    /// Backends without an estimate may return an empty vector.
+    fn channel_snr_db(&self) -> Vec<f64> {
+        Vec::new()
+    }
 }
 
 impl Receiver for StreamingDemodulator {
@@ -64,6 +82,14 @@ impl Receiver for StreamingDemodulator {
     fn flush(&mut self) -> Vec<GatewayPacket> {
         wrap_single_channel(self.finish())
     }
+
+    fn reset(&mut self) {
+        StreamingDemodulator::reset(self);
+    }
+
+    fn channel_snr_db(&self) -> Vec<f64> {
+        vec![self.snr_estimate_db()]
+    }
 }
 
 impl Receiver for Gateway {
@@ -81,6 +107,14 @@ impl Receiver for Gateway {
 
     fn flush(&mut self) -> Vec<GatewayPacket> {
         self.flush_in_place()
+    }
+
+    fn reset(&mut self) {
+        Gateway::reset(self);
+    }
+
+    fn channel_snr_db(&self) -> Vec<f64> {
+        Gateway::channel_snr_db(self).to_vec()
     }
 }
 

@@ -328,6 +328,29 @@ impl StreamingDemodulator {
         &self.config
     }
 
+    /// Returns the demodulator to its pristine just-constructed state so it
+    /// can serve a new, unrelated stream: all carried analog state (FIR delay
+    /// lines, noise RNGs, clock phase), the threshold tracker, and the
+    /// retained detection window are discarded. After `reset` the instance
+    /// decodes any stream bit-identically to a freshly built one — the
+    /// property pooled serving relies on (`tests/receiver_reset.rs`).
+    pub fn reset(&mut self) {
+        *self = StreamingDemodulator::new(self.config.clone(), self.payload_symbols);
+    }
+
+    /// Point-in-time SNR estimate (dB) from the threshold tracker: the held
+    /// envelope peak over the running envelope-floor median. Between packets
+    /// this sits near 0 dB (noise peaks over noise floor decay together);
+    /// while a packet is on the air it approaches the comparator's actual
+    /// operating margin. Exposed as a telemetry gauge — it feeds decisions
+    /// about *observability*, never the decode path itself.
+    pub fn snr_estimate_db(&self) -> f64 {
+        if self.tracker.median <= f64::MIN_POSITIVE || self.tracker.peak <= 0.0 {
+            return 0.0;
+        }
+        20.0 * (self.tracker.peak / self.tracker.median).log10()
+    }
+
     /// The expected payload length in chirp symbols.
     pub fn payload_symbols(&self) -> usize {
         self.payload_symbols

@@ -1,0 +1,412 @@
+//! The always-on gateway daemon: concurrent stream ingest over a receiver
+//! pool.
+//!
+//! A [`ServeDaemon`] multiplexes many concurrent IQ capture streams into
+//! receiver instances obtained from a [`ReceiverExecutor`] (the same
+//! `Receiver` stack that runs embedded — see `saiyan::executor`). Each
+//! [`ServeDaemon::open_stream`] call checks out a receiver, spawns a
+//! dedicated worker thread, and hands the client a [`StreamHandle`]:
+//!
+//! ```text
+//! client ──frames──▶ BoundedQueue ──▶ worker: decode → sanitize → feed
+//!                    (backpressure)            │
+//!                                              ▼ flush at end of stream
+//!                    StreamReport ◀── packets serialized (binary + JSONL)
+//!                                              │
+//!                    executor.checkin ◀── receiver reset for the next stream
+//! ```
+//!
+//! Isolation is structural: a stream owns its receiver, queue, and worker
+//! for its whole life, so no fault on one stream (stall, disconnect,
+//! malformed frames, queue-full storm) can corrupt another's decode.
+//! Memory is bounded per stream by `queue_depth × max_frame_samples`.
+//!
+//! The worker never panics on client input: malformed byte frames lose only
+//! their dangling tail bytes (counted), non-finite samples are sanitised to
+//! zero (counted) before they can poison the DSP chain, oversized frames
+//! are rejected whole (counted), and a client that vanishes without closing
+//! ([`StreamHandle`] dropped) still gets its stream flushed and its
+//! receiver recovered to the pool.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use lora_phy::iq::Iq;
+use saiyan::gateway::GatewayPacket;
+use saiyan::ReceiverExecutor;
+
+use crate::queue::{BackpressurePolicy, BoundedQueue, Closed, PushOutcome};
+use crate::telemetry::{StreamSnapshot, StreamStats, TelemetryRegistry, TelemetrySnapshot};
+use crate::wire;
+
+/// Daemon-wide serving policy.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Ingest queue bound, in frames, per stream.
+    pub queue_depth: usize,
+    /// What a full ingest queue does to the producer.
+    pub policy: BackpressurePolicy,
+    /// Replace non-finite (NaN/±Inf) samples with zero before they reach
+    /// the DSP chain, counting each replacement. When off, frames containing
+    /// non-finite samples are rejected whole instead — never fed.
+    pub sanitize_non_finite: bool,
+    /// Upper bound on samples per ingest frame; larger frames are rejected
+    /// and counted as malformed. Bounds per-stream memory at
+    /// `queue_depth × max_frame_samples` samples.
+    pub max_frame_samples: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 8,
+            policy: BackpressurePolicy::Block,
+            sanitize_non_finite: true,
+            max_frame_samples: 1 << 22,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Returns a copy with a different queue bound (min 1).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Returns a copy with a different backpressure policy.
+    pub fn with_policy(mut self, policy: BackpressurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// One frame on a stream's ingest queue.
+enum IngestFrame {
+    /// Raw client bytes: interleaved `f32` LE I/Q pairs (see [`wire`]).
+    Bytes(Vec<u8>),
+    /// Already-parsed samples (in-process clients skip the byte hop).
+    Samples(Vec<Iq>),
+    /// Clean end of stream ([`StreamHandle::close`]).
+    End,
+}
+
+/// Everything a finished stream produced.
+#[derive(Debug, Clone)]
+pub struct StreamReport {
+    /// Stream name as passed to [`ServeDaemon::open_stream`].
+    pub name: String,
+    /// Decoded packets in emission order.
+    pub packets: Vec<GatewayPacket>,
+    /// The packets as concatenated length-prefixed binary frames.
+    pub binary: Vec<u8>,
+    /// The packets as JSONL (one line per packet, trailing newline).
+    pub jsonl: String,
+    /// True when the stream ended by client disconnect (handle dropped
+    /// without [`StreamHandle::close`]) rather than a clean close.
+    pub disconnected: bool,
+    /// Final telemetry for the stream.
+    pub stats: StreamSnapshot,
+}
+
+/// A client's handle to one open stream. Send frames, then [`close`] and
+/// [`wait`] for the report — or drop it to simulate a disconnect: the worker
+/// still flushes, reports, and returns its receiver to the pool.
+///
+/// [`close`]: StreamHandle::close
+/// [`wait`]: StreamHandle::wait
+pub struct StreamHandle {
+    queue: Arc<BoundedQueue<IngestFrame>>,
+    stats: Arc<StreamStats>,
+    report_rx: mpsc::Receiver<StreamReport>,
+    closed: bool,
+}
+
+impl StreamHandle {
+    /// Sends a raw byte frame (interleaved `f32` LE I/Q pairs). Returns how
+    /// the frame was admitted, or [`Closed`] after close/shutdown.
+    pub fn send_bytes(&self, bytes: Vec<u8>) -> Result<PushOutcome, Closed> {
+        self.send(IngestFrame::Bytes(bytes))
+    }
+
+    /// Sends an already-parsed sample frame.
+    pub fn send_samples(&self, samples: Vec<Iq>) -> Result<PushOutcome, Closed> {
+        self.send(IngestFrame::Samples(samples))
+    }
+
+    fn send(&self, frame: IngestFrame) -> Result<PushOutcome, Closed> {
+        let outcome = self.queue.push(frame)?;
+        if outcome == PushOutcome::DisplacedOldest {
+            self.stats.add_dropped_chunk();
+        }
+        self.stats.set_queue_depth(self.queue.len());
+        Ok(outcome)
+    }
+
+    /// Live stats for this stream (shared with the telemetry registry).
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Frames shed by drop-oldest backpressure so far.
+    pub fn dropped(&self) -> u64 {
+        self.queue.dropped()
+    }
+
+    /// Ends the stream cleanly: the worker drains the queue, flushes the
+    /// receiver, and emits its report. Idempotent.
+    pub fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            // The End marker must get in even through a full queue: displace
+            // under DropOldest, wait for room under Block. If the queue was
+            // already closed (daemon shutdown) the worker is finishing anyway.
+            let _ = self.queue.push(IngestFrame::End);
+            self.queue.close();
+        }
+    }
+
+    /// Closes the stream (if not already closed) and blocks for the worker's
+    /// [`StreamReport`].
+    pub fn wait(mut self) -> StreamReport {
+        self.close();
+        match self.report_rx.recv() {
+            Ok(report) => report,
+            // Defensive: the worker is written not to panic, but a lost
+            // report must not take the caller down with it.
+            Err(_) => StreamReport {
+                name: self.stats.name.clone(),
+                packets: Vec::new(),
+                binary: Vec::new(),
+                jsonl: String::new(),
+                disconnected: true,
+                stats: self.stats.snapshot(),
+            },
+        }
+    }
+}
+
+impl Drop for StreamHandle {
+    fn drop(&mut self) {
+        if !self.closed {
+            // Disconnect: close the queue without an End marker. The worker
+            // drains what arrived, flushes, and marks the stream
+            // disconnected.
+            self.queue.close();
+        }
+    }
+}
+
+/// The daemon: opens streams, owns their workers, aggregates telemetry.
+/// See the [module docs](self).
+pub struct ServeDaemon {
+    executor: Arc<dyn ReceiverExecutor>,
+    config: ServeConfig,
+    telemetry: Arc<TelemetryRegistry>,
+    queues: Mutex<Vec<Arc<BoundedQueue<IngestFrame>>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    shut_down: AtomicBool,
+}
+
+impl ServeDaemon {
+    /// Creates a daemon serving streams from the given executor.
+    pub fn new(executor: Arc<dyn ReceiverExecutor>, config: ServeConfig) -> Self {
+        ServeDaemon {
+            executor,
+            config,
+            telemetry: Arc::new(TelemetryRegistry::new()),
+            queues: Mutex::new(Vec::new()),
+            workers: Mutex::new(Vec::new()),
+            shut_down: AtomicBool::new(false),
+        }
+    }
+
+    /// The daemon's telemetry registry (shared; poll it from any thread).
+    pub fn telemetry(&self) -> &Arc<TelemetryRegistry> {
+        &self.telemetry
+    }
+
+    /// The poll endpoint: a point-in-time snapshot of the whole daemon.
+    pub fn poll(&self) -> TelemetrySnapshot {
+        self.telemetry.snapshot()
+    }
+
+    /// Opens a stream: checks a receiver out of the executor, spawns its
+    /// worker, and returns the client handle. Returns `None` after
+    /// [`ServeDaemon::shutdown`].
+    pub fn open_stream(&self, name: impl Into<String>) -> Option<StreamHandle> {
+        if self.shut_down.load(Ordering::SeqCst) {
+            return None;
+        }
+        let name = name.into();
+        let receiver = self.executor.checkout();
+        let stats = Arc::new(StreamStats::new(name.clone(), receiver.input_rate()));
+        self.telemetry.register(Arc::clone(&stats));
+        let queue = Arc::new(BoundedQueue::new(
+            self.config.queue_depth,
+            self.config.policy,
+        ));
+        self.queues
+            .lock()
+            .expect("queue roster")
+            .push(Arc::clone(&queue));
+        let (report_tx, report_rx) = mpsc::channel();
+        let worker = StreamWorker {
+            name,
+            receiver,
+            queue: Arc::clone(&queue),
+            stats: Arc::clone(&stats),
+            executor: Arc::clone(&self.executor),
+            telemetry: Arc::clone(&self.telemetry),
+            sanitize: self.config.sanitize_non_finite,
+            max_frame_samples: self.config.max_frame_samples,
+        };
+        let handle = std::thread::spawn(move || worker.run(report_tx));
+        self.workers.lock().expect("worker roster").push(handle);
+        Some(StreamHandle {
+            queue,
+            stats,
+            report_rx,
+            closed: false,
+        })
+    }
+
+    /// Shuts the daemon down: closes every ingest queue (open streams end as
+    /// disconnects), joins every worker, and returns the final telemetry
+    /// snapshot. Idempotent.
+    pub fn shutdown(&self) -> TelemetrySnapshot {
+        self.shut_down.store(true, Ordering::SeqCst);
+        for queue in self.queues.lock().expect("queue roster").drain(..) {
+            queue.close();
+        }
+        let workers: Vec<JoinHandle<()>> = self
+            .workers
+            .lock()
+            .expect("worker roster")
+            .drain(..)
+            .collect();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        self.telemetry.snapshot()
+    }
+}
+
+impl Drop for ServeDaemon {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The per-stream worker: drains the ingest queue into the receiver, then
+/// flushes, serialises, and reports.
+struct StreamWorker {
+    name: String,
+    receiver: saiyan::BoxedReceiver,
+    queue: Arc<BoundedQueue<IngestFrame>>,
+    stats: Arc<StreamStats>,
+    executor: Arc<dyn ReceiverExecutor>,
+    telemetry: Arc<TelemetryRegistry>,
+    sanitize: bool,
+    max_frame_samples: usize,
+}
+
+impl StreamWorker {
+    fn run(mut self, report_tx: mpsc::Sender<StreamReport>) {
+        let mut packets: Vec<GatewayPacket> = Vec::new();
+        // A pop of `None` means the queue closed with no End marker: client
+        // disconnect (or daemon shutdown). Flush what we have either way.
+        let mut disconnected = true;
+        while let Some(frame) = self.queue.pop() {
+            self.stats.set_queue_depth(self.queue.len());
+            let samples = match frame {
+                IngestFrame::End => {
+                    disconnected = false;
+                    break;
+                }
+                IngestFrame::Bytes(bytes) => {
+                    let (samples, dangling) = wire::bytes_to_samples(&bytes);
+                    if dangling > 0 {
+                        self.stats.add_malformed_bytes(dangling as u64);
+                    }
+                    samples
+                }
+                IngestFrame::Samples(samples) => samples,
+            };
+            if let Some(samples) = self.admit(samples) {
+                if !samples.is_empty() {
+                    self.stats.add_samples(samples.len() as u64);
+                    packets.extend(self.receiver.feed(&samples));
+                    self.stats
+                        .set_channel_snr_db(self.receiver.channel_snr_db());
+                }
+            }
+        }
+        packets.extend(self.receiver.flush());
+        if disconnected {
+            self.stats.mark_disconnected();
+        }
+
+        let mut binary = Vec::new();
+        let mut jsonl = String::new();
+        for packet in &packets {
+            wire::encode_packet_binary(packet, &mut binary);
+            // Decoded packets are finite by construction; a hypothetical
+            // non-finite one is skipped in JSONL (binary preserves it).
+            if let Ok(line) = wire::encode_packet_jsonl(packet) {
+                jsonl.push_str(&line);
+                jsonl.push('\n');
+            }
+        }
+        self.stats.add_packets(packets.len() as u64);
+        self.stats
+            .add_bytes_out((binary.len() + jsonl.len()) as u64);
+        self.stats.mark_finished();
+        self.telemetry.mark_closed();
+        self.executor.checkin(self.receiver);
+
+        let report = StreamReport {
+            name: self.name,
+            packets,
+            binary,
+            jsonl,
+            disconnected,
+            stats: self.stats.snapshot(),
+        };
+        // The client may have dropped its handle (disconnect) — a dead
+        // report channel is expected there, not an error.
+        let _ = report_tx.send(report);
+    }
+
+    /// Applies the frame-size cap and the non-finite policy. Returns the
+    /// (possibly sanitised) samples, or `None` when the frame is rejected.
+    fn admit(&self, mut samples: Vec<Iq>) -> Option<Vec<Iq>> {
+        if samples.len() > self.max_frame_samples {
+            self.stats
+                .add_malformed_bytes((samples.len() * wire::BYTES_PER_SAMPLE) as u64);
+            return None;
+        }
+        let non_finite = samples
+            .iter()
+            .filter(|s| !s.re.is_finite() || !s.im.is_finite())
+            .count();
+        if non_finite > 0 {
+            if !self.sanitize {
+                self.stats
+                    .add_malformed_bytes((samples.len() * wire::BYTES_PER_SAMPLE) as u64);
+                return None;
+            }
+            for s in &mut samples {
+                if !s.re.is_finite() {
+                    s.re = 0.0;
+                }
+                if !s.im.is_finite() {
+                    s.im = 0.0;
+                }
+            }
+            self.stats.add_sanitized_samples(non_finite as u64);
+        }
+        Some(samples)
+    }
+}

@@ -1,0 +1,122 @@
+//! Fault injection for the serving layer.
+//!
+//! A [`Fault`] describes one client misbehaviour; [`replay_with_fault`]
+//! replays a capture byte stream through a daemon stream in fixed-size
+//! chunks while applying it. The robustness suite (`tests/serve_faults.rs`)
+//! and the load generator share this code so "the faults the tests prove
+//! harmless" and "the faults the load harness can inject" are the same set
+//! by construction.
+//!
+//! Faults are deterministic: which chunk is mangled and how is fixed by the
+//! variant's parameters, never by wall-clock or randomness, so a faulted
+//! replay decodes reproducibly.
+
+use crate::daemon::{ServeDaemon, StreamReport};
+
+/// One client misbehaviour to inject while replaying a stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// Well-behaved client (the control case).
+    None,
+    /// The client stalls for `millis` before sending chunk `before_chunk`
+    /// (0-based), simulating a hung uplink. No bytes are lost; the stream
+    /// just arrives late.
+    Stall { before_chunk: usize, millis: u64 },
+    /// The client vanishes after sending `chunks` chunks — the handle is
+    /// dropped without a close, mid-packet if the cut lands inside one. The
+    /// worker must still flush, report, and recover its receiver.
+    DisconnectAfter { chunks: usize },
+    /// Chunk `index` loses its last `drop_bytes` bytes (a torn write). The
+    /// dangling tail must be counted as malformed, and only whole samples
+    /// fed.
+    TruncateChunk { index: usize, drop_bytes: usize },
+    /// Every `every`-th chunk (0-based: indices 0, `every`, 2×`every`…) is
+    /// replaced by a zero-length frame.
+    ZeroLengthChunk { every: usize },
+    /// Chunk `index` has its first sample's bytes overwritten with
+    /// NaN/+Inf, which must be sanitised (or rejected) before the DSP
+    /// chain sees it.
+    NonFinite { index: usize },
+}
+
+impl Fault {
+    /// A short stable label for test tables and report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::Stall { .. } => "stall",
+            Fault::DisconnectAfter { .. } => "disconnect-mid-packet",
+            Fault::TruncateChunk { .. } => "truncated-chunk",
+            Fault::ZeroLengthChunk { .. } => "zero-length-chunk",
+            Fault::NonFinite { .. } => "non-finite-samples",
+        }
+    }
+}
+
+/// Replays `bytes` through a new daemon stream in `chunk_bytes`-sized
+/// chunks, applying `fault`. Returns the stream's report, or `None` for
+/// [`Fault::DisconnectAfter`] (the disconnected client has no handle left
+/// to receive one — the stream's fate is visible in daemon telemetry).
+///
+/// Panics only if the daemon refuses the stream (already shut down).
+pub fn replay_with_fault(
+    daemon: &ServeDaemon,
+    name: &str,
+    bytes: &[u8],
+    chunk_bytes: usize,
+    fault: &Fault,
+) -> Option<StreamReport> {
+    let handle = daemon
+        .open_stream(name)
+        .expect("daemon is shut down; open streams before shutdown");
+    let chunk_bytes = chunk_bytes.max(1);
+    for (i, chunk) in bytes.chunks(chunk_bytes).enumerate() {
+        let frame: Vec<u8> = match fault {
+            Fault::Stall {
+                before_chunk,
+                millis,
+            } => {
+                if i == *before_chunk {
+                    std::thread::sleep(std::time::Duration::from_millis(*millis));
+                }
+                chunk.to_vec()
+            }
+            Fault::DisconnectAfter { chunks } => {
+                if i >= *chunks {
+                    // Vanish: drop the handle without closing.
+                    drop(handle);
+                    return None;
+                }
+                chunk.to_vec()
+            }
+            Fault::TruncateChunk { index, drop_bytes } => {
+                if i == *index {
+                    chunk[..chunk.len().saturating_sub(*drop_bytes)].to_vec()
+                } else {
+                    chunk.to_vec()
+                }
+            }
+            Fault::ZeroLengthChunk { every } => {
+                if i % (*every).max(1) == 0 {
+                    Vec::new()
+                } else {
+                    chunk.to_vec()
+                }
+            }
+            Fault::NonFinite { index } => {
+                let mut frame = chunk.to_vec();
+                if i == *index && frame.len() >= 8 {
+                    frame[..4].copy_from_slice(&f32::NAN.to_le_bytes());
+                    frame[4..8].copy_from_slice(&f32::INFINITY.to_le_bytes());
+                }
+                frame
+            }
+            Fault::None => chunk.to_vec(),
+        };
+        if handle.send_bytes(frame).is_err() {
+            // Daemon shut down under us; treat like a disconnect.
+            return None;
+        }
+    }
+    Some(handle.wait())
+}

@@ -1,0 +1,41 @@
+//! # saiyan_serve — the always-on gateway daemon
+//!
+//! The embedded receive stack (`saiyan::StreamingDemodulator`,
+//! `saiyan::Gateway`) decodes one capture and exits. This crate runs the
+//! *same* stack as a long-lived service: many concurrent IQ capture streams
+//! multiplexed into a pool of receiver instances, with explicit
+//! backpressure, two wire formats for decoded packets, and poll-able
+//! telemetry. Module map:
+//!
+//! * [`queue`] — bounded per-stream ingest queues; the backpressure
+//!   contract (block vs drop-oldest, with drop counters).
+//! * [`wire`] — packet egress (length-prefixed binary + JSONL, both
+//!   round-trippable) and sample ingress (`f32` LE I/Q pairs, the golden
+//!   `.iq` layout).
+//! * [`telemetry`] — lock-free per-stream counters and gauges (packets,
+//!   drops, queue depth, per-channel SNR, lag vs realtime) aggregated into
+//!   JSON snapshots.
+//! * [`daemon`] — the daemon itself: stream workers over a
+//!   `saiyan::ReceiverExecutor`, structural per-stream isolation, graceful
+//!   handling of client faults.
+//! * [`fault`] — deterministic client-misbehaviour injection shared by the
+//!   robustness tests and the load harness.
+//!
+//! The receiver lifecycle (checkout → stream → reset → checkin) lives in
+//! `saiyan::executor`; this crate only consumes it, so an embedded harness
+//! and the daemon exercise identical receiver code.
+
+pub mod daemon;
+pub mod fault;
+pub mod queue;
+pub mod telemetry;
+pub mod wire;
+
+pub use daemon::{ServeConfig, ServeDaemon, StreamHandle, StreamReport};
+pub use fault::{replay_with_fault, Fault};
+pub use queue::{BackpressurePolicy, BoundedQueue, Closed, PushOutcome};
+pub use telemetry::{StreamSnapshot, StreamStats, TelemetryRegistry, TelemetrySnapshot};
+pub use wire::{
+    bytes_to_samples, decode_binary_stream, decode_jsonl_stream, decode_packet_binary,
+    decode_packet_jsonl, encode_packet_binary, encode_packet_jsonl, samples_to_bytes, WireError,
+};

@@ -1,0 +1,375 @@
+//! Daemon telemetry: lock-free counters, gauges, and poll-able snapshots.
+//!
+//! Telemetry has two layers. Each live stream owns a [`StreamStats`] —
+//! atomics the stream's worker and producer update on the hot path (no
+//! locks, no allocation) plus a mutex-guarded per-channel SNR gauge updated
+//! once per chunk. The daemon-wide [`TelemetryRegistry`] aggregates the
+//! global counters and keeps weak-ish references to every stream's stats so
+//! a poll can render the whole picture at once.
+//!
+//! [`TelemetryRegistry::snapshot`] materialises an owned, consistent-enough
+//! [`TelemetrySnapshot`] (counters are read individually; telemetry
+//! tolerates torn cross-counter reads by design). Snapshots serialise to
+//! JSON for the periodic dump file and the poll endpoint.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Per-stream live statistics, updated lock-free from the stream worker and
+/// the client-facing producer.
+#[derive(Debug)]
+pub struct StreamStats {
+    /// Stream name (unique per daemon; reused names get a suffix upstream).
+    pub name: String,
+    /// Channel sample rate (Hz) the lag gauge is computed against.
+    sample_rate: f64,
+    /// Wall-clock instant the stream opened.
+    opened_at: Instant,
+    samples_in: AtomicU64,
+    packets: AtomicU64,
+    dropped_chunks: AtomicU64,
+    malformed_bytes: AtomicU64,
+    sanitized_samples: AtomicU64,
+    bytes_out: AtomicU64,
+    queue_depth: AtomicU64,
+    finished: AtomicBool,
+    disconnected: AtomicBool,
+    /// Latest per-channel SNR estimates (dB), one slot per gateway channel.
+    channel_snr_db: Mutex<Vec<f64>>,
+}
+
+impl StreamStats {
+    /// Creates zeroed stats for a stream ingesting at `sample_rate` Hz.
+    pub fn new(name: impl Into<String>, sample_rate: f64) -> Self {
+        StreamStats {
+            name: name.into(),
+            sample_rate,
+            opened_at: Instant::now(),
+            samples_in: AtomicU64::new(0),
+            packets: AtomicU64::new(0),
+            dropped_chunks: AtomicU64::new(0),
+            malformed_bytes: AtomicU64::new(0),
+            sanitized_samples: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            finished: AtomicBool::new(false),
+            disconnected: AtomicBool::new(false),
+            channel_snr_db: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Records `n` samples fed into the receiver.
+    pub fn add_samples(&self, n: u64) {
+        self.samples_in.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` decoded packets.
+    pub fn add_packets(&self, n: u64) {
+        self.packets.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records one ingest chunk shed by drop-oldest backpressure.
+    pub fn add_dropped_chunk(&self) {
+        self.dropped_chunks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` dangling bytes from a malformed ingest frame.
+    pub fn add_malformed_bytes(&self, n: u64) {
+        self.malformed_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` non-finite samples sanitised to zero.
+    pub fn add_sanitized_samples(&self, n: u64) {
+        self.sanitized_samples.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` serialized output bytes (binary + JSONL).
+    pub fn add_bytes_out(&self, n: u64) {
+        self.bytes_out.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Updates the ingest queue-depth gauge.
+    pub fn set_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Replaces the per-channel SNR gauge with the receiver's latest view.
+    pub fn set_channel_snr_db(&self, snr: Vec<f64>) {
+        *self.channel_snr_db.lock().expect("snr lock") = snr;
+    }
+
+    /// Marks the stream finished (worker drained and flushed).
+    pub fn mark_finished(&self) {
+        self.finished.store(true, Ordering::Relaxed);
+    }
+
+    /// Marks the stream as ended by client disconnect rather than a clean
+    /// close.
+    pub fn mark_disconnected(&self) {
+        self.disconnected.store(true, Ordering::Relaxed);
+    }
+
+    /// Samples fed so far.
+    pub fn samples_in(&self) -> u64 {
+        self.samples_in.load(Ordering::Relaxed)
+    }
+
+    /// Packets decoded so far.
+    pub fn packets(&self) -> u64 {
+        self.packets.load(Ordering::Relaxed)
+    }
+
+    /// Chunks shed by backpressure so far.
+    pub fn dropped_chunks(&self) -> u64 {
+        self.dropped_chunks.load(Ordering::Relaxed)
+    }
+
+    /// Lag (seconds) behind a realtime source: wall-clock age of the stream
+    /// minus the capture time represented by the samples ingested. Negative
+    /// when the stream runs faster than realtime (replays usually do).
+    pub fn lag_seconds(&self) -> f64 {
+        let ingested = self.samples_in() as f64 / self.sample_rate;
+        self.opened_at.elapsed().as_secs_f64() - ingested
+    }
+
+    /// Captures an owned snapshot row.
+    pub fn snapshot(&self) -> StreamSnapshot {
+        StreamSnapshot {
+            name: self.name.clone(),
+            samples_in: self.samples_in(),
+            packets: self.packets(),
+            dropped_chunks: self.dropped_chunks(),
+            malformed_bytes: self.malformed_bytes.load(Ordering::Relaxed),
+            sanitized_samples: self.sanitized_samples.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            lag_seconds: self.lag_seconds(),
+            finished: self.finished.load(Ordering::Relaxed),
+            disconnected: self.disconnected.load(Ordering::Relaxed),
+            channel_snr_db: self.channel_snr_db.lock().expect("snr lock").clone(),
+        }
+    }
+}
+
+/// An owned point-in-time view of one stream's stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSnapshot {
+    pub name: String,
+    pub samples_in: u64,
+    pub packets: u64,
+    pub dropped_chunks: u64,
+    pub malformed_bytes: u64,
+    pub sanitized_samples: u64,
+    pub bytes_out: u64,
+    pub queue_depth: u64,
+    pub lag_seconds: f64,
+    pub finished: bool,
+    pub disconnected: bool,
+    pub channel_snr_db: Vec<f64>,
+}
+
+/// Daemon-wide telemetry: global counters plus a roster of per-stream stats.
+#[derive(Debug)]
+pub struct TelemetryRegistry {
+    started_at: Instant,
+    streams_opened: AtomicU64,
+    streams_closed: AtomicU64,
+    streams: Mutex<Vec<Arc<StreamStats>>>,
+}
+
+impl Default for TelemetryRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        TelemetryRegistry {
+            started_at: Instant::now(),
+            streams_opened: AtomicU64::new(0),
+            streams_closed: AtomicU64::new(0),
+            streams: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a new stream's stats and counts the open.
+    pub fn register(&self, stats: Arc<StreamStats>) {
+        self.streams_opened.fetch_add(1, Ordering::Relaxed);
+        self.streams.lock().expect("registry lock").push(stats);
+    }
+
+    /// Counts a stream close (the stats stay in the roster so final numbers
+    /// remain pollable).
+    pub fn mark_closed(&self) {
+        self.streams_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Streams opened over the daemon's lifetime.
+    pub fn streams_opened(&self) -> u64 {
+        self.streams_opened.load(Ordering::Relaxed)
+    }
+
+    /// Streams closed over the daemon's lifetime.
+    pub fn streams_closed(&self) -> u64 {
+        self.streams_closed.load(Ordering::Relaxed)
+    }
+
+    /// Captures a full owned snapshot — the poll endpoint's payload.
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        let streams: Vec<StreamSnapshot> = self
+            .streams
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|s| s.snapshot())
+            .collect();
+        let uptime = self.started_at.elapsed().as_secs_f64();
+        let packets_total: u64 = streams.iter().map(|s| s.packets).sum();
+        TelemetrySnapshot {
+            uptime_seconds: uptime,
+            streams_opened: self.streams_opened(),
+            streams_closed: self.streams_closed(),
+            packets_total,
+            samples_total: streams.iter().map(|s| s.samples_in).sum(),
+            dropped_chunks_total: streams.iter().map(|s| s.dropped_chunks).sum(),
+            malformed_bytes_total: streams.iter().map(|s| s.malformed_bytes).sum(),
+            sanitized_samples_total: streams.iter().map(|s| s.sanitized_samples).sum(),
+            bytes_out_total: streams.iter().map(|s| s.bytes_out).sum(),
+            packets_per_second: if uptime > 0.0 {
+                packets_total as f64 / uptime
+            } else {
+                0.0
+            },
+            streams,
+        }
+    }
+}
+
+/// An owned point-in-time view of the whole daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    pub uptime_seconds: f64,
+    pub streams_opened: u64,
+    pub streams_closed: u64,
+    pub packets_total: u64,
+    pub samples_total: u64,
+    pub dropped_chunks_total: u64,
+    pub malformed_bytes_total: u64,
+    pub sanitized_samples_total: u64,
+    pub bytes_out_total: u64,
+    pub packets_per_second: f64,
+    pub streams: Vec<StreamSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Renders the snapshot as a JSON value (for the dump file / poll
+    /// endpoint).
+    pub fn to_json(&self) -> serde_json::Value {
+        let streams: Vec<serde_json::Value> = self
+            .streams
+            .iter()
+            .map(|s| {
+                serde_json::json!({
+                    "name": s.name.clone(),
+                    "samples_in": s.samples_in,
+                    "packets": s.packets,
+                    "dropped_chunks": s.dropped_chunks,
+                    "malformed_bytes": s.malformed_bytes,
+                    "sanitized_samples": s.sanitized_samples,
+                    "bytes_out": s.bytes_out,
+                    "queue_depth": s.queue_depth,
+                    "lag_seconds": s.lag_seconds,
+                    "finished": s.finished,
+                    "disconnected": s.disconnected,
+                    "channel_snr_db": s.channel_snr_db.clone(),
+                })
+            })
+            .collect();
+        serde_json::json!({
+            "uptime_seconds": self.uptime_seconds,
+            "streams_opened": self.streams_opened,
+            "streams_closed": self.streams_closed,
+            "packets_total": self.packets_total,
+            "samples_total": self.samples_total,
+            "dropped_chunks_total": self.dropped_chunks_total,
+            "malformed_bytes_total": self.malformed_bytes_total,
+            "sanitized_samples_total": self.sanitized_samples_total,
+            "bytes_out_total": self.bytes_out_total,
+            "packets_per_second": self.packets_per_second,
+            "streams": serde_json::Value::Array(streams),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_stats_accumulate_and_snapshot() {
+        let stats = StreamStats::new("s0", 1_000_000.0);
+        stats.add_samples(500_000);
+        stats.add_packets(3);
+        stats.add_dropped_chunk();
+        stats.add_malformed_bytes(5);
+        stats.add_sanitized_samples(2);
+        stats.add_bytes_out(1024);
+        stats.set_queue_depth(4);
+        stats.set_channel_snr_db(vec![12.5, 9.0]);
+        let snap = stats.snapshot();
+        assert_eq!(snap.samples_in, 500_000);
+        assert_eq!(snap.packets, 3);
+        assert_eq!(snap.dropped_chunks, 1);
+        assert_eq!(snap.malformed_bytes, 5);
+        assert_eq!(snap.sanitized_samples, 2);
+        assert_eq!(snap.bytes_out, 1024);
+        assert_eq!(snap.queue_depth, 4);
+        assert_eq!(snap.channel_snr_db, vec![12.5, 9.0]);
+        assert!(!snap.finished);
+    }
+
+    #[test]
+    fn lag_reflects_samples_versus_wall_clock() {
+        // 10 seconds of capture ingested in well under a second of wall
+        // clock: the stream is far ahead of realtime, so lag is negative.
+        let stats = StreamStats::new("fast", 1000.0);
+        stats.add_samples(10_000);
+        assert!(stats.lag_seconds() < -5.0);
+        // No samples ingested: lag is the (non-negative) stream age.
+        let idle = StreamStats::new("idle", 1000.0);
+        assert!(idle.lag_seconds() >= 0.0);
+    }
+
+    #[test]
+    fn registry_aggregates_across_streams() {
+        let reg = TelemetryRegistry::new();
+        let a = Arc::new(StreamStats::new("a", 1000.0));
+        let b = Arc::new(StreamStats::new("b", 1000.0));
+        reg.register(Arc::clone(&a));
+        reg.register(Arc::clone(&b));
+        a.add_packets(2);
+        b.add_packets(5);
+        a.add_samples(100);
+        b.add_samples(200);
+        reg.mark_closed();
+        let snap = reg.snapshot();
+        assert_eq!(snap.streams_opened, 2);
+        assert_eq!(snap.streams_closed, 1);
+        assert_eq!(snap.packets_total, 7);
+        assert_eq!(snap.samples_total, 300);
+        assert_eq!(snap.streams.len(), 2);
+        // JSON render is parseable and preserves the totals.
+        let text = serde_json::to_string(&snap.to_json()).unwrap();
+        let back = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.get("packets_total").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(
+            back.get("streams")
+                .and_then(|v| v.as_array())
+                .map(|a| a.len()),
+            Some(2)
+        );
+    }
+}

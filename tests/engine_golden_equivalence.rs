@@ -42,6 +42,11 @@ impl Receiver for Tee {
         self.packets.lock().unwrap().extend(packets.iter().cloned());
         packets
     }
+    fn reset(&mut self) {
+        Receiver::reset(&mut self.inner);
+        self.samples.lock().unwrap().clear();
+        self.packets.lock().unwrap().clear();
+    }
 }
 
 #[test]

@@ -36,6 +36,10 @@ impl<R: Receiver> Receiver for Recording<R> {
         self.log.lock().unwrap().extend(packets.iter().cloned());
         packets
     }
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.log.lock().unwrap().clear();
+    }
 }
 
 #[test]

@@ -1,0 +1,135 @@
+//! Pins the `Receiver::reset` contract for every backend: after decoding an
+//! arbitrary stream and resetting, an instance must decode the next stream
+//! *bit-identically* to a freshly constructed one. This is the invariant
+//! the serving layer's receiver pool rests on — a recycled receiver must be
+//! indistinguishable from a rebuild.
+
+use baselines::{AlobaDetector, DetectionReceiver};
+use lora_phy::iq::SampleBuffer;
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use netsim::longtrace::{generate_long_trace, random_payloads, LongTraceConfig, TracePacket};
+use saiyan::config::{SaiyanConfig, Variant};
+use saiyan::gateway::{Gateway, GatewayConfig};
+use saiyan::{BoxedReceiver, PooledExecutor, Receiver, ReceiverExecutor, StreamingDemodulator};
+use std::sync::Arc;
+
+const PAYLOAD_SYMBOLS: usize = 12;
+
+fn lora() -> LoraParams {
+    LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).expect("valid"),
+    )
+}
+
+/// A multi-packet trace whose content is fully determined by `seed`.
+fn trace(seed: u64) -> SampleBuffer {
+    let lora = lora();
+    let payloads = random_payloads(3, PAYLOAD_SYMBOLS, lora.bits_per_chirp, seed);
+    let packets: Vec<TracePacket> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| TracePacket::new(p.clone(), -50.0, if i == 0 { 4.0 } else { 12.0 }))
+        .collect();
+    let config = LongTraceConfig::new(lora).with_noise(-80.0);
+    generate_long_trace(&config, &packets).0
+}
+
+fn drive(rx: &mut dyn Receiver, samples: &[lora_phy::iq::Iq]) -> Vec<saiyan::GatewayPacket> {
+    let mut out = Vec::new();
+    for chunk in samples.chunks(2048) {
+        out.extend(rx.feed(chunk));
+    }
+    out.extend(rx.flush());
+    out
+}
+
+/// Decodes trace A, resets, decodes trace B; asserts the B decode equals a
+/// fresh instance's, packet for packet, bit for bit.
+fn assert_reset_is_pristine(mut make: impl FnMut() -> BoxedReceiver) {
+    let a = trace(0xA11CE);
+    let b = trace(0xB0B);
+    let mut fresh = make();
+    let reference = drive(fresh.as_mut(), &b.samples);
+    assert!(
+        !reference.is_empty(),
+        "trace B must decode to at least one packet for the test to mean anything"
+    );
+
+    let mut reused = make();
+    let warmup = drive(reused.as_mut(), &a.samples);
+    assert!(!warmup.is_empty(), "trace A must exercise the receiver");
+    reused.reset();
+    let after_reset = drive(reused.as_mut(), &b.samples);
+    assert_eq!(
+        after_reset, reference,
+        "a reset receiver must decode bit-identically to a fresh one"
+    );
+}
+
+#[test]
+fn streaming_demodulator_reset_is_pristine() {
+    let cfg = SaiyanConfig::paper_default(lora(), Variant::Vanilla);
+    assert_reset_is_pristine(|| {
+        Box::new(StreamingDemodulator::new(cfg.clone(), PAYLOAD_SYMBOLS)) as BoxedReceiver
+    });
+}
+
+#[test]
+fn streaming_demodulator_reset_is_pristine_in_production_profile() {
+    let cfg = SaiyanConfig::paper_default(lora(), Variant::Super).high_throughput();
+    assert_reset_is_pristine(|| {
+        Box::new(StreamingDemodulator::new(cfg.clone(), PAYLOAD_SYMBOLS)) as BoxedReceiver
+    });
+}
+
+#[test]
+fn gateway_reset_is_pristine() {
+    let cfg = SaiyanConfig::paper_default(lora(), Variant::Vanilla);
+    assert_reset_is_pristine(|| {
+        Box::new(Gateway::new(GatewayConfig::single_channel(
+            cfg.clone(),
+            PAYLOAD_SYMBOLS,
+        ))) as BoxedReceiver
+    });
+}
+
+#[test]
+fn detection_receiver_reset_is_pristine() {
+    let lora = lora();
+    assert_reset_is_pristine(|| {
+        Box::new(DetectionReceiver::new(AlobaDetector::new(lora), lora)) as BoxedReceiver
+    });
+}
+
+/// The pooled executor path end to end: the *same physical instance* is
+/// checked out twice and must decode identically both times.
+#[test]
+fn pooled_executor_recycles_bit_identically() {
+    let cfg = SaiyanConfig::paper_default(lora(), Variant::Vanilla);
+    let payload = PAYLOAD_SYMBOLS;
+    let factory = Arc::new(move || {
+        Box::new(StreamingDemodulator::new(cfg.clone(), payload)) as BoxedReceiver
+    });
+    let pool = PooledExecutor::new(factory, 1);
+    let a = trace(0xA11CE);
+    let b = trace(0xB0B);
+
+    let mut first = pool.checkout();
+    let reference_b = {
+        let mut fresh = pool.checkout(); // pool empty: freshly built
+        drive(fresh.as_mut(), &b.samples)
+    };
+    drive(first.as_mut(), &a.samples);
+    pool.checkin(first);
+    assert_eq!(pool.idle(), 1, "instance parked for reuse");
+
+    let mut recycled = pool.checkout();
+    assert_eq!(pool.reused(), 1, "checkout came from the pool");
+    let decoded_b = drive(recycled.as_mut(), &b.samples);
+    assert_eq!(
+        decoded_b, reference_b,
+        "a recycled receiver must decode bit-identically to a fresh build"
+    );
+}

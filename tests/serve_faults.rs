@@ -1,0 +1,232 @@
+//! Table-driven fault injection against the serving daemon: for every
+//! client misbehaviour in the table, a faulted stream and a clean stream
+//! run concurrently on one shared daemon (with a receiver pool), and the
+//! clean stream must decode **bit-identically** to an undisturbed reference
+//! — per-stream isolation under fire. No fault may panic the daemon, and
+//! every fault's damage must show up in the right telemetry counter.
+//!
+//! The same daemon and pool serve every row, so a fault in row N also
+//! cannot poison the recycled receiver a later row checks out — the final
+//! clean replay re-verifies the reference decode after the whole gauntlet.
+
+use std::sync::Arc;
+
+use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use netsim::longtrace::{generate_long_trace, random_payloads, LongTraceConfig, TracePacket};
+use saiyan::config::{SaiyanConfig, Variant};
+use saiyan::{BoxedReceiver, PooledExecutor, StreamingDemodulator};
+use saiyan_serve::{
+    replay_with_fault, samples_to_bytes, Fault, ServeConfig, ServeDaemon, StreamReport,
+};
+
+const PAYLOAD_SYMBOLS: usize = 12;
+const CHUNK_SAMPLES: usize = 2048;
+const CHUNK_BYTES: usize = CHUNK_SAMPLES * saiyan_serve::wire::BYTES_PER_SAMPLE;
+
+fn daemon_under_test() -> ServeDaemon {
+    let lora = LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).expect("valid"),
+    );
+    let cfg = SaiyanConfig::paper_default(lora, Variant::Vanilla).high_throughput();
+    let factory = Arc::new(move || {
+        Box::new(StreamingDemodulator::new(cfg.clone(), PAYLOAD_SYMBOLS)) as BoxedReceiver
+    });
+    ServeDaemon::new(
+        Arc::new(PooledExecutor::new(factory, 2)),
+        ServeConfig::default(),
+    )
+}
+
+/// The capture every client replays, as ingest bytes.
+fn capture() -> Vec<u8> {
+    let lora = LoraParams::new(
+        SpreadingFactor::Sf7,
+        Bandwidth::Khz500,
+        BitsPerChirp::new(2).expect("valid"),
+    );
+    let payloads = random_payloads(3, PAYLOAD_SYMBOLS, lora.bits_per_chirp, 0xFA_171);
+    let packets: Vec<TracePacket> = payloads
+        .iter()
+        .enumerate()
+        .map(|(i, p)| TracePacket::new(p.clone(), -50.0, if i == 0 { 4.0 } else { 12.0 }))
+        .collect();
+    let config = LongTraceConfig::new(lora).with_noise(-80.0);
+    let (trace, _) = generate_long_trace(&config, &packets);
+    samples_to_bytes(&trace.samples)
+}
+
+#[test]
+fn every_fault_degrades_gracefully_and_no_stream_bleeds_into_another() {
+    let daemon = daemon_under_test();
+    let bytes = Arc::new(capture());
+    let n_chunks = bytes.len().div_ceil(CHUNK_BYTES);
+    assert!(n_chunks >= 10, "trace long enough to fault mid-stream");
+
+    // The undisturbed reference decode, served by the same daemon.
+    let reference = replay_with_fault(&daemon, "reference", &bytes, CHUNK_BYTES, &Fault::None)
+        .expect("clean replay reports");
+    assert_eq!(
+        reference.packets.len(),
+        3,
+        "the reference must decode every packet on the trace"
+    );
+
+    let table: Vec<Fault> = vec![
+        Fault::Stall {
+            before_chunk: 2,
+            millis: 30,
+        },
+        // Cut inside the second packet's waveform: a mid-packet disconnect.
+        Fault::DisconnectAfter {
+            chunks: n_chunks / 2,
+        },
+        Fault::TruncateChunk {
+            index: 1,
+            drop_bytes: 5,
+        },
+        // Degenerate truncation: the chunk vanishes entirely.
+        Fault::TruncateChunk {
+            index: 3,
+            drop_bytes: CHUNK_BYTES,
+        },
+        Fault::ZeroLengthChunk { every: 5 },
+        Fault::NonFinite { index: 2 },
+    ];
+
+    let mut expected_streams = 1u64; // the reference
+    for (row, fault) in table.iter().enumerate() {
+        // Faulted and clean stream run concurrently on the shared daemon.
+        let victim_name = format!("clean-{row}");
+        let outcome: (Option<StreamReport>, StreamReport) = std::thread::scope(|scope| {
+            let faulted = scope.spawn(|| {
+                replay_with_fault(
+                    &daemon,
+                    &format!("faulted-{row}"),
+                    &bytes,
+                    CHUNK_BYTES,
+                    fault,
+                )
+            });
+            let clean = scope.spawn(|| {
+                replay_with_fault(&daemon, &victim_name, &bytes, CHUNK_BYTES, &Fault::None)
+                    .expect("clean replay reports")
+            });
+            (
+                faulted.join().expect("faulted client must not panic"),
+                clean.join().expect("clean client must not panic"),
+            )
+        });
+        let (faulted, clean) = outcome;
+        expected_streams += 2;
+
+        // Isolation: the concurrent clean stream is bit-identical to the
+        // reference regardless of what its neighbour did.
+        assert_eq!(
+            clean.packets,
+            reference.packets,
+            "fault {:?} (row {row}) corrupted an unrelated stream",
+            fault.label()
+        );
+        assert_eq!(clean.binary, reference.binary);
+        assert_eq!(clean.jsonl, reference.jsonl);
+        assert!(!clean.disconnected);
+
+        // Fault-specific degradation contract.
+        match fault {
+            Fault::None => unreachable!("not in the table"),
+            Fault::Stall { .. } => {
+                let report = faulted.expect("a stalled client still closes cleanly");
+                assert_eq!(
+                    report.packets, reference.packets,
+                    "a stall delays the stream but loses nothing"
+                );
+                assert_eq!(report.stats.dropped_chunks, 0);
+            }
+            Fault::DisconnectAfter { .. } => {
+                assert!(faulted.is_none(), "a vanished client has no report");
+                // The client vanished but its worker may still be flushing;
+                // wait for telemetry to show the stream finished (guaranteed
+                // to happen — the queue is closed).
+                let stream = loop {
+                    let snap = daemon.poll();
+                    let s = snap
+                        .streams
+                        .iter()
+                        .find(|s| s.name == format!("faulted-{row}"))
+                        .expect("disconnected stream is still visible in telemetry")
+                        .clone();
+                    if s.finished {
+                        break s;
+                    }
+                    std::thread::yield_now();
+                };
+                assert!(stream.disconnected, "telemetry records the disconnect");
+                assert!(
+                    stream.packets as usize <= reference.packets.len(),
+                    "a half-received stream cannot out-decode the full one"
+                );
+            }
+            Fault::TruncateChunk { drop_bytes, .. } => {
+                let report = faulted.expect("a torn write does not kill the stream");
+                let dangling = (CHUNK_BYTES - drop_bytes) % 8;
+                assert_eq!(
+                    report.stats.malformed_bytes, dangling as u64,
+                    "exactly the dangling tail is counted as malformed"
+                );
+                assert!(report.packets.len() <= reference.packets.len());
+                assert!(!report.disconnected);
+            }
+            Fault::ZeroLengthChunk { .. } => {
+                let report = faulted.expect("empty frames are no-ops, not errors");
+                assert!(report.packets.len() <= reference.packets.len());
+                assert!(!report.disconnected);
+            }
+            Fault::NonFinite { .. } => {
+                let report = faulted.expect("sanitised NaN/Inf does not kill the stream");
+                assert_eq!(
+                    report.stats.sanitized_samples, 1,
+                    "exactly the poisoned sample is sanitised"
+                );
+                assert!(!report.disconnected);
+            }
+        }
+    }
+
+    // After the whole gauntlet the pool's recycled receivers still decode
+    // the reference bit-identically: no fault left residue behind.
+    let after = replay_with_fault(&daemon, "post-gauntlet", &bytes, CHUNK_BYTES, &Fault::None)
+        .expect("clean replay reports");
+    assert_eq!(after.packets, reference.packets);
+    expected_streams += 1;
+
+    let final_snapshot = daemon.shutdown();
+    assert_eq!(final_snapshot.streams_opened, expected_streams);
+    assert_eq!(
+        final_snapshot.streams_closed, expected_streams,
+        "every stream — including the disconnected ones — ran to completion"
+    );
+    // Memory stayed bounded: nothing is still queued anywhere.
+    assert!(final_snapshot.streams.iter().all(|s| s.finished));
+}
+
+/// Shutdown with streams still open must not hang or panic: open handles
+/// turn into disconnects and their workers are joined.
+#[test]
+fn shutdown_with_open_streams_is_clean() {
+    let daemon = daemon_under_test();
+    let bytes = capture();
+    let handle = daemon.open_stream("abandoned").expect("daemon running");
+    handle
+        .send_bytes(bytes[..CHUNK_BYTES].to_vec())
+        .expect("stream open");
+    let snapshot = daemon.shutdown();
+    assert_eq!(snapshot.streams_opened, 1);
+    assert_eq!(snapshot.streams_closed, 1);
+    assert!(snapshot.streams[0].disconnected);
+    // The handle is now dead; sends fail instead of hanging.
+    assert!(handle.send_bytes(vec![0; 8]).is_err());
+    // Reopening after shutdown is refused, not undefined.
+    assert!(daemon.open_stream("late").is_none());
+}

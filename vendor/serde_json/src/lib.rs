@@ -1,10 +1,12 @@
 //! Offline stand-in for the `serde_json` crate.
 //!
 //! The build environment has no access to crates.io, so the workspace vendors
-//! the tiny subset of serde_json the experiment binaries use: the [`Value`]
-//! tree, the [`json!`] constructor macro (flat objects, arrays, scalars), and
-//! [`to_string_pretty`]. There is no serde integration and no parser — the
-//! experiment harness only ever *writes* JSON result files.
+//! the tiny subset of serde_json the workspace uses: the [`Value`] tree, the
+//! [`json!`] constructor macro (flat objects, arrays, scalars),
+//! [`to_string`] / [`to_string_pretty`], and — since the serving layer's
+//! JSONL packet format must round-trip — a [`from_str`] parser with the
+//! usual [`Value`] accessors (`get`, `as_f64`, …). There is no serde
+//! derive integration.
 
 #![warn(missing_docs)]
 
@@ -121,18 +123,320 @@ impl<T: Into<Value>> From<Option<T>> for Value {
     }
 }
 
-/// Serialisation error. The stub's writer cannot actually fail; the type
-/// exists so call sites match serde_json's `Result`-returning signature.
+impl Value {
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen); `None` for non-numbers.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(Number::Float(x)) => Some(*x),
+            Value::Number(Number::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`; `None` for floats and non-numbers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`; `None` for negatives, floats and non-numbers.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|i| u64::try_from(i).ok())
+    }
+
+    /// The value as a string slice; `None` for non-strings.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool; `None` for non-bools.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's elements; `None` for non-arrays.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+/// Serialisation / parse error.
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "json serialisation error")
+        write!(f, "json error: {}", self.message)
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parses a JSON document into a [`Value`]. Accepts exactly the dialect the
+/// writers above emit (and standard JSON generally); trailing garbage after
+/// the document is an error.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+/// A minimal recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::new(format!("unexpected input at byte {}", self.pos))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::new(format!("expected ',' or ']' at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::new(format!("expected ',' or '}}' at {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::new("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error::new("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| Error::new("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::new("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not emitted by the writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape '\\{}'", other as char)))
+                        }
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting here.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    let bytes = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or_else(|| Error::new("truncated utf-8"))?;
+                    let s = std::str::from_utf8(bytes).map_err(|_| Error::new("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            let x: f64 = text
+                .parse()
+                .map_err(|_| Error::new(format!("bad float '{text}'")))?;
+            Ok(Value::Number(Number::Float(x)))
+        } else {
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Number(Number::Int(i))),
+                // Integers beyond i64 fall back to the float representation.
+                Err(_) => {
+                    let x: f64 = text
+                        .parse()
+                        .map_err(|_| Error::new(format!("bad number '{text}'")))?;
+                    Ok(Value::Number(Number::Float(x)))
+                }
+            }
+        }
+    }
+}
+
+/// Length of the UTF-8 sequence introduced by its first byte.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
 
 /// Serialises a [`Value`] as pretty-printed JSON (two-space indent).
 pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
@@ -317,5 +621,70 @@ mod tests {
     fn whole_floats_keep_a_decimal_point() {
         assert_eq!(Number::Float(5.0).to_string(), "5.0");
         assert_eq!(Number::Int(5).to_string(), "5");
+    }
+
+    #[test]
+    fn parser_round_trips_writer_output() {
+        let v = json!({
+            "name": "sai\"yan\n",
+            "k": 3u8,
+            "neg": -17i64,
+            "ber": 0.012_345_678_901_234_5f64,
+            "whole": 5.0f64,
+            "tiny": 1.0e-300f64,
+            "ok": true,
+            "nothing": Value::Null,
+            "list": json!([1, "two", false]),
+        });
+        for text in [to_string(&v).unwrap(), to_string_pretty(&v).unwrap()] {
+            let parsed = from_str(&text).unwrap();
+            assert_eq!(parsed, v, "from: {text}");
+        }
+    }
+
+    #[test]
+    fn accessors_navigate_parsed_values() {
+        let v = from_str(r#"{"a": {"b": [1, 2.5, "x"]}, "t": true}"#).unwrap();
+        let list = v.get("a").and_then(|a| a.get("b")).unwrap();
+        let items = list.as_array().unwrap();
+        assert_eq!(items[0].as_i64(), Some(1));
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_f64(), Some(2.5));
+        assert_eq!(items[2].as_str(), Some("x"));
+        assert_eq!(v.get("t").and_then(Value::as_bool), Some(true));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn malformed_documents_error_instead_of_panicking() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{]}",
+            "nul",
+            "--3",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn exotic_floats_round_trip_bit_exactly() {
+        for x in [
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            -0.0,
+            1.0 / 3.0,
+            6.626_070_15e-34,
+        ] {
+            let text = to_string(&Value::from(x)).unwrap();
+            let back = from_str(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "via {text}");
+        }
     }
 }
