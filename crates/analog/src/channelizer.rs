@@ -50,13 +50,13 @@ pub struct ChannelizerSpec {
     /// Extra passband margin (Hz) kept on both sides of the content so the
     /// FIR's transition band does not eat into it.
     pub guard_hz: f64,
-    /// Evaluate the down-conversion phasor with the anchored-recurrence fast
-    /// path (one complex rotation per output, re-anchored exactly on a fixed
-    /// absolute-output-index grid) instead of one `sin`/`cos` pair per
-    /// output. Still chunk invariant — the anchor grid depends only on the
-    /// absolute output index — but not bit-identical to the exact phasor, so
-    /// it defaults to `false` and receivers opt in via their
-    /// high-throughput profile.
+    /// Evaluate the down-conversion phasor with the anchored-table fast path
+    /// (`anchor · step^t`, with the anchor recomputed exactly on a fixed
+    /// absolute-output-index grid and the step powers tabulated once) instead
+    /// of one `sin`/`cos` pair per output. Still chunk invariant — both the
+    /// anchor grid and the table offset depend only on the absolute output
+    /// index — but not bit-identical to the exact phasor, so it defaults to
+    /// `false` and receivers opt in via their high-throughput profile.
     pub fast_phasor: bool,
 }
 
@@ -126,8 +126,9 @@ impl ChannelizerSpec {
                 fir: None,
                 fast_phasor: false,
                 out_count: 0,
-                rot: Iq::ONE,
-                rot_step: Iq::ONE,
+                anchor: Iq::ONE,
+                anchor_base: u64::MAX,
+                rot_table: Vec::new(),
             };
         }
         assert!(
@@ -168,6 +169,21 @@ impl ChannelizerSpec {
             })
             .collect();
         let phase_step = -2.0 * PI * self.offset_hz / wideband_rate;
+        // Step powers for the fast path: `rot_table[t] = step^t` built by the
+        // serial recurrence once, where `step` is the phasor advance per
+        // output (D wideband samples).
+        let rot_table = if self.fast_phasor {
+            let step = Iq::phasor(phase_step * self.decimation as f64);
+            let mut table = Vec::with_capacity(PHASOR_ANCHOR_INTERVAL as usize);
+            let mut z = Iq::ONE;
+            for _ in 0..PHASOR_ANCHOR_INTERVAL {
+                table.push(z);
+                z *= step;
+            }
+            table
+        } else {
+            Vec::new()
+        };
         ChannelizerState {
             passthrough: false,
             phase_step,
@@ -176,9 +192,9 @@ impl ChannelizerSpec {
             fir: Some(PolyphaseDecimator::new(taps, self.decimation)),
             fast_phasor: self.fast_phasor,
             out_count: 0,
-            rot: Iq::ONE,
-            // The phasor advances by D wideband samples per output.
-            rot_step: Iq::phasor(phase_step * self.decimation as f64),
+            anchor: Iq::ONE,
+            anchor_base: u64::MAX,
+            rot_table,
         }
     }
 }
@@ -199,15 +215,19 @@ pub struct ChannelizerState {
     fast_phasor: bool,
     /// Absolute index of the next output (drives the phasor anchor grid).
     out_count: u64,
-    /// Carried phasor value for the fast path (re-anchored exactly whenever
-    /// `out_count` crosses the anchor grid).
-    rot: Iq,
-    /// Phasor advance per output.
-    rot_step: Iq,
+    /// Exact phasor at the current anchor interval's base output (fast path).
+    anchor: Iq,
+    /// Base output index [`Self::anchor`] was computed for (`u64::MAX` until
+    /// the first fast-path output).
+    anchor_base: u64,
+    /// Tabulated per-output step powers `step^t` for `t` within an anchor
+    /// interval (empty unless the fast path is enabled).
+    rot_table: Vec<Iq>,
 }
 
 /// Output-index spacing of the fast-phasor anchor grid: the rotation error
-/// accumulated between exact re-anchors stays at a few ULPs.
+/// accumulated across the tabulated step powers between exact re-anchors
+/// stays at a few ULPs.
 const PHASOR_ANCHOR_INTERVAL: u64 = 256;
 
 impl ChannelizerState {
@@ -255,14 +275,28 @@ impl ChannelizerState {
         let mut emit_index = self.out_count * self.decimation as u64 + (self.decimation - 1) as u64;
         fir.filter_chunk_into(chunk, out);
         if self.fast_phasor {
-            for y in out.iter_mut() {
-                if self.out_count.is_multiple_of(PHASOR_ANCHOR_INTERVAL) {
-                    self.rot = Iq::phasor(self.phase_step * emit_index as f64);
+            // Anchor-interval runs: every output inside a run shares the
+            // interval's exact anchor phasor and picks its own tabulated step
+            // power, so the whole run is one elementwise kernel call.
+            let backend = crate::simd::active_backend();
+            let d = self.decimation as u64;
+            let mut i = 0usize;
+            while i < out.len() {
+                let t = (self.out_count % PHASOR_ANCHOR_INTERVAL) as usize;
+                let base = self.out_count - t as u64;
+                if self.anchor_base != base {
+                    self.anchor = Iq::phasor(self.phase_step * (base * d + (d - 1)) as f64);
+                    self.anchor_base = base;
                 }
-                *y *= self.rot;
-                self.rot *= self.rot_step;
-                self.out_count += 1;
-                emit_index += self.decimation as u64;
+                let run = (PHASOR_ANCHOR_INTERVAL as usize - t).min(out.len() - i);
+                crate::simd::rotate_by_table_in_place(
+                    backend,
+                    &mut out[i..i + run],
+                    self.anchor,
+                    &self.rot_table[t..t + run],
+                );
+                self.out_count += run as u64;
+                i += run;
             }
         } else {
             for y in out.iter_mut() {

@@ -144,14 +144,30 @@ impl ComparatorState {
     /// output level.
     pub fn compare_chunk_into(&mut self, chunk: &[f64], out: &mut Vec<bool>) {
         out.clear();
-        out.reserve(chunk.len());
-        for &v in chunk {
-            self.state = if self.state {
-                v >= self.low_threshold
-            } else {
-                v >= self.high_threshold
-            };
-            out.push(self.state);
+        match crate::simd::active_backend() {
+            crate::simd::Backend::Scalar => {
+                out.reserve(chunk.len());
+                for &v in chunk {
+                    self.state = if self.state {
+                        v >= self.low_threshold
+                    } else {
+                        v >= self.high_threshold
+                    };
+                    out.push(self.state);
+                }
+            }
+            // The constructor guarantees U_L <= U_H, the regime where the
+            // branch-free mask identity holds.
+            wide => {
+                self.state = crate::simd::hysteresis_scan(
+                    wide,
+                    chunk,
+                    self.high_threshold,
+                    self.low_threshold,
+                    self.state,
+                    out,
+                );
+            }
         }
     }
 }

@@ -163,8 +163,19 @@ impl EnvelopeDetectorState {
         // and they dominate the cost of a quiet chain.
         let noiseless = self.noise.white_sigma == 0.0 && self.noise.flicker_sigma == 0.0;
         if noiseless {
-            for s in chunk {
-                out.push(self.conversion_gain * s.norm_sqr() + self.noise.dc_offset);
+            match crate::simd::active_backend() {
+                crate::simd::Backend::Scalar => {
+                    for s in chunk {
+                        out.push(self.conversion_gain * s.norm_sqr() + self.noise.dc_offset);
+                    }
+                }
+                wide => crate::simd::envelope_noiseless_into(
+                    wide,
+                    chunk,
+                    self.conversion_gain,
+                    self.noise.dc_offset,
+                    out,
+                ),
             }
             return;
         }

@@ -69,7 +69,33 @@ pub struct LowPassState {
 
 impl LowPassState {
     /// Filters one chunk in place, carrying the section states across calls.
+    ///
+    /// The common two-section cascade runs software-pipelined: section 1
+    /// processes sample `i − 1` while section 0 processes sample `i`, so the
+    /// two serial integrator chains overlap instead of running as two
+    /// latency-bound passes. Every section still applies the identical
+    /// per-sample update in the identical order, so the result is
+    /// bit-identical to the sequential pass.
     pub fn process_chunk(&mut self, chunk: &mut [f64]) {
+        if self.states.len() == 2 && !chunk.is_empty() {
+            let alpha = self.alpha;
+            let (head, rest) = self.states.split_at_mut(1);
+            let s0 = &mut head[0];
+            let s1 = &mut rest[0];
+            *s0 += alpha * (chunk[0] - *s0);
+            chunk[0] = *s0;
+            let n = chunk.len();
+            for i in 1..n {
+                *s0 += alpha * (chunk[i] - *s0);
+                let t0 = *s0;
+                *s1 += alpha * (chunk[i - 1] - *s1);
+                chunk[i - 1] = *s1;
+                chunk[i] = t0;
+            }
+            *s1 += alpha * (chunk[n - 1] - *s1);
+            chunk[n - 1] = *s1;
+            return;
+        }
         for state in &mut self.states {
             for v in chunk.iter_mut() {
                 *state += self.alpha * (*v - *state);
@@ -134,7 +160,10 @@ impl IfAmplifier {
         IfAmplifierState {
             b0: alpha,
             b2: -alpha,
-            a0: 1.0 + alpha,
+            // The 1/a0 normalisation is folded into a reciprocal computed
+            // once here: a multiply in the recurrence instead of a divide,
+            // which sits on the serial y1→y0 critical path of every sample.
+            inv_a0: 1.0 / (1.0 + alpha),
             a1: -2.0 * w0.cos(),
             a2: 1.0 - alpha,
             gain: self.gain,
@@ -174,7 +203,7 @@ struct BiquadState {
 pub struct IfAmplifierState {
     b0: f64,
     b2: f64,
-    a0: f64,
+    inv_a0: f64,
     a1: f64,
     a2: f64,
     gain: f64,
@@ -183,17 +212,47 @@ pub struct IfAmplifierState {
 
 impl IfAmplifierState {
     /// Filters and amplifies one chunk in place, carrying section memories.
+    ///
+    /// The paper's order-2 cascade runs software-pipelined (section 1 on
+    /// sample `i − 1` while section 0 is on sample `i`): the per-section
+    /// recurrence is latency-bound, and interleaving the two independent
+    /// chains overlaps them without changing a single operation or its order
+    /// — outputs stay bit-identical to the sequential two-pass form.
     pub fn process_chunk(&mut self, chunk: &mut [f64]) {
-        for s in &mut self.sections {
-            for v in chunk.iter_mut() {
-                let x0 = *v;
-                let y0 =
-                    (self.b0 * x0 + self.b2 * s.x2 - self.a1 * s.y1 - self.a2 * s.y2) / self.a0;
+        if self.sections.len() == 2 && !chunk.is_empty() {
+            let (b0, b2, inv_a0, a1, a2) = (self.b0, self.b2, self.inv_a0, self.a1, self.a2);
+            let step = |s: &mut BiquadState, x0: f64| {
+                let y0 = (b0 * x0 + b2 * s.x2 - a1 * s.y1 - a2 * s.y2) * inv_a0;
                 s.x2 = s.x1;
                 s.x1 = x0;
                 s.y2 = s.y1;
                 s.y1 = y0;
-                *v = y0;
+                y0
+            };
+            let (head, rest) = self.sections.split_at_mut(1);
+            let s0 = &mut head[0];
+            let s1 = &mut rest[0];
+            chunk[0] = step(s0, chunk[0]);
+            let n = chunk.len();
+            for i in 1..n {
+                let a = step(s0, chunk[i]);
+                let b = step(s1, chunk[i - 1]);
+                chunk[i] = a;
+                chunk[i - 1] = b;
+            }
+            chunk[n - 1] = step(s1, chunk[n - 1]);
+        } else {
+            for s in &mut self.sections {
+                for v in chunk.iter_mut() {
+                    let x0 = *v;
+                    let y0 = (self.b0 * x0 + self.b2 * s.x2 - self.a1 * s.y1 - self.a2 * s.y2)
+                        * self.inv_a0;
+                    s.x2 = s.x1;
+                    s.x1 = x0;
+                    s.y2 = s.y1;
+                    s.y1 = y0;
+                    *v = y0;
+                }
             }
         }
         for v in chunk.iter_mut() {

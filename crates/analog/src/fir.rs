@@ -174,24 +174,23 @@ impl ComplexFirState {
             &mut self.out_im,
             chunk.len(),
         );
-        out.reserve(chunk.len());
-        out.extend(
-            self.out_re
-                .iter()
-                .zip(&self.out_im)
-                .map(|(&re, &im)| Iq::new(re, im)),
+        crate::simd::interleave_extend(
+            crate::simd::active_backend(),
+            &self.out_re,
+            &self.out_im,
+            out,
         );
         self.compact();
     }
 
     /// Appends a chunk to the split-complex workspace.
     fn append(&mut self, chunk: &[Iq]) {
-        self.buf_re.reserve(chunk.len());
-        self.buf_im.reserve(chunk.len());
-        for s in chunk {
-            self.buf_re.push(s.re);
-            self.buf_im.push(s.im);
-        }
+        crate::simd::deinterleave_extend(
+            crate::simd::active_backend(),
+            chunk,
+            &mut self.buf_re,
+            &mut self.buf_im,
+        );
     }
 }
 
@@ -320,23 +319,71 @@ impl PolyphaseDecimator {
             return;
         }
         let d = self.decimation;
-        // De-interleave the chunk into the phase streams with a running
-        // residue counter (no per-sample division).
-        let per_stream = chunk.len() / d + 2;
+        let n = chunk.len();
+        // De-interleave the chunk into the phase streams in one sequential
+        // pass: sample `i` (absolute index `n_in + i`) belongs to phase
+        // `(r0 + i) % d`, so a single walk of the chunk with one write
+        // cursor per phase replaces the `2d` strided re-reads of the chunk
+        // that a phase-at-a-time gather costs (the chunk is read once, hot).
+        let r0 = (self.n_in % d as u64) as usize;
+        // Samples of phase `r` inside this chunk (phase `r0` owns sample 0).
+        let cnt_for = |r: usize| {
+            let off = (r + d - r0) % d;
+            if off >= n {
+                0
+            } else {
+                (n - off).div_ceil(d)
+            }
+        };
+        let mut cur_re: Vec<*mut f64> = Vec::with_capacity(d);
+        let mut cur_im: Vec<*mut f64> = Vec::with_capacity(d);
         for r in 0..d {
-            self.ph_re[r].reserve(per_stream);
-            self.ph_im[r].reserve(per_stream);
+            let cnt = cnt_for(r);
+            let re = &mut self.ph_re[r];
+            let im = &mut self.ph_im[r];
+            re.reserve(cnt);
+            im.reserve(cnt);
+            // SAFETY: the cursor points at the `cnt` spare-capacity slots
+            // just reserved for phase `r` (not resize-zeroed — every slot is
+            // written below, and made visible by the `set_len` after the
+            // fill). The loop advances each cursor exactly once per chunk
+            // sample of its phase, i.e. `cnt` times; no other borrow of the
+            // planes is alive while the cursors are in use, and the other
+            // phases' `reserve` calls cannot move this phase's allocation.
+            cur_re.push(unsafe { re.as_mut_ptr().add(re.len()) });
+            cur_im.push(unsafe { im.as_mut_ptr().add(im.len()) });
         }
-        let mut r = (self.n_in % d as u64) as usize;
-        for &x in chunk {
-            self.ph_re[r].push(x.re);
-            self.ph_im[r].push(x.im);
-            r += 1;
-            if r == d {
-                r = 0;
+        {
+            let cur_re = &mut cur_re[..d];
+            let cur_im = &mut cur_im[..d];
+            let mut r = r0;
+            for x in chunk {
+                // SAFETY: see the cursor construction above; `r` cycles
+                // `0..d`.
+                unsafe {
+                    *cur_re[r] = x.re;
+                    cur_re[r] = cur_re[r].add(1);
+                    *cur_im[r] = x.im;
+                    cur_im[r] = cur_im[r].add(1);
+                }
+                r += 1;
+                if r == d {
+                    r = 0;
+                }
             }
         }
-        self.n_in += chunk.len() as u64;
+        for r in 0..d {
+            let cnt = cnt_for(r);
+            // SAFETY: the fill loop initialised exactly `cnt` elements past
+            // each plane's length, inside capacity reserved above.
+            unsafe {
+                let len = self.ph_re[r].len() + cnt;
+                self.ph_re[r].set_len(len);
+                let len = self.ph_im[r].len() + cnt;
+                self.ph_im[r].set_len(len);
+            }
+        }
+        self.n_in += n as u64;
         let k0 = self.n_out;
         let total_k = self.n_in / d as u64;
         let m = (total_k - k0) as usize;
@@ -347,6 +394,12 @@ impl PolyphaseDecimator {
         self.acc_im.clear();
         self.acc_re.resize(m, 0.0);
         self.acc_im.resize(m, 0.0);
+        // Phase 0 always has taps (`taps[0]` belongs to it), so it stores
+        // into the accumulator planes and the remaining phases fold on top
+        // (p ascending — fixed order). Arithmetically this only skips the
+        // `0.0 +` seed of each output's first partial, which can flip the
+        // sign of an exactly-zero output — invisible to any `==` comparison
+        // and independent of chunking, since the stored phase is fixed.
         for p in 0..d {
             let r = d - 1 - p;
             let t_p = self.sub_re[p].len();
@@ -354,24 +407,33 @@ impl PolyphaseDecimator {
                 continue;
             }
             let start = (k0 as i64 - t_p as i64 + 1 - self.base_m) as usize;
-            // Accumulate mode: each phase's contribution lands directly in
-            // the accumulator planes (p ascending — fixed order).
-            convolve_block_impl::<true>(
-                &self.sub_re[p],
-                &self.sub_im[p],
-                &self.ph_re[r][start..],
-                &self.ph_im[r][start..],
-                &mut self.acc_re,
-                &mut self.acc_im,
-                m,
-            );
+            if p == 0 {
+                convolve_dispatch::<false>(
+                    &self.sub_re[p],
+                    &self.sub_im[p],
+                    &self.ph_re[r][start..],
+                    &self.ph_im[r][start..],
+                    &mut self.acc_re,
+                    &mut self.acc_im,
+                    m,
+                );
+            } else {
+                convolve_dispatch::<true>(
+                    &self.sub_re[p],
+                    &self.sub_im[p],
+                    &self.ph_re[r][start..],
+                    &self.ph_im[r][start..],
+                    &mut self.acc_re,
+                    &mut self.acc_im,
+                    m,
+                );
+            }
         }
-        out.reserve(m);
-        out.extend(
-            self.acc_re
-                .iter()
-                .zip(&self.acc_im)
-                .map(|(&re, &im)| Iq::new(re, im)),
+        crate::simd::interleave_extend(
+            crate::simd::active_backend(),
+            &self.acc_re,
+            &self.acc_im,
+            out,
         );
         self.n_out = total_k;
         self.compact();
@@ -477,7 +539,31 @@ fn convolve_block(
     out_im.clear();
     out_re.resize(m, 0.0);
     out_im.resize(m, 0.0);
-    convolve_block_impl::<false>(tr, ti, buf_re, buf_im, out_re, out_im, m);
+    convolve_dispatch::<false>(tr, ti, buf_re, buf_im, out_re, out_im, m);
+}
+
+/// Routes a convolution block to the active SIMD backend, or to the scalar
+/// tile ([`convolve_block_impl`] — the golden reference) when none is
+/// selected. Both sides honour the same per-output summation order, so the
+/// choice never changes a bit of output.
+#[allow(clippy::too_many_arguments)]
+fn convolve_dispatch<const ACCUM: bool>(
+    tr: &[f64],
+    ti: &[f64],
+    buf_re: &[f64],
+    buf_im: &[f64],
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+    m: usize,
+) {
+    match crate::simd::active_backend() {
+        crate::simd::Backend::Scalar => {
+            convolve_block_impl::<ACCUM>(tr, ti, buf_re, buf_im, out_re, out_im, m)
+        }
+        wide => {
+            crate::simd::convolve_block::<ACCUM>(wide, tr, ti, buf_re, buf_im, out_re, out_im, m)
+        }
+    }
 }
 
 /// [`convolve_block`] body. With `ACCUM` the per-output results are *added*
@@ -714,6 +800,92 @@ mod tests {
             b.filter_chunk_into(chunk, &mut scratch);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn polyphase_decimator_tail_and_sub_lane_edge_cases() {
+        // Ragged feeds that stress the carried tail: empty chunks, chunks
+        // smaller than one decimation cycle (and smaller than one SIMD
+        // lane), a first chunk shorter than the filter, filters shorter
+        // than the decimation factor (some phase planes own a single tap,
+        // the rest only zero padding), and a 1-tap filter. All must stay
+        // bit-identical to whole-buffer processing, state included.
+        for (n_taps, d) in [(64usize, 6usize), (3, 6), (1, 6), (2, 2), (5, 13)] {
+            let taps: Vec<Iq> = (0..n_taps)
+                .map(|i| Iq::from_polar(0.5 / (1.0 + i as f64 * 0.3), i as f64 * 0.2))
+                .collect();
+            let input: Vec<Iq> = (0..733)
+                .map(|i| Iq::from_polar(1.0, i as f64 * 0.017))
+                .collect();
+            let mut whole = Vec::new();
+            PolyphaseDecimator::new(taps.clone(), d).filter_chunk_into(&input, &mut whole);
+            let sizes = [1usize, 0, 2, 0, 3, 1, 5, 0, 4];
+            let mut decim = PolyphaseDecimator::new(taps.clone(), d);
+            let mut got = Vec::new();
+            let mut scratch = Vec::new();
+            let mut offset = 0usize;
+            let mut i = 0usize;
+            while offset < input.len() {
+                let end = (offset + sizes[i % sizes.len()]).min(input.len());
+                decim.filter_chunk_into(&input[offset..end], &mut scratch);
+                if offset == end {
+                    assert!(scratch.is_empty(), "empty chunk emitted output");
+                }
+                got.extend_from_slice(&scratch);
+                offset = end;
+                i += 1;
+            }
+            assert_eq!(got, whole, "l={n_taps} D={d}");
+            // The carried state equals the whole-buffer run's, so the empty
+            // chunks were true no-ops.
+            let mut reference = PolyphaseDecimator::new(taps, d);
+            reference.filter_chunk_into(&input, &mut scratch);
+            assert_eq!(decim, reference, "l={n_taps} D={d}");
+        }
+    }
+
+    #[test]
+    fn polyphase_decimator_history_shorter_than_taps() {
+        // Fewer total samples than the filter is long: every output window
+        // still reaches into the implicit zero history, and outputs arrive
+        // before any phase plane holds a full complement of samples.
+        let taps: Vec<Iq> = (0..64)
+            .map(|i| Iq::from_polar(0.5 / (1.0 + i as f64 * 0.3), i as f64 * 0.2))
+            .collect();
+        let d = 6usize;
+        let input: Vec<Iq> = (0..17)
+            .map(|i| Iq::from_polar(1.0, i as f64 * 0.3))
+            .collect();
+        let mut reference = ComplexFirState::new(taps.clone());
+        let mut want = Vec::new();
+        let mut phase = 0usize;
+        for &x in &input {
+            phase += 1;
+            if phase == d {
+                phase = 0;
+                want.push(reference.push_and_convolve(x));
+            } else {
+                reference.push_silent(x);
+            }
+        }
+        let mut whole = Vec::new();
+        PolyphaseDecimator::new(taps.clone(), d).filter_chunk_into(&input, &mut whole);
+        assert_eq!(whole.len(), want.len());
+        for (i, (g, w)) in whole.iter().zip(&want).enumerate() {
+            assert!(
+                (g.re - w.re).abs() < 1e-12 && (g.im - w.im).abs() < 1e-12,
+                "output {i}: {g:?} vs {w:?}"
+            );
+        }
+        // Single-sample feeding over the same short input is bit-identical.
+        let mut decim = PolyphaseDecimator::new(taps, d);
+        let mut got = Vec::new();
+        let mut scratch = Vec::new();
+        for &x in &input {
+            decim.filter_chunk_into(&[x], &mut scratch);
+            got.extend_from_slice(&scratch);
+        }
+        assert_eq!(got, whole);
     }
 
     #[test]

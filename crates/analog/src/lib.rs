@@ -19,6 +19,8 @@
 //! * [`fir`] — the shared streaming complex-FIR state machine;
 //! * [`stage`] — the block-pipeline stage traits (chunk invariance and
 //!   buffer-ownership contracts every streaming stage implements);
+//! * [`simd`] — runtime-dispatched SIMD kernels behind the hot stages
+//!   (backend selection, bit-identical wide tiles, `SAIYAN_SIMD` override);
 //! * [`channelizer`] — the wideband gateway front end: per-channel frequency
 //!   shift, band-select FIR and decimation.
 
@@ -39,6 +41,7 @@ pub mod rlc;
 pub mod saw;
 pub mod shifting;
 pub mod signal;
+pub mod simd;
 pub mod stage;
 
 pub use adc::{Adc, AdcState};

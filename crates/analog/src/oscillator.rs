@@ -124,10 +124,99 @@ impl Oscillator {
         sample_rate: f64,
         out: &mut Vec<f64>,
     ) {
+        self.values_into_recurrence_dispatch(
+            crate::simd::active_backend(),
+            start_index,
+            len,
+            sample_rate,
+            out,
+        );
+    }
+
+    /// [`Self::values_into_recurrence`] with an explicit kernel backend —
+    /// the seam the SIMD equivalence tests use to pin every backend against
+    /// the scalar chain in one process.
+    #[doc(hidden)]
+    pub fn values_into_recurrence_dispatch(
+        &self,
+        backend: crate::simd::Backend,
+        start_index: u64,
+        len: usize,
+        sample_rate: f64,
+        out: &mut Vec<f64>,
+    ) {
         let w = 2.0 * PI * self.actual_frequency() / sample_rate;
         out.clear();
-        out.reserve(len);
+        out.resize(len, 0.0);
         let (step_re, step_im) = (w.cos(), w.sin());
+        if backend == crate::simd::Backend::Scalar {
+            self.recurrence_segment(start_index, w, step_re, step_im, out);
+            return;
+        }
+        // The anchor grid makes every aligned 256-sample block an independent
+        // rotation chain, so a wide backend runs one chain per lane. The
+        // ragged head (up to the first anchor) and tail (after the last full
+        // block) go through the scalar segment, which re-anchors on the same
+        // absolute grid — outputs are bit-identical to the scalar path
+        // whatever the split.
+        let interval = Self::RECURRENCE_ANCHOR_INTERVAL as usize;
+        let head = ((Self::RECURRENCE_ANCHOR_INTERVAL
+            - (start_index % Self::RECURRENCE_ANCHOR_INTERVAL))
+            % Self::RECURRENCE_ANCHOR_INTERVAL) as usize;
+        let head = head.min(len);
+        let full = (len - head) / interval;
+        self.recurrence_segment(start_index, w, step_re, step_im, &mut out[..head]);
+        // Chains are processed in bounded groups so steady-state streaming
+        // stays allocation-free.
+        const GROUP: usize = 64;
+        let mut anchor_re = [0.0f64; GROUP];
+        let mut anchor_im = [0.0f64; GROUP];
+        let mut chain = 0usize;
+        while chain < full {
+            let group = (full - chain).min(GROUP);
+            for g in 0..group {
+                let n = start_index + (head + (chain + g) * interval) as u64;
+                let theta = w * n as f64 + self.phase;
+                anchor_re[g] = self.amplitude * theta.cos();
+                anchor_im[g] = self.amplitude * theta.sin();
+            }
+            let base = head + chain * interval;
+            crate::simd::rotate_chains_into(
+                backend,
+                &anchor_re[..group],
+                &anchor_im[..group],
+                step_re,
+                step_im,
+                interval,
+                &mut out[base..base + group * interval],
+            );
+            chain += group;
+        }
+        let tail_start = head + full * interval;
+        self.recurrence_segment(
+            start_index + tail_start as u64,
+            w,
+            step_re,
+            step_im,
+            &mut out[tail_start..],
+        );
+    }
+
+    /// The scalar phasor recurrence over one contiguous segment — the
+    /// golden-reference loop of [`Self::values_into_recurrence`], kept
+    /// verbatim: catch up from the grid anchor below `start_index`, then
+    /// rotate once per sample, re-anchoring exactly at every grid multiple.
+    fn recurrence_segment(
+        &self,
+        start_index: u64,
+        w: f64,
+        step_re: f64,
+        step_im: f64,
+        out: &mut [f64],
+    ) {
+        if out.is_empty() {
+            return;
+        }
         let anchor_of = |n: u64| n - (n % Self::RECURRENCE_ANCHOR_INTERVAL);
         let exact = |n: u64| {
             let theta = w * n as f64 + self.phase;
@@ -142,11 +231,11 @@ impl Oscillator {
             z_im = z_re * step_im + z_im * step_re;
             z_re = re;
         }
-        for _ in 0..len {
+        for slot in out.iter_mut() {
             if n.is_multiple_of(Self::RECURRENCE_ANCHOR_INTERVAL) {
                 (z_re, z_im) = exact(n);
             }
-            out.push(z_re);
+            *slot = z_re;
             let re = z_re * step_re - z_im * step_im;
             z_im = z_re * step_im + z_im * step_re;
             z_re = re;
@@ -287,6 +376,77 @@ mod tests {
         // An hour into a 2 Msps stream: phase-product rounding dominates but
         // stays far below any decision threshold in the chain.
         check((1 << 33) / 4096, 1e-5);
+    }
+
+    #[test]
+    fn recurrence_dispatch_pins_anchor_boundaries_across_backends() {
+        // Boundary matrix for the 256-sample anchor grid: starts on, just
+        // before, and just after anchors; lengths that end exactly on, one
+        // short of, and one past the next anchor; a zero-length chunk; a
+        // chunk that never reaches its first anchor (head >= len); and a
+        // span crossing the 64-chain batching boundary of the wide path.
+        // Every compiled backend must be bit-identical to the scalar golden
+        // reference at every point of the matrix.
+        use crate::simd::Backend;
+        let osc = Oscillator::new(237_000.0)
+            .with_phase(1.1)
+            .with_ppm_error(-120.0);
+        let fs = 2.0e6;
+        let iv = Oscillator::RECURRENCE_ANCHOR_INTERVAL;
+        let starts = [0u64, 1, iv - 1, iv, iv + 1, 7 * iv + 13, (1 << 40) - 1];
+        let lens = [
+            0usize,
+            1,
+            2,
+            255,
+            256,
+            257,
+            300,
+            511,
+            512,
+            513,
+            65 * 256 + 7,
+        ];
+        let mut want = Vec::new();
+        let mut got = Vec::new();
+        for backend in Backend::ALL {
+            if !backend.available() {
+                continue;
+            }
+            for &start in &starts {
+                for &len in &lens {
+                    osc.values_into_recurrence_dispatch(Backend::Scalar, start, len, fs, &mut want);
+                    osc.values_into_recurrence_dispatch(backend, start, len, fs, &mut got);
+                    assert_eq!(got, want, "{} start {start} len {len}", backend.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recurrence_is_chunk_invariant_across_anchor_boundaries() {
+        // Each output is a pure function of its absolute sample index, so
+        // concatenating ragged chunks — cut mid-interval, exactly on an
+        // anchor, one sample to either side, and as single samples right at
+        // a boundary — reproduces the single-call output bit-exactly.
+        let osc = Oscillator::new(237_000.0)
+            .with_phase(1.1)
+            .with_ppm_error(-120.0);
+        let fs = 2.0e6;
+        let start = 100u64;
+        let total = 1500usize;
+        let mut whole = Vec::new();
+        osc.values_into_recurrence(start, total, fs, &mut whole);
+        // Offsets relative to `start`; the first anchor (absolute 256) sits
+        // at offset 156, the next at 412.
+        let cuts = [0usize, 1, 155, 156, 157, 412, 413, 1023, total];
+        let mut concat = Vec::new();
+        let mut piece = Vec::new();
+        for pair in cuts.windows(2) {
+            osc.values_into_recurrence(start + pair[0] as u64, pair[1] - pair[0], fs, &mut piece);
+            concat.extend_from_slice(&piece);
+        }
+        assert_eq!(concat, whole);
     }
 
     #[test]

@@ -29,7 +29,10 @@ use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
 use netsim::longtrace::{generate_long_trace, random_payloads, LongTraceConfig, TracePacket};
 use saiyan::config::{SaiyanConfig, Variant};
 use saiyan::StreamingDemodulator;
-use saiyan_bench::{check_floor_arg, enforce_floor, fmt, write_json, write_json_at, Table};
+use saiyan_bench::{
+    check_floor_arg, enforce_floor, fmt, print_simd_report, simd_metadata, write_json,
+    write_json_at, Table,
+};
 
 const PACKETS: usize = 12;
 const PAYLOAD_SYMBOLS: usize = 16;
@@ -145,8 +148,10 @@ fn main() {
         "Sustained rate is per single core; 1x realtime = {:.1} Msps (SF7, 500 kHz, 4x oversampling).",
         trace.sample_rate / 1e6
     );
+    print_simd_report();
     let summary = serde_json::json!({
         "bench": "exp_stream_throughput",
+        "simd": simd_metadata(),
         "sample_rate": trace.sample_rate,
         "chunk_samples": CHUNK_SAMPLES,
         "realtime_factor_headline": headline,

@@ -88,6 +88,22 @@ pub fn fmt(value: f64, decimals: usize) -> String {
     format!("{value:.decimals$}")
 }
 
+/// The SIMD dispatch report as JSON metadata for `BENCH_*.json` snapshots,
+/// so every archived measurement records the ISA it ran on.
+pub fn simd_metadata() -> serde_json::Value {
+    let r = analog::simd::simd_report();
+    serde_json::json!({
+        "backend": r.backend,
+        "f64_lanes": r.f64_lanes,
+        "forced": r.forced,
+    })
+}
+
+/// Prints the selected SIMD backend (one line, shared by the `exp_*` bins).
+pub fn print_simd_report() {
+    println!("simd: {}", analog::simd::simd_report());
+}
+
 /// Formats a BER in the paper's per-mille / percent style.
 pub fn fmt_ber(ber: f64) -> String {
     if ber >= 0.01 {

@@ -95,17 +95,21 @@ impl Runner {
 
     /// Prints the table and footers, writes the JSON artifacts, and
     /// enforces the floor gate if `--check-floor` was passed (exits
-    /// non-zero on a violation).
+    /// non-zero on a violation). Snapshot files record the SIMD backend the
+    /// rows were measured on, and the floor gate checks the same headline
+    /// value the snapshot carries.
     pub fn finish(self) {
         self.table.print();
         for line in &self.footers {
             println!("{line}");
         }
+        crate::print_simd_report();
         let rows = serde_json::json!(self.json_rows.clone());
         write_json(self.name, &rows);
         if let Some(path) = &self.snapshot_path {
             let snapshot = serde_json::json!({
                 "bench": self.name,
+                "simd": crate::simd_metadata(),
                 "headline": self.gate.as_ref().map(|(m, v)| {
                     serde_json::json!({ "metric": m.as_str(), "value": *v })
                 }),

@@ -15,8 +15,11 @@
 //! (frequency shift + band-select FIR + decimation) feeding a
 //! [`StreamingDemodulator`] — runs on a `std::thread` worker pool connected
 //! by bounded channels, so a slow consumer back-pressures the producer
-//! instead of buffering without bound. Completed packets from all channels
-//! are merged into one stream ordered by payload start time.
+//! instead of buffering without bound. A pool that would hold exactly one
+//! worker (one core, or one channel) instead runs its pipelines inline in
+//! the caller — same results, none of the handoff overhead. Completed
+//! packets from all channels are merged into one stream ordered by payload
+//! start time.
 //!
 //! ## Determinism
 //!
@@ -225,6 +228,54 @@ struct ChannelPipeline {
     baseband: Vec<Iq>,
 }
 
+impl ChannelPipeline {
+    /// Runs one wideband chunk through the channelizer and demodulator.
+    fn process_chunk(&mut self, chunk: &[Iq]) -> ChannelReport {
+        self.channelizer
+            .process_chunk_into(chunk, &mut self.baseband);
+        let packets = self.demod.push_samples(&self.baseband);
+        ChannelReport {
+            index: self.index,
+            packets,
+            acked_time: self.demod.samples_consumed() as f64 / self.channel_rate,
+            snr_db: self.demod.snr_estimate_db(),
+        }
+    }
+
+    /// Flushes the demodulator at end of stream.
+    fn flush(&mut self) -> ChannelReport {
+        ChannelReport {
+            index: self.index,
+            packets: self.demod.finish(),
+            acked_time: f64::INFINITY,
+            snr_db: self.demod.snr_estimate_db(),
+        }
+    }
+}
+
+/// The gateway's execution backend.
+///
+/// A pool that would hold exactly one worker runs its pipelines *inline* in
+/// [`Gateway::push_chunk`] instead: a lone worker thread buys no parallelism
+/// but still pays an input copy, a bounded-queue handoff and a futex wake per
+/// chunk — a measurable per-sample tax on a single-core gateway host. The
+/// inline path produces the same reports in the same per-chunk order as a
+/// one-worker pool in lockstep mode, so the merged packet sequence is
+/// unchanged (batching is a pure function of the input, as with
+/// [`GatewayConfig::lockstep`]).
+enum WorkerPool {
+    /// Single-worker execution, run inline in the caller's thread.
+    Inline(Vec<ChannelPipeline>),
+    /// Multi-worker execution on the spawned thread pool.
+    Threaded {
+        inputs: Vec<mpsc::SyncSender<Job>>,
+        reports: mpsc::Receiver<ChannelReport>,
+        handles: Vec<JoinHandle<()>>,
+    },
+    /// The stream has been flushed; no further input is accepted.
+    Finished,
+}
+
 /// The running multi-channel gateway. See the [module docs](self).
 ///
 /// Feed wideband chunks with [`Gateway::push_chunk`]; packets whose ordering
@@ -273,9 +324,7 @@ pub struct Gateway {
     /// Release horizon (seconds): no channel can still produce a packet whose
     /// payload started more than this far behind its consumed stream time.
     horizon: f64,
-    inputs: Vec<mpsc::SyncSender<Job>>,
-    reports: mpsc::Receiver<ChannelReport>,
-    handles: Vec<JoinHandle<()>>,
+    pool: WorkerPool,
     /// Per-channel consumed stream time (seconds).
     acked: Vec<f64>,
     /// Per-channel last reported SNR estimate (dB) — a telemetry gauge.
@@ -358,26 +407,35 @@ impl Gateway {
             per_worker[i % n_workers].push(p);
         }
 
-        let (report_tx, report_rx) = mpsc::channel();
-        let mut inputs = Vec::with_capacity(n_workers);
-        let mut handles = Vec::with_capacity(n_workers);
-        for worker_pipelines in per_worker {
-            let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
-            let tx = report_tx.clone();
-            handles.push(std::thread::spawn(move || {
-                worker_loop(worker_pipelines, &job_rx, &tx);
-            }));
-            inputs.push(job_tx);
-        }
+        let pool = if n_workers == 1 {
+            // One worker means no parallelism to buy — run the pipelines
+            // inline and skip the per-chunk input copy and thread handoff.
+            WorkerPool::Inline(per_worker.into_iter().next().expect("one worker"))
+        } else {
+            let (report_tx, report_rx) = mpsc::channel();
+            let mut inputs = Vec::with_capacity(n_workers);
+            let mut handles = Vec::with_capacity(n_workers);
+            for worker_pipelines in per_worker {
+                let (job_tx, job_rx) = mpsc::sync_channel::<Job>(config.queue_depth.max(1));
+                let tx = report_tx.clone();
+                handles.push(std::thread::spawn(move || {
+                    worker_loop(worker_pipelines, &job_rx, &tx);
+                }));
+                inputs.push(job_tx);
+            }
+            WorkerPool::Threaded {
+                inputs,
+                reports: report_rx,
+                handles,
+            }
+        };
 
         Gateway {
             wideband_rate: config.wideband_rate,
             channel_ids: config.channels.iter().map(|c| c.id).collect(),
             lockstep: config.lockstep,
             horizon,
-            inputs,
-            reports: report_rx,
-            handles,
+            pool,
             acked: vec![0.0; n_channels],
             snr_db: vec![0.0; n_channels],
             heap: BinaryHeap::new(),
@@ -431,29 +489,43 @@ impl Gateway {
         if chunk.is_empty() {
             return Vec::new();
         }
-        assert!(
-            !self.inputs.is_empty(),
-            "gateway already flushed; push_chunk would drop samples"
-        );
-        let shared = Arc::new(chunk.to_vec());
-        for tx in &self.inputs {
-            tx.send(Job::Chunk(Arc::clone(&shared)))
-                .expect("gateway worker exited unexpectedly");
-        }
-        if self.lockstep {
-            // One report per channel per chunk, whatever the worker count.
-            for _ in 0..self.acked.len() {
-                let report = self
-                    .reports
-                    .recv()
-                    .expect("gateway worker exited unexpectedly");
-                self.integrate(report);
+        // The pool is taken out of `self` for the duration of the push so the
+        // inline path can run its pipelines while reports are folded into the
+        // merge state.
+        let mut pool = std::mem::replace(&mut self.pool, WorkerPool::Finished);
+        match &mut pool {
+            WorkerPool::Inline(pipelines) => {
+                for p in pipelines.iter_mut() {
+                    let report = p.process_chunk(chunk);
+                    self.integrate(report);
+                }
             }
-        } else {
-            while let Ok(report) = self.reports.try_recv() {
-                self.integrate(report);
+            WorkerPool::Threaded {
+                inputs, reports, ..
+            } => {
+                let shared = Arc::new(chunk.to_vec());
+                for tx in inputs.iter() {
+                    tx.send(Job::Chunk(Arc::clone(&shared)))
+                        .expect("gateway worker exited unexpectedly");
+                }
+                if self.lockstep {
+                    // One report per channel per chunk, whatever the worker
+                    // count.
+                    for _ in 0..self.acked.len() {
+                        let report = reports.recv().expect("gateway worker exited unexpectedly");
+                        self.integrate(report);
+                    }
+                } else {
+                    while let Ok(report) = reports.try_recv() {
+                        self.integrate(report);
+                    }
+                }
+            }
+            WorkerPool::Finished => {
+                panic!("gateway already flushed; push_chunk would drop samples")
             }
         }
+        self.pool = pool;
         self.release(false)
     }
 
@@ -481,21 +553,33 @@ impl Gateway {
     /// panic (the stream has ended), while repeated flushes are harmless
     /// no-ops.
     pub fn flush_in_place(&mut self) -> Vec<GatewayPacket> {
-        if !self.inputs.is_empty() {
-            for tx in &self.inputs {
-                tx.send(Job::Flush)
-                    .expect("gateway worker exited unexpectedly");
-            }
-            while self.acked.iter().any(|a| a.is_finite()) {
-                match self.reports.recv() {
-                    Ok(report) => self.integrate(report),
-                    Err(_) => break,
+        match std::mem::replace(&mut self.pool, WorkerPool::Finished) {
+            WorkerPool::Inline(mut pipelines) => {
+                for p in &mut pipelines {
+                    let report = p.flush();
+                    self.integrate(report);
                 }
             }
-            for handle in self.handles.drain(..) {
-                handle.join().expect("gateway worker panicked");
+            WorkerPool::Threaded {
+                inputs,
+                reports,
+                handles,
+            } => {
+                for tx in &inputs {
+                    tx.send(Job::Flush)
+                        .expect("gateway worker exited unexpectedly");
+                }
+                while self.acked.iter().any(|a| a.is_finite()) {
+                    match reports.recv() {
+                        Ok(report) => self.integrate(report),
+                        Err(_) => break,
+                    }
+                }
+                for handle in handles {
+                    handle.join().expect("gateway worker panicked");
+                }
             }
-            self.inputs.clear();
+            WorkerPool::Finished => {}
         }
         self.release(true)
     }
@@ -567,31 +651,14 @@ fn worker_loop(
         match jobs.recv() {
             Ok(Job::Chunk(chunk)) => {
                 for p in &mut pipelines {
-                    p.channelizer.process_chunk_into(&chunk, &mut p.baseband);
-                    let packets = p.demod.push_samples(&p.baseband);
-                    let acked_time = p.demod.samples_consumed() as f64 / p.channel_rate;
-                    if reports
-                        .send(ChannelReport {
-                            index: p.index,
-                            packets,
-                            acked_time,
-                            snr_db: p.demod.snr_estimate_db(),
-                        })
-                        .is_err()
-                    {
+                    if reports.send(p.process_chunk(&chunk)).is_err() {
                         return; // gateway dropped without finish()
                     }
                 }
             }
             Ok(Job::Flush) => {
                 for p in &mut pipelines {
-                    let packets = p.demod.finish();
-                    let _ = reports.send(ChannelReport {
-                        index: p.index,
-                        packets,
-                        acked_time: f64::INFINITY,
-                        snr_db: p.demod.snr_estimate_db(),
-                    });
+                    let _ = reports.send(p.flush());
                 }
                 return;
             }

@@ -173,6 +173,121 @@ impl ThresholdTracker {
         let low = (high - floor_param).max(high * 0.1);
         Thresholds { high, low }
     }
+
+    /// Block form of the recurrence half of [`Self::update`]: advances the
+    /// tracker over a whole chunk, recording the post-update peak, median,
+    /// and base activity (`onset || dwell`) per sample. None of these depend
+    /// on the receiver's `hold_active` input — only the threshold mapping
+    /// does, and that is deferred to [`Self::fill_thresholds`] so the caller
+    /// can redo it cheaply when the packet-hold signal flips at a sampler
+    /// tick. Every expression matches `update` operation for operation, so
+    /// the arrays are bit-identical to per-sample calls.
+    fn fill_arrays(
+        &mut self,
+        env: &[f64],
+        peaks: &mut Vec<f64>,
+        medians: &mut Vec<f64>,
+        active: &mut Vec<bool>,
+    ) {
+        let n = env.len();
+        peaks.clear();
+        peaks.reserve(n);
+        medians.clear();
+        medians.reserve(n);
+        active.clear();
+        active.reserve(n);
+        let mut i = 0;
+        // Median seeding phase: the EMA branch, including the onset check
+        // firing on the very sample the seed count reaches zero.
+        while i < n && self.seed_remaining > 0 {
+            let v = env[i];
+            self.peak = v.max(self.peak * self.peak_decay);
+            let magnitude = v.abs();
+            self.seed_remaining -= 1;
+            self.median += self.seed_alpha * (magnitude - self.median);
+            let onset = self.seed_remaining == 0 && self.peak > self.activity_ratio * self.median;
+            if onset {
+                self.dwell_remaining = self.dwell_samples;
+            } else {
+                self.dwell_remaining = self.dwell_remaining.saturating_sub(1);
+            }
+            peaks.push(self.peak);
+            medians.push(self.median);
+            active.push(onset || self.dwell_remaining > 0);
+            i += 1;
+        }
+        // Steady state: branch-reduced recurrences. Both median outcomes are
+        // computed and selected, which keeps the loop free of unpredictable
+        // branches while reproducing the original expressions bit for bit
+        // (the untaken arm has no side effects).
+        let mut peak = self.peak;
+        let mut median = self.median;
+        let mut dwell = self.dwell_remaining;
+        for &v in &env[i..] {
+            peak = v.max(peak * self.peak_decay);
+            let magnitude = v.abs();
+            let step = peak * self.median_alpha;
+            let up = median + step;
+            let down = (median - step).max(0.0);
+            median = if magnitude > median { up } else { down };
+            let onset = peak > self.activity_ratio * median;
+            dwell = if onset {
+                self.dwell_samples
+            } else {
+                dwell.saturating_sub(1)
+            };
+            peaks.push(peak);
+            medians.push(median);
+            active.push(onset || dwell > 0);
+        }
+        self.peak = peak;
+        self.median = median;
+        self.dwell_remaining = dwell;
+    }
+
+    /// Threshold half of [`Self::update`] over arrays filled by
+    /// [`Self::fill_arrays`], recomputing entries from index `from` on with
+    /// the packet-hold signal fixed at `hold` (entries before `from` keep
+    /// their values). Expressions match `update` exactly.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_thresholds(
+        &self,
+        peaks: &[f64],
+        medians: &[f64],
+        active: &[bool],
+        hold: bool,
+        from: usize,
+        highs: &mut Vec<f64>,
+        lows: &mut Vec<f64>,
+    ) {
+        let n = peaks.len();
+        highs.resize(n, 0.0);
+        lows.resize(n, 0.0);
+        for i in from..n {
+            let peak = peaks[i];
+            let high = if hold || active[i] {
+                peak / self.gap_amp
+            } else {
+                peak * self.quiet_gap_amp
+            };
+            let floor_param = (peak - medians[i]).min(peak * self.hysteresis).max(0.0);
+            highs[i] = high;
+            lows[i] = (high - floor_param).max(high * 0.1);
+        }
+    }
+}
+
+/// Reusable buffers of the block tracking path
+/// ([`StreamingDemodulator::track_and_sample_block`]); their capacity
+/// survives across chunks so steady-state demodulation allocates nothing.
+#[derive(Debug, Clone, Default)]
+struct BlockScratch {
+    peaks: Vec<f64>,
+    medians: Vec<f64>,
+    active: Vec<bool>,
+    highs: Vec<f64>,
+    lows: Vec<f64>,
+    words: Vec<u64>,
 }
 
 /// Receiver state: hunting for a preamble, or waiting for a detected packet's
@@ -258,6 +373,8 @@ pub struct StreamingDemodulator {
     /// capacity survives across chunks so steady-state demodulation performs
     /// no per-chunk allocation.
     env_scratch: Vec<f64>,
+    /// Reusable buffers of the block tracking path.
+    scratch: BlockScratch,
 }
 
 impl StreamingDemodulator {
@@ -320,6 +437,7 @@ impl StreamingDemodulator {
             correlator,
             state: RxState::Searching,
             env_scratch: Vec::new(),
+            scratch: BlockScratch::default(),
         }
     }
 
@@ -378,12 +496,23 @@ impl StreamingDemodulator {
 
     /// Pushes raw samples (assumed to be at the stream's sample rate).
     pub fn push_samples(&mut self, samples: &[Iq]) -> Vec<DemodResult> {
-        // Temporarily take the scratch so the per-sample loop below can
+        // Temporarily take the scratch so the tracking loops below can
         // borrow `self` mutably while reading the envelope.
         let mut envelope = std::mem::take(&mut self.env_scratch);
         self.frontend.process_chunk_into(samples, &mut envelope);
         let mut out = Vec::new();
-        for &v in &envelope {
+        match analog::simd::active_backend() {
+            analog::simd::Backend::Scalar => self.track_and_sample(&envelope, &mut out),
+            wide => self.track_and_sample_block(wide, &envelope, &mut out),
+        }
+        self.env_scratch = envelope;
+        out
+    }
+
+    /// Per-sample tracking, comparison, and sampling — the scalar reference
+    /// the block path below must match bit for bit.
+    fn track_and_sample(&mut self, envelope: &[f64], out: &mut Vec<DemodResult>) {
+        for &v in envelope {
             let hold_active = matches!(self.state, RxState::Collecting { .. });
             let thresholds = self.tracker.update(v, hold_active);
             self.current_thresholds = thresholds;
@@ -397,14 +526,126 @@ impl StreamingDemodulator {
             };
             self.comparator_high = bit;
             while self.next_tick_target == self.hi_index {
-                self.append_tick(bit, v, &mut out);
+                self.append_tick(bit, v, out);
                 self.next_tick += 1;
                 self.next_tick_target = self.tick_target(self.next_tick);
             }
             self.hi_index += 1;
         }
-        self.env_scratch = envelope;
-        out
+    }
+
+    /// Block tracking path: splits the per-sample loop into array passes so
+    /// the comparator can run through the branch-reduced word kernel and the
+    /// sampler only touches the ~1-in-40 samples where a tick latches.
+    ///
+    /// The key observation is that the tracker's recurrences (peak hold,
+    /// median stepper, dwell counter) never depend on the receiver state —
+    /// only the *threshold mapping* reads the packet-hold signal, and that
+    /// signal can only flip at a sampler tick. So: (A) advance the tracker
+    /// over the whole chunk into per-sample arrays, (B) map them to
+    /// thresholds under the current hold, (C) scan the comparator into packed
+    /// bit words, (D) walk the sparse ticks. When a tick flips the receiver
+    /// state (packet found / packet decoded), passes B–C are redone from the
+    /// next sample — flips happen at most a few times per packet, so the cost
+    /// is negligible. The original per-sample loop processes a tick *after*
+    /// updating tracker and comparator for that sample, so a flip only ever
+    /// affects later samples and the replay is exact: every output is
+    /// bit-identical to [`Self::track_and_sample`].
+    fn track_and_sample_block(
+        &mut self,
+        backend: analog::simd::Backend,
+        envelope: &[f64],
+        out: &mut Vec<DemodResult>,
+    ) {
+        // The comparator warm-up (during which bits are forced low) is a
+        // one-time startup region of a symbol — run it, and the tracker
+        // seeding that spans the same samples, through the per-sample loop.
+        let warmup = self.warmup_remaining.min(envelope.len() as u64) as usize;
+        if warmup > 0 {
+            self.track_and_sample(&envelope[..warmup], out);
+        }
+        let env = &envelope[warmup..];
+        let n = env.len();
+        if n == 0 {
+            return;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.tracker.fill_arrays(
+            env,
+            &mut scratch.peaks,
+            &mut scratch.medians,
+            &mut scratch.active,
+        );
+        let hold = matches!(self.state, RxState::Collecting { .. });
+        self.tracker.fill_thresholds(
+            &scratch.peaks,
+            &scratch.medians,
+            &scratch.active,
+            hold,
+            0,
+            &mut scratch.highs,
+            &mut scratch.lows,
+        );
+        self.comparator_high = analog::simd::hysteresis_words(
+            backend,
+            env,
+            &scratch.highs,
+            &scratch.lows,
+            self.comparator_high,
+            &mut scratch.words,
+        );
+        // Sample index corresponding to bit 0 of `scratch.words[0]`; advanced
+        // when a state flip forces a partial rescan.
+        let mut words_base = 0usize;
+        let bit_at = |words: &[u64], words_base: usize, i: usize| {
+            let j = i - words_base;
+            (words[j >> 6] >> (j & 63)) & 1 != 0
+        };
+        let base = self.hi_index;
+        let end = base + n as u64;
+        while self.next_tick_target < end {
+            let idx = (self.next_tick_target - base) as usize;
+            let bit = bit_at(&scratch.words, words_base, idx);
+            self.current_thresholds = Thresholds {
+                high: scratch.highs[idx],
+                low: scratch.lows[idx],
+            };
+            let held_before = matches!(self.state, RxState::Collecting { .. });
+            self.append_tick(bit, env[idx], out);
+            self.next_tick += 1;
+            self.next_tick_target = self.tick_target(self.next_tick);
+            let held_after = matches!(self.state, RxState::Collecting { .. });
+            if held_before != held_after && idx + 1 < n {
+                // The packet-hold signal flipped at this tick. Thresholds —
+                // and through them comparator bits — change from the next
+                // sample on; replay passes B–C for the remaining suffix,
+                // restarting the comparator from this sample's (final) bit.
+                self.tracker.fill_thresholds(
+                    &scratch.peaks,
+                    &scratch.medians,
+                    &scratch.active,
+                    held_after,
+                    idx + 1,
+                    &mut scratch.highs,
+                    &mut scratch.lows,
+                );
+                words_base = idx + 1;
+                self.comparator_high = analog::simd::hysteresis_words(
+                    backend,
+                    &env[words_base..],
+                    &scratch.highs[words_base..],
+                    &scratch.lows[words_base..],
+                    bit,
+                    &mut scratch.words,
+                );
+            }
+        }
+        self.hi_index = end;
+        self.current_thresholds = Thresholds {
+            high: scratch.highs[n - 1],
+            low: scratch.lows[n - 1],
+        };
+        self.scratch = scratch;
     }
 
     /// Flushes the stream: if a detected packet's payload is (essentially)

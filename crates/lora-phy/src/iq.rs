@@ -9,7 +9,12 @@ use std::f64::consts::PI;
 use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
 
 /// A single complex baseband sample (in-phase + quadrature).
+///
+/// The layout is pinned to `repr(C)` — two adjacent `f64`s with no padding —
+/// so block kernels may reinterpret `&[Iq]` as an interleaved `&[f64]` lane
+/// view (see `analog::simd`).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C)]
 pub struct Iq {
     /// In-phase (real) component.
     pub re: f64,
