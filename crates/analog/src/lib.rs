@@ -20,7 +20,10 @@
 //! * [`stage`] — the block-pipeline stage traits (chunk invariance and
 //!   buffer-ownership contracts every streaming stage implements);
 //! * [`simd`] — runtime-dispatched SIMD kernels behind the hot stages
-//!   (backend selection, bit-identical wide tiles, `SAIYAN_SIMD` override);
+//!   (backend selection, bit-identical wide tiles, `SAIYAN_SIMD` override).
+//!   The module itself now lives in [`lora_phy::simd`] — the bottom of the
+//!   crate graph — so `rfsim` and the serving layer share the dispatch; this
+//!   crate re-exports it under the original path;
 //! * [`channelizer`] — the wideband gateway front end: per-channel frequency
 //!   shift, band-select FIR and decimation.
 
@@ -41,8 +44,9 @@ pub mod rlc;
 pub mod saw;
 pub mod shifting;
 pub mod signal;
-pub mod simd;
 pub mod stage;
+
+pub use lora_phy::simd;
 
 pub use adc::{Adc, AdcState};
 pub use channelizer::{ChannelizerSpec, ChannelizerState};

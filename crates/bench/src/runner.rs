@@ -47,6 +47,7 @@ pub struct Runner {
     json_rows: Vec<serde_json::Value>,
     footers: Vec<String>,
     gate: Option<(String, f64)>,
+    annotations: Vec<(String, serde_json::Value)>,
     snapshot_path: Option<String>,
 }
 
@@ -60,6 +61,7 @@ impl Runner {
             json_rows: Vec::new(),
             footers: Vec::new(),
             gate: None,
+            annotations: Vec::new(),
             snapshot_path: None,
         }
     }
@@ -80,6 +82,13 @@ impl Runner {
     /// [`Runner::finish`]. The last call wins.
     pub fn gate(&mut self, metric: impl Into<String>, value: f64) {
         self.gate = Some((metric.into(), value));
+    }
+
+    /// Attaches an extra top-level field to the snapshot file — secondary
+    /// headline metrics beyond the single floor-gated one (e.g. a realtime
+    /// factor next to a PRR gate). Keys repeat last-wins.
+    pub fn annotate(&mut self, key: impl Into<String>, value: serde_json::Value) {
+        self.annotations.push((key.into(), value));
     }
 
     /// Additionally writes the JSON rows to a top-level snapshot file
@@ -107,7 +116,7 @@ impl Runner {
         let rows = serde_json::json!(self.json_rows.clone());
         write_json(self.name, &rows);
         if let Some(path) = &self.snapshot_path {
-            let snapshot = serde_json::json!({
+            let mut snapshot = serde_json::json!({
                 "bench": self.name,
                 "simd": crate::simd_metadata(),
                 "headline": self.gate.as_ref().map(|(m, v)| {
@@ -115,6 +124,15 @@ impl Runner {
                 }),
                 "rows": rows,
             });
+            if let serde_json::Value::Object(map) = &mut snapshot {
+                for (key, value) in &self.annotations {
+                    if let Some(slot) = map.iter_mut().find(|(k, _)| k == key) {
+                        slot.1 = value.clone();
+                    } else {
+                        map.push((key.clone(), value.clone()));
+                    }
+                }
+            }
             write_json_at(path.clone(), &snapshot);
         }
         if let Some((metric, value)) = self.gate {

@@ -15,7 +15,14 @@
 //! * [`downlink`] — the reduced `2^K`-symbol alphabet used by the Saiyan
 //!   downlink and its peak-position ground truth;
 //! * [`sync`] — carrier-frequency-offset estimation/correction for the
-//!   standard receiver.
+//!   standard receiver;
+//! * [`simd`] — runtime-dispatched SIMD kernels shared by every hot loop in
+//!   the workspace (backend selection, bit-identical wide tiles,
+//!   `SAIYAN_SIMD` override). It lives here, at the bottom of the crate
+//!   graph, so the RF channel models and the serving layer can reach the
+//!   same dispatch as the receiver front end;
+//! * [`templates`] — the per-parameter chirp template cache the waveform
+//!   synthesis fast path assembles packets from.
 //!
 //! The paper this reproduces: *Saiyan: Design and Implementation of a
 //! Low-power Demodulator for LoRa Backscatter Systems* (NSDI 2022).
@@ -32,7 +39,9 @@ pub mod frame;
 pub mod iq;
 pub mod modulator;
 pub mod params;
+pub mod simd;
 pub mod sync;
+pub mod templates;
 
 pub use chirp::{ChirpDirection, ChirpGenerator};
 pub use demodulator::{

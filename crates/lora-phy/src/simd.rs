@@ -1,12 +1,16 @@
 //! Runtime-dispatched SIMD kernels for the DSP hot loops.
 //!
 //! The streaming receiver spends almost all of its cycles in three loops: the
-//! split-complex FIR / polyphase inner product ([`crate::fir`]), the
-//! oscillator/mixer chain of the frequency shifter ([`crate::oscillator`],
-//! [`crate::mixer`]) and the envelope + double-threshold comparator scan
-//! ([`crate::envelope`], [`crate::comparator`]). Each of those stages keeps
+//! split-complex FIR / polyphase inner product (`analog::fir`), the
+//! oscillator/mixer chain of the frequency shifter (`analog::oscillator`,
+//! `analog::mixer`) and the envelope + double-threshold comparator scan
+//! (`analog::envelope`, `analog::comparator`). Each of those stages keeps
 //! its original scalar implementation **verbatim** as the golden reference and
-//! forwards to a kernel in this module when a wide backend is active.
+//! forwards to a kernel in this module when a wide backend is active. The
+//! module lives here — at the bottom of the crate graph — so the noise and
+//! waveform-synthesis hot loops in `rfsim`/`netsim` and the serving layer's
+//! ingest path dispatch through the same backend selection; `analog::simd`
+//! re-exports it under its original path.
 //!
 //! # Backend selection
 //!
@@ -31,7 +35,7 @@
 //! fix a per-output operation order that is independent of how many outputs
 //! are computed at once:
 //!
-//! * The FIR tile ([`crate::fir`]) accumulates each output into **two partial
+//! * The FIR tile (`analog::fir`) accumulates each output into **two partial
 //!   sums by tap parity** (`ar0`/`ar1`), adds an odd trailing tap into partial
 //!   0, and finishes with `ar0 + ar1`. A wide backend computes `LANES` outputs
 //!   per tile with output `q` living in lane `q`; the per-lane order of
@@ -40,7 +44,7 @@
 //!   everywhere in this module — an FMA contracts two roundings into one and
 //!   breaks the contract.
 //! * The phasor recurrence re-anchors on a fixed 256-sample absolute grid
-//!   ([`crate::oscillator`]), which makes consecutive blocks independent
+//!   (`analog::oscillator`), which makes consecutive blocks independent
 //!   rotation chains; a wide backend runs `LANES` chains in parallel, one per
 //!   lane, each performing the scalar rotation sequence.
 //! * Elementwise stages (mixers, noiseless envelope) use the scalar's exact
@@ -60,7 +64,7 @@
 //! backend-parametric and will pin the new width against the scalar reference
 //! automatically.
 
-use lora_phy::iq::Iq;
+use crate::iq::Iq;
 use std::sync::OnceLock;
 
 /// Environment variable that forces a specific kernel backend
@@ -305,8 +309,7 @@ array_tile!(
 /// Reinterprets a slice of [`Iq`] as its interleaved `re,im,re,im,…` lanes.
 /// Sound because `Iq` is `repr(C)` over two `f64`s.
 #[inline]
-#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
-fn iq_lanes(samples: &[Iq]) -> &[f64] {
+pub fn iq_lanes(samples: &[Iq]) -> &[f64] {
     // SAFETY: Iq is repr(C) { re: f64, im: f64 } — size 16, align 8, no
     // padding — so n samples are exactly 2n contiguous f64s.
     unsafe { std::slice::from_raw_parts(samples.as_ptr().cast::<f64>(), samples.len() * 2) }
@@ -314,8 +317,7 @@ fn iq_lanes(samples: &[Iq]) -> &[f64] {
 
 /// Mutable variant of [`iq_lanes`].
 #[inline]
-#[cfg_attr(not(target_arch = "x86_64"), allow(dead_code))]
-fn iq_lanes_mut(samples: &mut [Iq]) -> &mut [f64] {
+pub fn iq_lanes_mut(samples: &mut [Iq]) -> &mut [f64] {
     // SAFETY: see iq_lanes.
     unsafe { std::slice::from_raw_parts_mut(samples.as_mut_ptr().cast::<f64>(), samples.len() * 2) }
 }
@@ -854,6 +856,336 @@ unsafe fn rotate_table_avx2(
         let o = _mm256_add_pd(p2, _mm256_permute_pd::<0b0101>(p2));
         let res = _mm256_blend_pd::<0b1010>(e, _mm256_permute_pd::<0b0101>(o));
         _mm256_storeu_pd(op.add(2 * k), res);
+        k += 2;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Emission mixing kernels (waveform synthesis fast path)
+// ---------------------------------------------------------------------------
+
+/// Slice accumulate: `out[k] += src[k]`, the scalar `Iq` add per component.
+/// Elementwise and order-free, so every backend is trivially bit-identical;
+/// this is the zero-rotation fast path of the emission mixer (no CFO, no
+/// channel offset), where it must reproduce the reference per-sample
+/// `chunk[i] += s` loop exactly.
+///
+/// # Panics
+///
+/// If the slice lengths differ.
+pub fn accumulate_in_place(backend: Backend, out: &mut [Iq], src: &[Iq]) {
+    assert_eq!(out.len(), src.len());
+    let n = out.len();
+    let n_wide = match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 if Backend::Avx512.available() => {
+            let nw = n & !3;
+            // SAFETY: AVX-512F availability checked in the guard; equal
+            // lengths asserted above.
+            unsafe { accumulate_avx512(iq_lanes_mut(out), iq_lanes(src), nw) };
+            nw
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 | Backend::Avx512 if Backend::Avx2.available() => {
+            let nw = n & !1;
+            // SAFETY: AVX2 availability checked in the guard; equal lengths
+            // asserted above.
+            unsafe { accumulate_avx2(iq_lanes_mut(out), iq_lanes(src), nw) };
+            nw
+        }
+        _ => 0,
+    };
+    for k in n_wide..n {
+        out[k] += src[k];
+    }
+}
+
+/// Four `Iq` samples (eight f64 lanes) per iteration.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn accumulate_avx512(flat_out: &mut [f64], flat_src: &[f64], n_wide: usize) {
+    use std::arch::x86_64::*;
+    let op = flat_out.as_mut_ptr();
+    let sp = flat_src.as_ptr();
+    let mut k = 0usize;
+    while k < n_wide {
+        let acc = _mm512_add_pd(
+            _mm512_loadu_pd(op.add(2 * k)),
+            _mm512_loadu_pd(sp.add(2 * k)),
+        );
+        _mm512_storeu_pd(op.add(2 * k), acc);
+        k += 4;
+    }
+}
+
+/// Two `Iq` samples (four f64 lanes) per iteration.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn accumulate_avx2(flat_out: &mut [f64], flat_src: &[f64], n_wide: usize) {
+    use std::arch::x86_64::*;
+    let op = flat_out.as_mut_ptr();
+    let sp = flat_src.as_ptr();
+    let mut k = 0usize;
+    while k < n_wide {
+        let acc = _mm256_add_pd(
+            _mm256_loadu_pd(op.add(2 * k)),
+            _mm256_loadu_pd(sp.add(2 * k)),
+        );
+        _mm256_storeu_pd(op.add(2 * k), acc);
+        k += 2;
+    }
+}
+
+/// Scaled elementwise product: `out[j] = k · (a[j] · b[j])`, or `+=` with
+/// `ACCUM`. Elementwise with the scalar association order (`k * (a * b)`),
+/// so every backend is bit-identical. This is the final stage of the block
+/// AWGN fill: `a` holds Box–Muller radii, `b` the cosines, `k` the
+/// per-component standard deviation, and `out` the flat `f64` lanes of the
+/// complex buffer.
+///
+/// # Panics
+///
+/// If the slice lengths differ.
+pub fn scaled_product<const ACCUM: bool>(
+    backend: Backend,
+    a: &[f64],
+    b: &[f64],
+    k: f64,
+    out: &mut [f64],
+) {
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    let n = out.len();
+    let n_wide = match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 if Backend::Avx512.available() => {
+            let nw = n & !7;
+            // SAFETY: AVX-512F availability checked in the guard; equal
+            // lengths asserted above.
+            unsafe { scaled_product_avx512::<ACCUM>(a, b, k, out, nw) };
+            nw
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 | Backend::Avx512 if Backend::Avx2.available() => {
+            let nw = n & !3;
+            // SAFETY: AVX2 availability checked in the guard; equal lengths
+            // asserted above.
+            unsafe { scaled_product_avx2::<ACCUM>(a, b, k, out, nw) };
+            nw
+        }
+        _ => 0,
+    };
+    for j in n_wide..n {
+        let v = k * (a[j] * b[j]);
+        if ACCUM {
+            out[j] += v;
+        } else {
+            out[j] = v;
+        }
+    }
+}
+
+/// Eight f64 lanes per iteration.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn scaled_product_avx512<const ACCUM: bool>(
+    a: &[f64],
+    b: &[f64],
+    k: f64,
+    out: &mut [f64],
+    n_wide: usize,
+) {
+    use std::arch::x86_64::*;
+    let kv = _mm512_set1_pd(k);
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut j = 0usize;
+    while j < n_wide {
+        let prod = _mm512_mul_pd(_mm512_loadu_pd(ap.add(j)), _mm512_loadu_pd(bp.add(j)));
+        let mut v = _mm512_mul_pd(kv, prod);
+        if ACCUM {
+            v = _mm512_add_pd(_mm512_loadu_pd(op.add(j)), v);
+        }
+        _mm512_storeu_pd(op.add(j), v);
+        j += 8;
+    }
+}
+
+/// Four f64 lanes per iteration.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn scaled_product_avx2<const ACCUM: bool>(
+    a: &[f64],
+    b: &[f64],
+    k: f64,
+    out: &mut [f64],
+    n_wide: usize,
+) {
+    use std::arch::x86_64::*;
+    let kv = _mm256_set1_pd(k);
+    let ap = a.as_ptr();
+    let bp = b.as_ptr();
+    let op = out.as_mut_ptr();
+    let mut j = 0usize;
+    while j < n_wide {
+        let prod = _mm256_mul_pd(_mm256_loadu_pd(ap.add(j)), _mm256_loadu_pd(bp.add(j)));
+        let mut v = _mm256_mul_pd(kv, prod);
+        if ACCUM {
+            v = _mm256_add_pd(_mm256_loadu_pd(op.add(j)), v);
+        }
+        _mm256_storeu_pd(op.add(j), v);
+        j += 4;
+    }
+}
+
+/// Fused rotate-accumulate: `out[k] += src[k] · (anchor · table[k])`, every
+/// complex product in the scalar [`Iq`] multiply order and the final add in
+/// the scalar `+=` order. This is one anchor-interval run of the emission
+/// mixer: `anchor` is the exact phasor at the interval's base absolute
+/// sample and `table[k]` the `k`-th power of the combined per-sample step
+/// (CFO + channel offset), so the rotation depends only on the absolute
+/// sample index — chunk-invariant by construction — and the emission's
+/// source samples are read untouched (one fused pass, no staging copy).
+///
+/// # Panics
+///
+/// If the slice lengths differ or `table` is shorter than `out`.
+pub fn rotate_table_accumulate(
+    backend: Backend,
+    out: &mut [Iq],
+    src: &[Iq],
+    anchor: Iq,
+    table: &[Iq],
+) {
+    assert_eq!(out.len(), src.len());
+    assert!(table.len() >= out.len());
+    let n = out.len();
+    let n_wide = match backend {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx512 if Backend::Avx512.available() => {
+            let nw = n & !3;
+            // SAFETY: AVX-512F availability checked in the guard; lengths
+            // asserted above.
+            unsafe {
+                rotate_accumulate_avx512(
+                    iq_lanes_mut(out),
+                    iq_lanes(src),
+                    anchor.re,
+                    anchor.im,
+                    iq_lanes(table),
+                    nw,
+                )
+            };
+            nw
+        }
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 | Backend::Avx512 if Backend::Avx2.available() => {
+            let nw = n & !1;
+            // SAFETY: AVX2 availability checked in the guard; lengths
+            // asserted above.
+            unsafe {
+                rotate_accumulate_avx2(
+                    iq_lanes_mut(out),
+                    iq_lanes(src),
+                    anchor.re,
+                    anchor.im,
+                    iq_lanes(table),
+                    nw,
+                )
+            };
+            nw
+        }
+        _ => 0,
+    };
+    for k in n_wide..n {
+        let c = anchor * table[k];
+        out[k] += src[k] * c;
+    }
+}
+
+/// Four complex samples per iteration; the anchor·table product and the
+/// src·rotation product both use the swapped-product/fold sequence of
+/// [`rotate_by_table_in_place`]'s wide paths, followed by one vector add
+/// into `out`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn rotate_accumulate_avx512(
+    flat_out: &mut [f64],
+    flat_src: &[f64],
+    anchor_re: f64,
+    anchor_im: f64,
+    flat_table: &[f64],
+    n_wide: usize,
+) {
+    use std::arch::x86_64::*;
+    let arv = _mm512_set1_pd(anchor_re);
+    let aiv = _mm512_set1_pd(anchor_im);
+    let neg_even = _mm512_castsi512_pd(_mm512_setr_epi64(
+        i64::MIN,
+        0,
+        i64::MIN,
+        0,
+        i64::MIN,
+        0,
+        i64::MIN,
+        0,
+    ));
+    let tp = flat_table.as_ptr();
+    let sp = flat_src.as_ptr();
+    let op = flat_out.as_mut_ptr();
+    let mut k = 0usize;
+    while k < n_wide {
+        let w = _mm512_loadu_pd(tp.add(2 * k));
+        // c = anchor · w: even lanes ar·wr − ai·wi, odd lanes ar·wi + ai·wr.
+        let t1 = _mm512_mul_pd(arv, w);
+        let t2 = _mm512_mul_pd(aiv, _mm512_permute_pd::<0b0101_0101>(w));
+        let c = _mm512_add_pd(t1, _mm512_xor_pd(t2, neg_even));
+        // p = src · c via two swapped products folded per pair.
+        let v = _mm512_loadu_pd(sp.add(2 * k));
+        let p1 = _mm512_mul_pd(v, c);
+        let p2 = _mm512_mul_pd(v, _mm512_permute_pd::<0b0101_0101>(c));
+        let e = _mm512_sub_pd(p1, _mm512_permute_pd::<0b0101_0101>(p1));
+        let o = _mm512_add_pd(p2, _mm512_permute_pd::<0b0101_0101>(p2));
+        let p = _mm512_mask_blend_pd(0b1010_1010, e, _mm512_permute_pd::<0b0101_0101>(o));
+        let acc = _mm512_add_pd(_mm512_loadu_pd(op.add(2 * k)), p);
+        _mm512_storeu_pd(op.add(2 * k), acc);
+        k += 4;
+    }
+}
+
+/// Two complex samples per iteration (native `addsub` for the anchor·table
+/// product).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn rotate_accumulate_avx2(
+    flat_out: &mut [f64],
+    flat_src: &[f64],
+    anchor_re: f64,
+    anchor_im: f64,
+    flat_table: &[f64],
+    n_wide: usize,
+) {
+    use std::arch::x86_64::*;
+    let arv = _mm256_set1_pd(anchor_re);
+    let aiv = _mm256_set1_pd(anchor_im);
+    let tp = flat_table.as_ptr();
+    let sp = flat_src.as_ptr();
+    let op = flat_out.as_mut_ptr();
+    let mut k = 0usize;
+    while k < n_wide {
+        let w = _mm256_loadu_pd(tp.add(2 * k));
+        let t1 = _mm256_mul_pd(arv, w);
+        let t2 = _mm256_mul_pd(aiv, _mm256_permute_pd::<0b0101>(w));
+        let c = _mm256_addsub_pd(t1, t2);
+        let v = _mm256_loadu_pd(sp.add(2 * k));
+        let p1 = _mm256_mul_pd(v, c);
+        let p2 = _mm256_mul_pd(v, _mm256_permute_pd::<0b0101>(c));
+        let e = _mm256_sub_pd(p1, _mm256_permute_pd::<0b0101>(p1));
+        let o = _mm256_add_pd(p2, _mm256_permute_pd::<0b0101>(p2));
+        let p = _mm256_blend_pd::<0b1010>(e, _mm256_permute_pd::<0b0101>(o));
+        let acc = _mm256_add_pd(_mm256_loadu_pd(op.add(2 * k)), p);
+        _mm256_storeu_pd(op.add(2 * k), acc);
         k += 2;
     }
 }
@@ -1853,6 +2185,88 @@ mod tests {
             let fin = hysteresis_words(b, &values, &highs, &lows, true, &mut words);
             assert!(!fin, "{b:?}");
             assert!(words.iter().all(|w| *w == 0), "{b:?}");
+        }
+    }
+
+    #[test]
+    fn accumulate_matches_scalar_every_backend() {
+        for &n in &[0usize, 1, 2, 3, 4, 5, 7, 8, 33, 256] {
+            let (re, im) = test_signal(2 * n);
+            let src: Vec<Iq> = (0..n).map(|i| Iq::new(re[i], im[i])).collect();
+            let base: Vec<Iq> = (0..n).map(|i| Iq::new(re[n + i], im[n + i])).collect();
+            let mut reference = base.clone();
+            accumulate_in_place(Backend::Scalar, &mut reference, &src);
+            for i in 0..n {
+                assert_eq!(reference[i], base[i] + src[i]);
+            }
+            for b in wide_backends() {
+                let mut got = base.clone();
+                accumulate_in_place(b, &mut got, &src);
+                assert_eq!(got, reference, "{b:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn scaled_product_matches_scalar_every_backend() {
+        for &n in &[0usize, 1, 3, 4, 7, 8, 9, 64, 513] {
+            let (a, b) = test_signal(n);
+            let k = 0.031_7;
+            let mut reference = vec![0.25; n];
+            scaled_product::<false>(Backend::Scalar, &a, &b, k, &mut reference);
+            for j in 0..n {
+                assert_eq!(reference[j], k * (a[j] * b[j]));
+            }
+            let mut ref_acc = vec![0.25; n];
+            scaled_product::<true>(Backend::Scalar, &a, &b, k, &mut ref_acc);
+            for j in 0..n {
+                assert_eq!(ref_acc[j], 0.25 + k * (a[j] * b[j]));
+            }
+            for backend in wide_backends() {
+                let mut got = vec![0.0; n];
+                scaled_product::<false>(backend, &a, &b, k, &mut got);
+                assert_eq!(got, reference, "{backend:?} n={n}");
+                let mut got_acc = vec![0.25; n];
+                scaled_product::<true>(backend, &a, &b, k, &mut got_acc);
+                assert_eq!(got_acc, ref_acc, "{backend:?} accum n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_accumulate_matches_scalar_every_backend() {
+        let anchor = Iq::phasor(0.7341);
+        for &n in &[0usize, 1, 2, 3, 4, 5, 7, 8, 33, 256] {
+            let (re, im) = test_signal(3 * n);
+            let src: Vec<Iq> = (0..n).map(|i| Iq::new(re[i], im[i])).collect();
+            let table: Vec<Iq> = (0..n).map(|i| Iq::new(re[n + i], im[n + i])).collect();
+            let base: Vec<Iq> = (0..n)
+                .map(|i| Iq::new(re[2 * n + i], im[2 * n + i]))
+                .collect();
+            let mut reference = base.clone();
+            rotate_table_accumulate(Backend::Scalar, &mut reference, &src, anchor, &table);
+            for i in 0..n {
+                assert_eq!(reference[i], base[i] + src[i] * (anchor * table[i]));
+            }
+            for b in wide_backends() {
+                let mut got = base.clone();
+                rotate_table_accumulate(b, &mut got, &src, anchor, &table);
+                assert_eq!(got, reference, "{b:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn rotate_accumulate_table_may_be_longer() {
+        let (re, im) = test_signal(16);
+        let src: Vec<Iq> = (0..4).map(|i| Iq::new(re[i], im[i])).collect();
+        let table: Vec<Iq> = (0..8).map(|i| Iq::new(re[8 + i], im[8 + i])).collect();
+        for b in Backend::ALL.iter().copied().filter(|b| b.available()) {
+            let mut out = vec![Iq::ZERO; 4];
+            rotate_table_accumulate(b, &mut out, &src, Iq::ONE, &table);
+            for i in 0..4 {
+                assert_eq!(out[i], src[i] * (Iq::ONE * table[i]), "{b:?}");
+            }
         }
     }
 

@@ -3,13 +3,16 @@
 //! feedback loop.
 //!
 //! The synthesis never materialises the full capture. Tag transmissions
-//! become *emissions* — modulated, power-scaled, CFO-shifted waveforms
-//! pinned to an absolute wideband sample index — that live only while they
-//! overlap the chunk cursor. Each chunk is: zeros → sum of overlapping
-//! emissions (each mixed to its channel offset with a phasor anchored on
-//! the absolute index, exactly like `netsim::multichannel`) → sequential
-//! AWGN. Memory is `O(concurrent packets + chunk)` however many tags or
-//! readings the scenario carries.
+//! become *emissions* — power-scaled waveforms assembled from the
+//! per-scenario chirp template cache ([`lora_phy::templates`]) and pinned
+//! to an absolute wideband sample index — that live in a
+//! [`crate::synthesis::EmissionMixer`] only while they overlap the chunk
+//! cursor. Each chunk is: zeros → slice-kernel sum of overlapping
+//! emissions (CFO and channel offset fused into one rotation anchored on
+//! the absolute index) → block AWGN. Memory is `O(concurrent packets +
+//! chunk)` however many tags or readings the scenario carries, and
+//! steady-state synthesis allocates nothing: the mixer recycles retired
+//! emission buffers.
 //!
 //! ## Bit-reproducibility
 //!
@@ -37,7 +40,8 @@ use std::time::Instant;
 
 use lora_phy::downlink::bytes_to_symbols;
 use lora_phy::iq::Iq;
-use lora_phy::modulator::{Alphabet, Modulator};
+use lora_phy::modulator::Alphabet;
+use lora_phy::templates::PacketTemplates;
 use rand::Rng;
 use rfsim::channel::dbm_to_buffer_power;
 use rfsim::noise::AwgnSource;
@@ -49,17 +53,7 @@ use super::harness::{Ev, MacHarness};
 use super::report::EngineOutcome;
 use super::scenario::EngineScenario;
 use super::scheduler::EventQueue;
-
-/// One in-flight transmission pinned to the wideband timeline.
-struct Emission {
-    /// Absolute wideband sample index of the first sample.
-    start: u64,
-    /// The waveform at baseband (power-scaled, CFO-shifted).
-    samples: Vec<Iq>,
-    /// Channel-offset phase step per sample (`0.0` = no mixing, which keeps
-    /// the single-channel path bit-identical to `generate_long_trace`).
-    phase_step: f64,
-}
+use crate::synthesis::EmissionMixer;
 
 /// Runs the scenario's waveform path through the given receiver.
 ///
@@ -84,7 +78,9 @@ pub(crate) fn run(scenario: &EngineScenario, receiver: &mut dyn Receiver) -> Eng
     let start_wall = Instant::now();
 
     let wide_lora = scenario.wideband_lora();
-    let modulator = Modulator::new(wide_lora);
+    // The template cache is the only place the chirp oscillator runs: one
+    // pass per distinct chirp, then every packet is copy+scale.
+    let templates = PacketTemplates::new(wide_lora, Alphabet::Downlink);
     let offsets = scenario.offsets_hz();
     let packet_dur = scenario.packet_duration_s();
     let tail_s = scenario.horizon_s() + 6.0 * scenario.lora.symbol_duration();
@@ -127,7 +123,7 @@ pub(crate) fn run(scenario: &EngineScenario, receiver: &mut dyn Receiver) -> Eng
         }
     }
 
-    let mut emissions: Vec<Emission> = Vec::new();
+    let mut mixer = EmissionMixer::new();
     let mut awgn = scenario.noise_power_dbm.map(|dbm| {
         (
             AwgnSource::new(scenario.seed),
@@ -185,18 +181,19 @@ pub(crate) fn run(scenario: &EngineScenario, receiver: &mut dyn Receiver) -> Eng
                                 attempt,
                             },
                         );
-                    } else if let Some(e) = emit(
-                        &mut harness,
-                        scenario,
-                        t,
-                        tag,
-                        &packet,
-                        attempt,
-                        &modulator,
-                        &offsets,
-                        fs,
-                    ) {
-                        emissions.push(e);
+                    } else {
+                        emit(
+                            &mut harness,
+                            scenario,
+                            t,
+                            tag,
+                            &packet,
+                            attempt,
+                            &templates,
+                            &offsets,
+                            fs,
+                            &mut mixer,
+                        );
                     }
                 }
                 Ev::Downlink { packet } => {
@@ -236,14 +233,13 @@ pub(crate) fn run(scenario: &EngineScenario, receiver: &mut dyn Receiver) -> Eng
             }
         }
 
-        // 2. Synthesize the chunk: emissions, then sequential AWGN.
+        // 2. Synthesize the chunk: emissions, then sequential block AWGN
+        // (bit-identical to the per-sample draw loop — same draw order).
         chunk.clear();
         chunk.resize(n, Iq::ZERO);
-        mix(&mut chunk, pos, &mut emissions);
+        mixer.mix_into(&mut chunk, pos);
         if let Some((source, variance)) = awgn.as_mut() {
-            for s in chunk.iter_mut() {
-                *s += source.sample(*variance);
-            }
+            source.add_noise_in_place(&mut chunk, *variance);
         }
 
         // 3. Feed the receiver and close the MAC loop on what it released.
@@ -281,7 +277,15 @@ pub(crate) fn run(scenario: &EngineScenario, receiver: &mut dyn Receiver) -> Eng
     }
 }
 
-/// Builds the emission for one transmission (None when suppressed).
+/// Queues the emission for one transmission (a no-op when suppressed).
+///
+/// The `phy_rng` draw order is load-bearing: power spread first, CFO
+/// second, exactly as the reference oscillator path drew them, so every
+/// per-packet random quantity is unchanged. The packet waveform is
+/// assembled from the template cache with the power scale fused into the
+/// copy — bit-identical to `Modulator::packet` followed by
+/// `SampleBuffer::scaled` — and the CFO is *not* applied here: the mixer
+/// fuses it with the channel-offset rotation at mix time.
 #[allow(clippy::too_many_arguments)]
 fn emit(
     harness: &mut MacHarness,
@@ -290,21 +294,19 @@ fn emit(
     tag: u16,
     packet: &UplinkPacket,
     attempt: u32,
-    modulator: &Modulator,
+    templates: &PacketTemplates,
     offsets: &[f64],
     fs: f64,
-) -> Option<Emission> {
+    mixer: &mut EmissionMixer,
+) {
     let channel = harness.pick_channel(tag);
     if harness.suppressed(tag, packet.sequence, attempt) {
         harness.report.suppressed_transmissions += 1;
-        return None;
+        return;
     }
     harness.report.uplink_transmissions += 1;
     let symbols = bytes_to_symbols(&packet.to_bytes(), scenario.lora.bits_per_chirp);
     debug_assert_eq!(symbols.len(), scenario.payload_symbols());
-    let (wave, _) = modulator
-        .packet(&symbols, Alphabet::Downlink)
-        .expect("frame symbols are within the downlink alphabet");
     let mut power_dbm = scenario.base_power_dbm;
     if scenario.power_spread_db > 0.0 {
         power_dbm += harness
@@ -317,42 +319,22 @@ fn emit(
             power_dbm += jam.penalty_db;
         }
     }
-    let mut rx = wave.scaled(dbm_to_buffer_power(Dbm(power_dbm)).sqrt());
-    if scenario.max_cfo_hz > 0.0 {
-        let cfo = harness
+    let mut samples = mixer.take_buffer();
+    templates
+        .assemble_scaled_extend(
+            &symbols,
+            dbm_to_buffer_power(Dbm(power_dbm)).sqrt(),
+            &mut samples,
+        )
+        .expect("frame symbols are within the downlink alphabet");
+    let cfo = if scenario.max_cfo_hz > 0.0 {
+        harness
             .phy_rng
-            .gen_range(-scenario.max_cfo_hz..=scenario.max_cfo_hz);
-        if cfo != 0.0 {
-            rx = rx.frequency_shifted(cfo);
-        }
-    }
-    Some(Emission {
-        start: (t * fs).round() as u64,
-        samples: rx.samples,
-        phase_step: 2.0 * std::f64::consts::PI * offsets[channel] / fs,
-    })
-}
-
-/// Adds every overlapping emission into the chunk starting at absolute
-/// sample `pos`, then retires the fully consumed ones. Emissions are summed
-/// in creation order and mixed with phasors on the absolute index, so the
-/// result is independent of the chunk partitioning.
-fn mix(chunk: &mut [Iq], pos: u64, emissions: &mut Vec<Emission>) {
-    let chunk_end = pos + chunk.len() as u64;
-    for e in emissions.iter() {
-        let e_end = e.start + e.samples.len() as u64;
-        let lo = e.start.max(pos);
-        let hi = e_end.min(chunk_end);
-        for i in lo..hi {
-            let s = e.samples[(i - e.start) as usize];
-            chunk[(i - pos) as usize] += if e.phase_step == 0.0 {
-                s
-            } else {
-                s * Iq::phasor(e.phase_step * i as f64)
-            };
-        }
-    }
-    emissions.retain(|e| e.start + e.samples.len() as u64 > chunk_end);
+            .gen_range(-scenario.max_cfo_hz..=scenario.max_cfo_hz)
+    } else {
+        0.0
+    };
+    mixer.push((t * fs).round() as u64, samples, cfo, offsets[channel], fs);
 }
 
 /// Folds released receiver packets into the MAC loop. With `feedback` off

@@ -14,6 +14,9 @@
 //! * [`backscatter`] — the two-hop backscatter uplink (Fig. 2);
 //! * [`casestudy`] — retransmission, channel hopping and multi-tag ALOHA
 //!   case studies (Figs. 26/27, §4.4);
+//! * [`synthesis`] — the waveform synthesis fast path: start-sorted
+//!   emission mixing with fused CFO/channel rotation, anchored on the
+//!   absolute sample grid for chunk invariance;
 //! * [`engine`] — **the discrete-event network engine**: one
 //!   scenario-driven simulator with pluggable traffic models and MAC
 //!   policies, runnable analytically or at waveform level with chunked IQ
@@ -34,6 +37,7 @@ pub mod longtrace;
 pub mod multichannel;
 pub mod range;
 pub mod scenario;
+pub mod synthesis;
 pub mod trial;
 
 pub use backscatter::{BackscatterScenario, UplinkSystem};

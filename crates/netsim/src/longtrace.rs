@@ -14,8 +14,9 @@ use std::io::{self, Read, Write};
 use std::path::Path;
 
 use lora_phy::iq::{Iq, SampleBuffer};
-use lora_phy::modulator::{Alphabet, Modulator};
+use lora_phy::modulator::Alphabet;
 use lora_phy::params::{Bandwidth, BitsPerChirp, LoraParams, SpreadingFactor};
+use lora_phy::templates::PacketTemplates;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -94,15 +95,16 @@ pub struct TraceGroundTruth {
     pub rx_power_dbm: f64,
 }
 
-/// Generates a long trace: every packet is modulated, scaled to its receive
-/// power, optionally frequency-shifted by its CFO, and placed after its gap;
-/// channel noise is then added over the entire stream. Returns the trace and
-/// per-packet ground truth.
+/// Generates a long trace: every packet is assembled from the chirp
+/// template cache (bit-identical to modulating it — the scale is fused into
+/// the copy), optionally frequency-shifted by its CFO, and placed after its
+/// gap; channel noise is then added over the entire stream in one block
+/// pass. Returns the trace and per-packet ground truth.
 pub fn generate_long_trace(
     config: &LongTraceConfig,
     packets: &[TracePacket],
 ) -> (SampleBuffer, Vec<TraceGroundTruth>) {
-    let modulator = Modulator::new(config.lora);
+    let templates = PacketTemplates::new(config.lora, Alphabet::Downlink);
     let fs = config.lora.sample_rate();
     let sps = config.lora.samples_per_symbol();
     let mut trace = SampleBuffer::new(Vec::new(), fs);
@@ -110,12 +112,13 @@ pub fn generate_long_trace(
     for packet in packets {
         let gap = (packet.gap_symbols * sps as f64).round() as usize;
         trace.append(&SampleBuffer::zeros(gap, fs));
-        let (wave, layout) = modulator
-            .packet(&packet.symbols, Alphabet::Downlink)
-            .expect("symbols within the downlink alphabet");
         let target = dbm_to_buffer_power(Dbm(packet.rx_power_dbm));
         // The modulated waveform is constant-envelope at unit power.
-        let mut rx = wave.scaled(target.sqrt());
+        let mut samples = Vec::new();
+        let layout = templates
+            .assemble_scaled_extend(&packet.symbols, target.sqrt(), &mut samples)
+            .expect("symbols within the downlink alphabet");
+        let mut rx = SampleBuffer::new(samples, fs);
         if packet.cfo_hz != 0.0 {
             rx = rx.frequency_shifted(packet.cfo_hz);
         }

@@ -20,8 +20,9 @@
 //! orthogonal hopping schedule), with per-packet power and CFO draws.
 
 use lora_phy::iq::{Iq, SampleBuffer};
-use lora_phy::modulator::{Alphabet, Modulator};
+use lora_phy::modulator::Alphabet;
 use lora_phy::params::{BitsPerChirp, LoraParams};
+use lora_phy::templates::PacketTemplates;
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -138,7 +139,7 @@ pub fn generate_multichannel_trace(
     packets: &[MultiChannelPacket],
 ) -> (SampleBuffer, Vec<MultiChannelTruth>) {
     let wide_lora = config.wideband_lora();
-    let modulator = Modulator::new(wide_lora);
+    let templates = PacketTemplates::new(wide_lora, Alphabet::Downlink);
     let fs_wide = config.wideband_rate();
     let sps_wide = wide_lora.samples_per_symbol();
     let n_channels = config.offsets_hz.len();
@@ -168,11 +169,12 @@ pub fn generate_multichannel_trace(
             p.start_symbols,
             p.channel
         );
-        let (wave, layout) = modulator
-            .packet(&p.symbols, Alphabet::Downlink)
-            .expect("symbols within the downlink alphabet");
         let target = dbm_to_buffer_power(Dbm(p.rx_power_dbm));
-        let mut rx = wave.scaled(target.sqrt());
+        let mut samples = Vec::new();
+        let layout = templates
+            .assemble_scaled_extend(&p.symbols, target.sqrt(), &mut samples)
+            .expect("symbols within the downlink alphabet");
+        let mut rx = SampleBuffer::new(samples, fs_wide);
         if p.cfo_hz != 0.0 {
             rx = rx.frequency_shifted(p.cfo_hz);
         }

@@ -10,6 +10,7 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use lora_phy::iq::{Iq, SampleBuffer};
+use lora_phy::simd::{self, Backend};
 
 use crate::units::{Db, Dbm, Hertz};
 
@@ -55,6 +56,32 @@ impl NoiseModel {
     }
 }
 
+/// Complex samples per pass of the staged block noise fill. Large enough to
+/// amortise loop overhead, small enough that the stage scratch (two 4 KiB
+/// stack arrays) stays cache-resident.
+const NOISE_BLOCK: usize = 256;
+
+/// The vendored `Standard` distribution for `f64`: 53 high bits of one
+/// `next_u64` draw mapped onto `[0, 1)`.
+#[inline]
+fn uniform_open01(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// The vendored `gen_range(f64::EPSILON..1.0)`: one `Standard` draw mapped
+/// affinely onto the half-open range, clamped back to `low` if rounding
+/// lands on `high`. No rejection loop, so exactly one draw per value.
+#[inline]
+fn uniform_eps_one(x: u64) -> f64 {
+    let unit = uniform_open01(x);
+    let value = f64::EPSILON + unit * (1.0 - f64::EPSILON);
+    if value < 1.0 {
+        value
+    } else {
+        f64::EPSILON
+    }
+}
+
 /// A seeded complex AWGN source.
 #[derive(Debug, Clone)]
 pub struct AwgnSource {
@@ -95,9 +122,76 @@ impl AwgnSource {
     }
 
     /// Adds complex AWGN of the given per-sample variance to a buffer in place.
+    ///
+    /// Routed through the block fill: bit-identical to the per-sample
+    /// `*s += self.sample(variance)` loop (see [`Self::add_noise_in_place`]).
     pub fn add_to(&mut self, buffer: &mut SampleBuffer, variance: f64) {
-        for s in &mut buffer.samples {
-            *s += self.sample(variance);
+        self.add_noise_in_place(&mut buffer.samples, variance);
+    }
+
+    /// Adds complex AWGN to a slice in place — the block-pipelined form of
+    /// the per-sample `*s += self.sample(variance)` loop, bit-identical to
+    /// it and consuming the same RNG draw sequence.
+    pub fn add_noise_in_place(&mut self, out: &mut [Iq], variance: f64) {
+        self.fill_blocks::<true>(out, (variance / 2.0).sqrt(), simd::active_backend());
+    }
+
+    /// Fills a slice with complex AWGN of the given per-sample variance —
+    /// the block-pipelined form of `for s in out { *s = self.sample(v) }`,
+    /// bit-identical to it and consuming the same RNG draw sequence.
+    pub fn fill_noise_into(&mut self, out: &mut [Iq], variance: f64) {
+        self.fill_blocks::<false>(out, (variance / 2.0).sqrt(), simd::active_backend());
+    }
+
+    /// The staged block pipeline behind [`Self::fill_noise_into`] /
+    /// [`Self::add_noise_in_place`], with the SIMD backend explicit so tests
+    /// can pin every backend against the per-sample reference.
+    ///
+    /// Bit-identity argument, stage by stage (per block of at most
+    /// [`NOISE_BLOCK`] complex samples):
+    ///
+    /// 1. **Draws.** The vendored `gen_range(f64::EPSILON..1.0)` and
+    ///    `gen::<f64>()` each consume exactly one `next_u64` (the float
+    ///    half-open range has no rejection loop), so one Gaussian is exactly
+    ///    two draws and one complex sample exactly four. Stage 1 replays
+    ///    that order — `u1` then `u2` per Gaussian, I before Q — through
+    ///    [`uniform_eps_one`] / [`uniform_open01`], which replicate the
+    ///    vendored arithmetic verbatim.
+    /// 2. **Transcendentals.** `(-2·ln u1).sqrt()` and `cos(2π·u2)` use the
+    ///    same scalar `libm` calls as [`Self::gaussian`]; splitting them
+    ///    into their own passes reorders no arithmetic. They stay scalar —
+    ///    vectorised `ln`/`cos` would round differently.
+    /// 3. **Scale + interleave.** `std * (r·c)` per `f64` lane via
+    ///    [`simd::scaled_product`], elementwise in the scalar association
+    ///    order on every backend.
+    fn fill_blocks<const ACCUM: bool>(&mut self, out: &mut [Iq], std: f64, backend: Backend) {
+        let mut draws = [0u64; 4 * NOISE_BLOCK];
+        let mut radius = [0.0f64; 2 * NOISE_BLOCK];
+        let mut cosine = [0.0f64; 2 * NOISE_BLOCK];
+        for chunk in out.chunks_mut(NOISE_BLOCK) {
+            let n_g = 2 * chunk.len();
+            // Stage 1: bulk RNG draws (block keystream generation), then
+            // the uniform mappings in the exact per-sample order.
+            self.rng.fill_u64s(&mut draws[..2 * n_g]);
+            for i in 0..n_g {
+                radius[i] = uniform_eps_one(draws[2 * i]);
+                cosine[i] = uniform_open01(draws[2 * i + 1]);
+            }
+            // Stage 2: scalar transcendentals.
+            for r in &mut radius[..n_g] {
+                *r = (-2.0 * r.ln()).sqrt();
+            }
+            for c in &mut cosine[..n_g] {
+                *c = (2.0 * std::f64::consts::PI * *c).cos();
+            }
+            // Stage 3: scale and write the flat I/Q lanes.
+            simd::scaled_product::<ACCUM>(
+                backend,
+                &radius[..n_g],
+                &cosine[..n_g],
+                std,
+                &mut simd::iq_lanes_mut(chunk)[..n_g],
+            );
         }
     }
 
@@ -118,6 +212,7 @@ impl AwgnSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::RngCore;
 
     #[test]
     fn thermal_floor_known_values() {
@@ -155,6 +250,77 @@ mod tests {
         let mut b = AwgnSource::new(7);
         for _ in 0..100 {
             assert_eq!(a.sample(1.0), b.sample(1.0));
+        }
+    }
+
+    /// Sizes that exercise the empty, sub-block, exact-block and
+    /// multi-block-with-ragged-tail paths of the staged fill.
+    const FILL_SIZES: [usize; 6] = [0, 1, 255, 256, 1024, 2 * NOISE_BLOCK + 17];
+
+    #[test]
+    fn block_fill_is_bit_identical_to_per_sample_loop() {
+        for &n in &FILL_SIZES {
+            for backend in Backend::ALL.iter().copied().filter(|b| b.available()) {
+                let mut reference_src = AwgnSource::new(0x5A1A);
+                let variance = 3.16e-12;
+                let reference: Vec<Iq> = (0..n).map(|_| reference_src.sample(variance)).collect();
+                let mut block_src = AwgnSource::new(0x5A1A);
+                let mut got = vec![Iq::ONE; n];
+                block_src.fill_blocks::<false>(&mut got, (variance / 2.0).sqrt(), backend);
+                assert_eq!(got, reference, "{backend:?} n={n}");
+                // The RNG advanced by exactly the same number of draws.
+                assert_eq!(
+                    block_src.sample(variance),
+                    reference_src.sample(variance),
+                    "{backend:?} n={n} rng state"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_accumulate_is_bit_identical_to_per_sample_add() {
+        for &n in &FILL_SIZES {
+            for backend in Backend::ALL.iter().copied().filter(|b| b.available()) {
+                let base: Vec<Iq> = (0..n).map(|i| Iq::new(i as f64 * 0.25, -1.5)).collect();
+                let variance = 0.125;
+                let mut reference_src = AwgnSource::new(99);
+                let mut reference = base.clone();
+                for s in &mut reference {
+                    *s += reference_src.sample(variance);
+                }
+                let mut block_src = AwgnSource::new(99);
+                let mut got = base.clone();
+                block_src.fill_blocks::<true>(&mut got, (variance / 2.0).sqrt(), backend);
+                assert_eq!(got, reference, "{backend:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_to_goes_through_the_block_path_unchanged() {
+        // `add_to` pre-dates the block pipeline; its output (and thus every
+        // committed golden fixture) must not move.
+        let mut legacy = AwgnSource::new(7);
+        let mut buf_legacy = SampleBuffer::new(vec![Iq::ONE; 700], 1e6);
+        for s in &mut buf_legacy.samples {
+            *s += legacy.sample(0.5);
+        }
+        let mut blocked = AwgnSource::new(7);
+        let mut buf_blocked = SampleBuffer::new(vec![Iq::ONE; 700], 1e6);
+        blocked.add_to(&mut buf_blocked, 0.5);
+        assert_eq!(buf_blocked.samples, buf_legacy.samples);
+    }
+
+    #[test]
+    fn uniform_helpers_replicate_the_vendored_arithmetic() {
+        let mut draws = ChaCha8Rng::seed_from_u64(1234);
+        let mut check = ChaCha8Rng::seed_from_u64(1234);
+        for _ in 0..1000 {
+            let expect: f64 = check.gen_range(f64::EPSILON..1.0);
+            assert_eq!(uniform_eps_one(draws.next_u64()), expect);
+            let expect: f64 = check.gen();
+            assert_eq!(uniform_open01(draws.next_u64()), expect);
         }
     }
 

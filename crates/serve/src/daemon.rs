@@ -315,32 +315,35 @@ struct StreamWorker {
 impl StreamWorker {
     fn run(mut self, report_tx: mpsc::Sender<StreamReport>) {
         let mut packets: Vec<GatewayPacket> = Vec::new();
+        // One ingest buffer reused across byte frames: each frame decodes
+        // into it with the block converter instead of allocating a fresh
+        // sample vector per frame.
+        let mut scratch: Vec<Iq> = Vec::new();
         // A pop of `None` means the queue closed with no End marker: client
         // disconnect (or daemon shutdown). Flush what we have either way.
         let mut disconnected = true;
-        while let Some(frame) = self.queue.pop() {
+        while let Some(mut frame) = self.queue.pop() {
             self.stats.set_queue_depth(self.queue.len());
             let samples = match frame {
                 IngestFrame::End => {
                     disconnected = false;
                     break;
                 }
-                IngestFrame::Bytes(bytes) => {
-                    let (samples, dangling) = wire::bytes_to_samples(&bytes);
+                IngestFrame::Bytes(ref bytes) => {
+                    scratch.clear();
+                    let dangling = wire::bytes_to_samples_into(bytes, &mut scratch);
                     if dangling > 0 {
                         self.stats.add_malformed_bytes(dangling as u64);
                     }
-                    samples
+                    &mut scratch
                 }
-                IngestFrame::Samples(samples) => samples,
+                IngestFrame::Samples(ref mut samples) => samples,
             };
-            if let Some(samples) = self.admit(samples) {
-                if !samples.is_empty() {
-                    self.stats.add_samples(samples.len() as u64);
-                    packets.extend(self.receiver.feed(&samples));
-                    self.stats
-                        .set_channel_snr_db(self.receiver.channel_snr_db());
-                }
+            if self.admit(samples) && !samples.is_empty() {
+                self.stats.add_samples(samples.len() as u64);
+                packets.extend(self.receiver.feed(samples));
+                self.stats
+                    .set_channel_snr_db(self.receiver.channel_snr_db());
             }
         }
         packets.extend(self.receiver.flush());
@@ -379,13 +382,13 @@ impl StreamWorker {
         let _ = report_tx.send(report);
     }
 
-    /// Applies the frame-size cap and the non-finite policy. Returns the
-    /// (possibly sanitised) samples, or `None` when the frame is rejected.
-    fn admit(&self, mut samples: Vec<Iq>) -> Option<Vec<Iq>> {
+    /// Applies the frame-size cap and the non-finite policy in place.
+    /// Returns whether the (possibly sanitised) frame is admitted.
+    fn admit(&self, samples: &mut [Iq]) -> bool {
         if samples.len() > self.max_frame_samples {
             self.stats
                 .add_malformed_bytes((samples.len() * wire::BYTES_PER_SAMPLE) as u64);
-            return None;
+            return false;
         }
         let non_finite = samples
             .iter()
@@ -395,9 +398,9 @@ impl StreamWorker {
             if !self.sanitize {
                 self.stats
                     .add_malformed_bytes((samples.len() * wire::BYTES_PER_SAMPLE) as u64);
-                return None;
+                return false;
             }
-            for s in &mut samples {
+            for s in samples.iter_mut() {
                 if !s.re.is_finite() {
                     s.re = 0.0;
                 }
@@ -407,6 +410,6 @@ impl StreamWorker {
             }
             self.stats.add_sanitized_samples(non_finite as u64);
         }
-        Some(samples)
+        true
     }
 }

@@ -36,6 +36,7 @@ pub use fault::{replay_with_fault, Fault};
 pub use queue::{BackpressurePolicy, BoundedQueue, Closed, PushOutcome};
 pub use telemetry::{StreamSnapshot, StreamStats, TelemetryRegistry, TelemetrySnapshot};
 pub use wire::{
-    bytes_to_samples, decode_binary_stream, decode_jsonl_stream, decode_packet_binary,
-    decode_packet_jsonl, encode_packet_binary, encode_packet_jsonl, samples_to_bytes, WireError,
+    bytes_to_samples, bytes_to_samples_into, decode_binary_stream, decode_jsonl_stream,
+    decode_packet_binary, decode_packet_jsonl, encode_packet_binary, encode_packet_jsonl,
+    samples_to_bytes, samples_to_bytes_into, WireError,
 };

@@ -29,7 +29,9 @@
 //! [`samples_to_bytes`] / [`bytes_to_samples`]. The decoder tolerates
 //! truncated frames (the complete leading samples are recovered, the
 //! dangling tail is reported) so one malformed client write never poisons a
-//! stream.
+//! stream. The `_into` variants ([`samples_to_bytes_into`] /
+//! [`bytes_to_samples_into`]) append to a caller-owned buffer, so hot
+//! ingest loops convert whole frames without a per-frame allocation.
 
 use lora_phy::iq::Iq;
 use saiyan::calibration::Thresholds;
@@ -345,11 +347,21 @@ pub const BYTES_PER_SAMPLE: usize = 8;
 /// golden-trace `.iq` layout.
 pub fn samples_to_bytes(samples: &[Iq]) -> Vec<u8> {
     let mut out = Vec::with_capacity(samples.len() * BYTES_PER_SAMPLE);
-    for s in samples {
-        out.extend_from_slice(&(s.re as f32).to_le_bytes());
-        out.extend_from_slice(&(s.im as f32).to_le_bytes());
-    }
+    samples_to_bytes_into(samples, &mut out);
     out
+}
+
+/// Appends the wire encoding of `samples` to `out` as one block write: the
+/// buffer is sized up front and filled through `chunks_exact_mut`, so the
+/// serialiser runs without per-float capacity checks. Byte-identical to
+/// [`samples_to_bytes`].
+pub fn samples_to_bytes_into(samples: &[Iq], out: &mut Vec<u8>) {
+    let start = out.len();
+    out.resize(start + samples.len() * BYTES_PER_SAMPLE, 0);
+    for (chunk, s) in out[start..].chunks_exact_mut(BYTES_PER_SAMPLE).zip(samples) {
+        chunk[..4].copy_from_slice(&(s.re as f32).to_le_bytes());
+        chunk[4..].copy_from_slice(&(s.im as f32).to_le_bytes());
+    }
 }
 
 /// Parses an ingest byte frame into samples. A length that is not a whole
@@ -358,14 +370,25 @@ pub fn samples_to_bytes(samples: &[Iq]) -> Vec<u8> {
 /// well-formed frame), which the daemon surfaces as a malformed-frame
 /// telemetry counter.
 pub fn bytes_to_samples(bytes: &[u8]) -> (Vec<Iq>, usize) {
+    let mut samples = Vec::new();
+    let dangling = bytes_to_samples_into(bytes, &mut samples);
+    (samples, dangling)
+}
+
+/// Appends the samples encoded in `bytes` to `out` and returns the count of
+/// dangling tail bytes. The block variant of [`bytes_to_samples`]: capacity
+/// is reserved once and the frame is walked with `chunks_exact`, letting a
+/// caller reuse one ingest buffer across frames instead of allocating per
+/// frame.
+pub fn bytes_to_samples_into(bytes: &[u8], out: &mut Vec<Iq>) -> usize {
     let whole = bytes.len() / BYTES_PER_SAMPLE;
-    let mut samples = Vec::with_capacity(whole);
-    for chunk in bytes.chunks_exact(BYTES_PER_SAMPLE) {
+    out.reserve(whole);
+    out.extend(bytes.chunks_exact(BYTES_PER_SAMPLE).map(|chunk| {
         let re = f32::from_le_bytes(chunk[..4].try_into().expect("4")) as f64;
         let im = f32::from_le_bytes(chunk[4..].try_into().expect("4")) as f64;
-        samples.push(Iq { re, im });
-    }
-    (samples, bytes.len() - whole * BYTES_PER_SAMPLE)
+        Iq { re, im }
+    }));
+    bytes.len() - whole * BYTES_PER_SAMPLE
 }
 
 #[cfg(test)]
@@ -498,6 +521,34 @@ mod tests {
         assert_eq!(dangling, 0);
         let (back, dangling) = bytes_to_samples(&bytes[..bytes.len() - 3]);
         assert_eq!(back, samples[..2], "partial tail sample dropped");
+        assert_eq!(dangling, 5);
+    }
+
+    #[test]
+    fn into_variants_append_and_match_the_allocating_forms() {
+        let samples = vec![
+            Iq { re: 0.5, im: -0.25 },
+            Iq { re: 1.0, im: 2.0 },
+            Iq {
+                re: -3.5,
+                im: 0.125,
+            },
+        ];
+        // Encoder: appends after existing content, byte-identical payload.
+        let mut bytes = vec![0xAA, 0xBB];
+        samples_to_bytes_into(&samples, &mut bytes);
+        assert_eq!(&bytes[..2], &[0xAA, 0xBB]);
+        assert_eq!(&bytes[2..], samples_to_bytes(&samples));
+        // Decoder: appends after existing content, reports the tail, and a
+        // reused buffer sees only the new frame after clear().
+        let mut out = vec![Iq::ZERO];
+        let dangling = bytes_to_samples_into(&bytes[2..], &mut out);
+        assert_eq!(dangling, 0);
+        assert_eq!(out[0], Iq::ZERO);
+        assert_eq!(out[1..], samples);
+        out.clear();
+        let dangling = bytes_to_samples_into(&bytes[2..bytes.len() - 3], &mut out);
+        assert_eq!(out, samples[..2]);
         assert_eq!(dangling, 5);
     }
 }

@@ -6,6 +6,15 @@
 //! the re-exported [`rand_core`] traits. Output is a real ChaCha keystream —
 //! deterministic per seed, statistically strong — though the word order is
 //! not guaranteed to be bit-identical to the upstream crate.
+//!
+//! Beyond the `RngCore` surface this stand-in adds [`ChaCha8Rng::fill_u64s`],
+//! a bulk draw API for block consumers (the workspace's AWGN fill): it emits
+//! exactly the stream a `next_u64` loop would, but generates whole keystream
+//! blocks straight into the caller's buffer — many blocks at a time through
+//! lane-parallel cores on x86-64 (AVX-512: 16 blocks, AVX2: 8). ChaCha is
+//! pure 32-bit integer arithmetic, so the wide cores are *exactly* equal to
+//! the scalar one — no rounding contract is involved — and the tests pin
+//! every core word-for-word against the textbook block function.
 
 #![warn(missing_docs)]
 
@@ -14,6 +23,8 @@ pub use rand_core;
 use rand_core::{RngCore, SeedableRng};
 
 const WORDS_PER_BLOCK: usize = 16;
+/// `u64` values served per keystream block.
+const U64S_PER_BLOCK: usize = WORDS_PER_BLOCK / 2;
 
 /// A deterministic random number generator backed by the ChaCha stream
 /// cipher with 8 rounds.
@@ -63,13 +74,252 @@ impl ChaCha8Rng {
         {
             *out = w.wrapping_add(*s);
         }
-        // 64-bit counter in words 12..14.
-        let (lo, carry) = self.state[12].overflowing_add(1);
-        self.state[12] = lo;
-        if carry {
-            self.state[13] = self.state[13].wrapping_add(1);
-        }
+        self.advance_counter(1);
         self.index = 0;
+    }
+
+    /// Advances the 64-bit block counter (words 12..14) by `blocks`.
+    /// Equivalent to `blocks` single increments with carry.
+    #[inline]
+    fn advance_counter(&mut self, blocks: u64) {
+        let counter = ((self.state[13] as u64) << 32) | self.state[12] as u64;
+        let counter = counter.wrapping_add(blocks);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+    }
+
+    /// Fills `out` with exactly the values a `next_u64` loop would produce,
+    /// advancing the generator state identically — but generating whole
+    /// keystream blocks straight into `out`, skipping the per-call buffer
+    /// bookkeeping and (on x86-64) running many blocks in parallel lanes.
+    pub fn fill_u64s(&mut self, out: &mut [u64]) {
+        let mut k = 0usize;
+        // Drain the buffered block first. If the word cursor is odd (a
+        // caller mixed in a lone `next_u32`), the pairing straddles block
+        // boundaries forever: stay on the slow path, which is exact.
+        while k < out.len() && (self.index < WORDS_PER_BLOCK || self.index % 2 == 1) {
+            out[k] = self.next_u64();
+            k += 1;
+        }
+        let blocks = (out.len() - k) / U64S_PER_BLOCK;
+        if blocks > 0 {
+            self.generate_blocks(blocks, &mut out[k..k + blocks * U64S_PER_BLOCK]);
+            k += blocks * U64S_PER_BLOCK;
+        }
+        while k < out.len() {
+            out[k] = self.next_u64();
+            k += 1;
+        }
+    }
+
+    /// Generates `blocks` whole keystream blocks into `out` (packed as
+    /// little-endian word pairs, the `next_u64` order), advancing the
+    /// counter per block. The buffered block is untouched.
+    fn generate_blocks(&mut self, blocks: usize, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), blocks * U64S_PER_BLOCK);
+        let mut done = 0usize;
+        #[cfg(target_arch = "x86_64")]
+        {
+            if wide_lanes() >= 16 {
+                while blocks - done >= 16 {
+                    // SAFETY: AVX-512F presence established by wide_lanes().
+                    unsafe {
+                        blocks16_avx512(
+                            &self.state,
+                            &mut out[done * U64S_PER_BLOCK..(done + 16) * U64S_PER_BLOCK],
+                        )
+                    };
+                    self.advance_counter(16);
+                    done += 16;
+                }
+            }
+            if wide_lanes() >= 8 {
+                while blocks - done >= 8 {
+                    // SAFETY: AVX2 presence established by wide_lanes().
+                    unsafe {
+                        blocks8_avx2(
+                            &self.state,
+                            &mut out[done * U64S_PER_BLOCK..(done + 8) * U64S_PER_BLOCK],
+                        )
+                    };
+                    self.advance_counter(8);
+                    done += 8;
+                }
+            }
+        }
+        while done < blocks {
+            scalar_block_into(
+                &self.state,
+                &mut out[done * U64S_PER_BLOCK..(done + 1) * U64S_PER_BLOCK],
+            );
+            self.advance_counter(1);
+            done += 1;
+        }
+    }
+}
+
+/// One keystream block for `state`, packed into eight `u64`s in the
+/// `next_u64` pairing (word `2t` is the low half, word `2t+1` the high).
+fn scalar_block_into(state: &[u32; WORDS_PER_BLOCK], out: &mut [u64]) {
+    let mut working = *state;
+    for _ in 0..4 {
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+    for (t, o) in out.iter_mut().enumerate() {
+        let lo = working[2 * t].wrapping_add(state[2 * t]) as u64;
+        let hi = working[2 * t + 1].wrapping_add(state[2 * t + 1]) as u64;
+        *o = (hi << 32) | lo;
+    }
+}
+
+/// Widest usable lane count for the block cores: 16 (AVX-512F), 8 (AVX2) or
+/// 0 (scalar only). Cached after the first query. No opt-out knob is needed:
+/// the cores are integer-exact, so every path emits the identical keystream.
+#[cfg(target_arch = "x86_64")]
+fn wide_lanes() -> usize {
+    use std::sync::OnceLock;
+    static LANES: OnceLock<usize> = OnceLock::new();
+    *LANES.get_or_init(|| {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            16
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            8
+        } else {
+            0
+        }
+    })
+}
+
+/// Per-lane counter words for `lanes` consecutive blocks starting at the
+/// state's counter: lane `l` gets `counter + l`, split back into lo/hi.
+#[cfg(target_arch = "x86_64")]
+fn lane_counters<const LANES: usize>(
+    state: &[u32; WORDS_PER_BLOCK],
+) -> ([u32; LANES], [u32; LANES]) {
+    let counter = ((state[13] as u64) << 32) | state[12] as u64;
+    let mut lo = [0u32; LANES];
+    let mut hi = [0u32; LANES];
+    for l in 0..LANES {
+        let c = counter.wrapping_add(l as u64);
+        lo[l] = c as u32;
+        hi[l] = (c >> 32) as u32;
+    }
+    (lo, hi)
+}
+
+/// Eight blocks in the eight 32-bit lanes of AVX2 vectors: vector `i` holds
+/// state word `i` of all eight blocks, quarter rounds run lane-parallel,
+/// and the final transpose packs each lane's block into `out`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn blocks8_avx2(state: &[u32; WORDS_PER_BLOCK], out: &mut [u64]) {
+    use std::arch::x86_64::*;
+
+    macro_rules! rotl {
+        ($x:expr, $n:literal) => {
+            _mm256_or_si256(
+                _mm256_slli_epi32::<$n>($x),
+                _mm256_srli_epi32::<{ 32 - $n }>($x),
+            )
+        };
+    }
+    macro_rules! qr {
+        ($v:ident, $a:expr, $b:expr, $c:expr, $d:expr) => {
+            $v[$a] = _mm256_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl!(_mm256_xor_si256($v[$d], $v[$a]), 16);
+            $v[$c] = _mm256_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl!(_mm256_xor_si256($v[$b], $v[$c]), 12);
+            $v[$a] = _mm256_add_epi32($v[$a], $v[$b]);
+            $v[$d] = rotl!(_mm256_xor_si256($v[$d], $v[$a]), 8);
+            $v[$c] = _mm256_add_epi32($v[$c], $v[$d]);
+            $v[$b] = rotl!(_mm256_xor_si256($v[$b], $v[$c]), 7);
+        };
+    }
+
+    let mut v: [__m256i; WORDS_PER_BLOCK] =
+        std::array::from_fn(|i| _mm256_set1_epi32(state[i] as i32));
+    let (lo, hi) = lane_counters::<8>(state);
+    v[12] = _mm256_loadu_si256(lo.as_ptr().cast());
+    v[13] = _mm256_loadu_si256(hi.as_ptr().cast());
+    let initial = v;
+    for _ in 0..4 {
+        qr!(v, 0, 4, 8, 12);
+        qr!(v, 1, 5, 9, 13);
+        qr!(v, 2, 6, 10, 14);
+        qr!(v, 3, 7, 11, 15);
+        qr!(v, 0, 5, 10, 15);
+        qr!(v, 1, 6, 11, 12);
+        qr!(v, 2, 7, 8, 13);
+        qr!(v, 3, 4, 9, 14);
+    }
+    let mut words = [[0u32; 8]; WORDS_PER_BLOCK];
+    for i in 0..WORDS_PER_BLOCK {
+        let sum = _mm256_add_epi32(v[i], initial[i]);
+        _mm256_storeu_si256(words[i].as_mut_ptr().cast(), sum);
+    }
+    for lane in 0..8 {
+        for t in 0..U64S_PER_BLOCK {
+            let lo = words[2 * t][lane] as u64;
+            let hi = words[2 * t + 1][lane] as u64;
+            out[lane * U64S_PER_BLOCK + t] = (hi << 32) | lo;
+        }
+    }
+}
+
+/// Sixteen blocks in the sixteen 32-bit lanes of AVX-512 vectors, with the
+/// native lane rotate.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn blocks16_avx512(state: &[u32; WORDS_PER_BLOCK], out: &mut [u64]) {
+    use std::arch::x86_64::*;
+
+    macro_rules! qr {
+        ($v:ident, $a:expr, $b:expr, $c:expr, $d:expr) => {
+            $v[$a] = _mm512_add_epi32($v[$a], $v[$b]);
+            $v[$d] = _mm512_rol_epi32::<16>(_mm512_xor_si512($v[$d], $v[$a]));
+            $v[$c] = _mm512_add_epi32($v[$c], $v[$d]);
+            $v[$b] = _mm512_rol_epi32::<12>(_mm512_xor_si512($v[$b], $v[$c]));
+            $v[$a] = _mm512_add_epi32($v[$a], $v[$b]);
+            $v[$d] = _mm512_rol_epi32::<8>(_mm512_xor_si512($v[$d], $v[$a]));
+            $v[$c] = _mm512_add_epi32($v[$c], $v[$d]);
+            $v[$b] = _mm512_rol_epi32::<7>(_mm512_xor_si512($v[$b], $v[$c]));
+        };
+    }
+
+    let mut v: [__m512i; WORDS_PER_BLOCK] =
+        std::array::from_fn(|i| _mm512_set1_epi32(state[i] as i32));
+    let (lo, hi) = lane_counters::<16>(state);
+    v[12] = _mm512_loadu_si512(lo.as_ptr().cast());
+    v[13] = _mm512_loadu_si512(hi.as_ptr().cast());
+    let initial = v;
+    for _ in 0..4 {
+        qr!(v, 0, 4, 8, 12);
+        qr!(v, 1, 5, 9, 13);
+        qr!(v, 2, 6, 10, 14);
+        qr!(v, 3, 7, 11, 15);
+        qr!(v, 0, 5, 10, 15);
+        qr!(v, 1, 6, 11, 12);
+        qr!(v, 2, 7, 8, 13);
+        qr!(v, 3, 4, 9, 14);
+    }
+    let mut words = [[0u32; 16]; WORDS_PER_BLOCK];
+    for i in 0..WORDS_PER_BLOCK {
+        let sum = _mm512_add_epi32(v[i], initial[i]);
+        _mm512_storeu_si512(words[i].as_mut_ptr().cast(), sum);
+    }
+    for lane in 0..16 {
+        for t in 0..U64S_PER_BLOCK {
+            let lo = words[2 * t][lane] as u64;
+            let hi = words[2 * t + 1][lane] as u64;
+            out[lane * U64S_PER_BLOCK + t] = (hi << 32) | lo;
+        }
     }
 }
 
@@ -192,6 +442,80 @@ mod tests {
                     reference_state[13] = reference_state[13].wrapping_add(1);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn fill_u64s_matches_next_u64_loop() {
+        // Lengths crossing every path: drain-only, scalar blocks, one and
+        // several wide groups, ragged tails.
+        for &n in &[0usize, 1, 5, 8, 9, 63, 64, 65, 128, 129, 200, 1024, 1031] {
+            // Pre-consume some u64s so the drain starts mid-block.
+            for pre in [0usize, 1, 3, 8] {
+                let mut a = ChaCha8Rng::seed_from_u64(0xF00D);
+                let mut b = ChaCha8Rng::seed_from_u64(0xF00D);
+                for _ in 0..pre {
+                    assert_eq!(a.next_u64(), b.next_u64());
+                }
+                let want: Vec<u64> = (0..n).map(|_| a.next_u64()).collect();
+                let mut got = vec![0u64; n];
+                b.fill_u64s(&mut got);
+                assert_eq!(got, want, "n={n} pre={pre}");
+                // The generators stay in lockstep afterwards.
+                assert_eq!(a.next_u64(), b.next_u64(), "n={n} pre={pre} post");
+            }
+        }
+    }
+
+    #[test]
+    fn fill_u64s_handles_odd_word_alignment() {
+        // A lone next_u32 misaligns the pairing; fill must stay exact.
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        assert_eq!(a.next_u32(), b.next_u32());
+        let want: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let mut got = vec![0u64; 100];
+        b.fill_u64s(&mut got);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn scalar_block_into_matches_reference() {
+        let rng = ChaCha8Rng::seed_from_u64(0xBEEF);
+        let want = scalar_block(&rng.state);
+        let mut got = [0u64; U64S_PER_BLOCK];
+        scalar_block_into(&rng.state, &mut got);
+        for t in 0..U64S_PER_BLOCK {
+            let lo = got[t] as u32;
+            let hi = (got[t] >> 32) as u32;
+            assert_eq!([lo, hi], [want[2 * t], want[2 * t + 1]], "pair {t}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn wide_cores_match_scalar_blocks_exactly() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xCAFE);
+        // Push the counter near the 32-bit carry to cover per-lane carries.
+        rng.state[12] = u32::MAX - 5;
+        let mut reference = rng.clone();
+        let mut want = vec![0u64; 16 * U64S_PER_BLOCK];
+        for blk in 0..16 {
+            scalar_block_into(
+                &reference.state,
+                &mut want[blk * U64S_PER_BLOCK..(blk + 1) * U64S_PER_BLOCK],
+            );
+            reference.advance_counter(1);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            let mut got = vec![0u64; 8 * U64S_PER_BLOCK];
+            unsafe { blocks8_avx2(&rng.state, &mut got) };
+            assert_eq!(got, want[..8 * U64S_PER_BLOCK], "avx2");
+        }
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            let mut got = vec![0u64; 16 * U64S_PER_BLOCK];
+            unsafe { blocks16_avx512(&rng.state, &mut got) };
+            assert_eq!(got, want, "avx512");
         }
     }
 
